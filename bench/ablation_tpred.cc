@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Ablation (DESIGN.md §6.4) — tPRED sensitivity: how slow can the
+ * on-die prediction be before RiF loses its advantage? The paper's RP
+ * needs ~2.5 us for a 4-KiB chunk; this sweep shows the channel (not
+ * the die) remains the bottleneck until tPRED grows pathological.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/experiment.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace rif;
+    using namespace rif::ssd;
+
+    const double scale = bench::scaleArg(argc, argv);
+    bench::header("Ablation: prediction latency (tPRED) sensitivity",
+                  "implementation driver of §V (2.5 us datapath)");
+
+    RunScale rs;
+    rs.requests = bench::scaled(5000, scale);
+
+    Experiment senc;
+    senc.withPolicy(PolicyKind::Sentinel).withPeCycles(2000.0);
+    const double senc_bw = senc.run("Ali124", rs).bandwidthMBps();
+
+    Table t("RiFSSD bandwidth vs tPRED (Ali124 @ 2K P/E; SENC = " +
+            Table::num(senc_bw, 0) + " MB/s)");
+    t.setHeader({"tPRED(us)", "bandwidth(MB/s)", "vs SENC",
+                 "read p99(us)"});
+    for (double tp : {0.0, 1.0, 2.5, 5.0, 10.0, 20.0, 40.0}) {
+        Experiment e;
+        e.withPolicy(PolicyKind::Rif).withPeCycles(2000.0);
+        e.config().timing.tPred = usToTicks(tp);
+        const auto r = e.run("Ali124", rs);
+        t.addRow({Table::num(tp, 1), Table::num(r.bandwidthMBps(), 0),
+                  Table::num(r.bandwidthMBps() / senc_bw, 2) + "x",
+                  Table::num(r.stats.readLatencyUs.percentile(99), 0)});
+    }
+    t.print(std::cout);
+    std::cout <<
+        "\nWith 4 dies per 1.2-GB/s channel there is die-time slack: "
+        "tPRED well\nabove the 2.5 us implementation still beats the "
+        "off-chip baselines, which\nis why a simple (slow-clock) on-die "
+        "datapath suffices.\n";
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared helpers for the figure/table regeneration benches: command-line
+ * scale overrides and common formatting. Every bench prints the rows or
+ * series of one table/figure from the paper; absolute values differ from
+ * the authors' testbed but the shape must match (see EXPERIMENTS.md).
+ */
+
+#ifndef RIF_BENCH_BENCH_UTIL_H
+#define RIF_BENCH_BENCH_UTIL_H
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace rif {
+namespace bench {
+
+/**
+ * Scale factor from the command line: `<bench> [scale]`, where scale
+ * multiplies the default trial/request counts. `--quick` is 0.25.
+ */
+inline double
+scaleArg(int argc, char **argv, double def = 1.0)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--quick")
+            return 0.25;
+        char *end = nullptr;
+        const double v = std::strtod(a.c_str(), &end);
+        if (end && *end == '\0' && v > 0.0)
+            return v;
+    }
+    return def;
+}
+
+inline int
+scaled(std::uint64_t base, double scale)
+{
+    const auto v = static_cast<std::uint64_t>(
+        static_cast<double>(base) * scale);
+    return static_cast<int>(v < 1 ? 1 : v);
+}
+
+inline void
+header(const std::string &title, const std::string &paper_ref)
+{
+    std::cout << "##\n## " << title << "\n## Reproduces: " << paper_ref
+              << "\n##\n";
+}
+
+} // namespace bench
+} // namespace rif
+
+#endif // RIF_BENCH_BENCH_UTIL_H

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fig. 18 — flash-channel usage breakdown (IDLE / COR / UNCOR /
+ * ECCWAIT) for the two most read-intensive workloads, Ali121 and
+ * Ali124, across wear levels and policies. The paper highlights SWR
+ * wasting 54.4% of the channel in UNCOR+ECCWAIT on Ali124 at 2K P/E,
+ * while RiF wastes 1.8% (vs RPSSD's 19.9% on Ali121) under UNCOR.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/experiment.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace rif;
+    using namespace rif::ssd;
+
+    const double scale = bench::scaleArg(argc, argv);
+    bench::header("Channel usage breakdown",
+                  "Fig. 18 (Ali121 / Ali124)");
+
+    RunScale rs;
+    rs.requests = bench::scaled(5000, scale);
+
+    const PolicyKind policies[] = {
+        PolicyKind::Sentinel, PolicyKind::SwiftRead,
+        PolicyKind::SwiftReadPlus, PolicyKind::RpController,
+        PolicyKind::Rif};
+    const double pes[] = {0.0, 1000.0, 2000.0};
+
+    for (const char *w : {"Ali121", "Ali124"}) {
+        Table t(std::string("Fig. 18: channel usage ratio, ") + w);
+        t.setHeader({"P/E", "policy", "IDLE", "COR", "UNCOR", "ECCWAIT",
+                     "WRITE"});
+        for (double pe : pes) {
+            for (PolicyKind p : policies) {
+                Experiment e;
+                e.withPolicy(p).withPeCycles(pe);
+                const auto r = e.run(w, rs);
+                const auto &st = r.stats;
+                t.addRow({Table::num(pe, 0), policyName(p),
+                          Table::num(
+                              st.channelFraction(ChannelState::Idle), 2),
+                          Table::num(
+                              st.channelFraction(ChannelState::CorXfer),
+                              2),
+                          Table::num(st.channelFraction(
+                                         ChannelState::UncorXfer),
+                                     2),
+                          Table::num(
+                              st.channelFraction(ChannelState::EccWait),
+                              2),
+                          Table::num(st.channelFraction(
+                                         ChannelState::WriteXfer),
+                                     2)});
+            }
+        }
+        t.print(std::cout);
+        std::cout << '\n';
+    }
+
+    std::cout <<
+        "Paper shape: off-chip policies waste a growing UNCOR+ECCWAIT "
+        "share with\nwear; RPSSD eliminates ECCWAIT but keeps UNCOR; "
+        "RiF eliminates both and\nspends the channel almost entirely "
+        "on correctable transfers.\n";
+    return 0;
+}

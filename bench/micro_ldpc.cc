@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the LDPC substrate: encoding,
+ * syndrome computation (full and pruned, i.e. the ODEAR datapath's
+ * work), and min-sum decoding at easy/threshold/hopeless RBER.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "ldpc/channel.h"
+#include "ldpc/code.h"
+#include "ldpc/decoder.h"
+#include "odear/rearrange.h"
+
+namespace {
+
+using namespace rif;
+using namespace rif::ldpc;
+
+const QcLdpcCode &
+theCode()
+{
+    static const QcLdpcCode code(paperCode());
+    return code;
+}
+
+void
+BM_Encode(benchmark::State &state)
+{
+    const QcLdpcCode &code = theCode();
+    Rng rng(1);
+    const HardWord data = randomData(code.params().k(), rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(code.encode(data));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(code.params().k() / 8));
+}
+BENCHMARK(BM_Encode);
+
+void
+BM_FullSyndromeWeight(benchmark::State &state)
+{
+    const QcLdpcCode &code = theCode();
+    Rng rng(2);
+    HardWord word = code.encode(randomData(code.params().k(), rng));
+    injectErrors(word, 0.005, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(code.syndromeWeight(word));
+}
+BENCHMARK(BM_FullSyndromeWeight);
+
+void
+BM_PrunedSyndromeWeight(benchmark::State &state)
+{
+    const QcLdpcCode &code = theCode();
+    Rng rng(3);
+    HardWord word = code.encode(randomData(code.params().k(), rng));
+    injectErrors(word, 0.005, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(code.prunedSyndromeWeight(word));
+}
+BENCHMARK(BM_PrunedSyndromeWeight);
+
+void
+BM_OnDieSyndromeWeight(benchmark::State &state)
+{
+    // The rotated-layout XOR+popcount the RP hardware performs.
+    const QcLdpcCode &code = theCode();
+    const odear::CodewordRearranger rr(code);
+    Rng rng(4);
+    HardWord word = code.encode(randomData(code.params().k(), rng));
+    injectErrors(word, 0.005, rng);
+    const BitVec flash = rr.toFlashLayout(toBitVec(word));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rr.onDieSyndromeWeight(flash));
+}
+BENCHMARK(BM_OnDieSyndromeWeight);
+
+void
+BM_MinSumDecode(benchmark::State &state)
+{
+    const QcLdpcCode &code = theCode();
+    const MinSumDecoder dec(code, 20);
+    const double rber = static_cast<double>(state.range(0)) * 1e-4;
+    Rng rng(5);
+    HardWord word = code.encode(randomData(code.params().k(), rng));
+    injectErrors(word, rber, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dec.decode(word, rber));
+}
+// 0.002 (easy), 0.008 (near capability), 0.012 (fails at 20 iters).
+BENCHMARK(BM_MinSumDecode)->Arg(20)->Arg(80)->Arg(120);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulation substrate: event
+ * queue throughput, read-script planning, and end-to-end simulated
+ * requests per second of the full SSD model.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/experiment.h"
+#include "ssd/policy.h"
+#include "ssd/sim.h"
+
+namespace {
+
+using namespace rif;
+using namespace rif::ssd;
+
+void
+BM_EventQueue(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Simulator sim;
+        int fired = 0;
+        for (int i = 0; i < 10000; ++i)
+            sim.schedule(static_cast<Tick>((i * 7919) % 1000),
+                         [&fired] { ++fired; });
+        sim.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_EventQueue);
+
+void
+BM_PlanRead(benchmark::State &state)
+{
+    SsdConfig cfg;
+    cfg.policy = static_cast<PolicyKind>(state.range(0));
+    const auto bm = makeBehaviorModel(cfg);
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(planRead(cfg, bm, 0.009, rng));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PlanRead)
+    ->Arg(static_cast<int>(PolicyKind::Sentinel))
+    ->Arg(static_cast<int>(PolicyKind::Rif));
+
+void
+BM_FullSsdRun(benchmark::State &state)
+{
+    // Simulated-requests-per-wall-second of the complete model.
+    for (auto _ : state) {
+        Experiment e;
+        e.withPolicy(PolicyKind::Rif).withPeCycles(1000.0);
+        RunScale rs;
+        rs.requests = 1000;
+        benchmark::DoNotOptimize(e.run("Ali124", rs));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_FullSsdRun)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+#include "common/bitvec.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace rif {
+
+BitVec::BitVec(std::size_t nbits)
+    : nbits_(nbits), words_((nbits + 63) / 64, 0)
+{
+}
+
+void
+BitVec::clear()
+{
+    std::fill(words_.begin(), words_.end(), 0);
+}
+
+void
+BitVec::xorWith(const BitVec &other)
+{
+    RIF_ASSERT(nbits_ == other.nbits_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        words_[i] ^= other.words_[i];
+}
+
+std::size_t
+BitVec::popcount() const
+{
+    std::size_t n = 0;
+    for (std::uint64_t w : words_)
+        n += static_cast<std::size_t>(std::popcount(w));
+    return n;
+}
+
+BitVec
+BitVec::rotl(std::size_t k) const
+{
+    BitVec out(nbits_);
+    if (nbits_ == 0)
+        return out;
+    k %= nbits_;
+    // Bit i of the result is bit (i + k) mod n of the source: a left
+    // rotation moves each source bit k positions toward index 0 in our
+    // little-endian numbering, matching the paper's "rotate segment left".
+    for (std::size_t i = 0; i < nbits_; ++i) {
+        const std::size_t src = (i + k) % nbits_;
+        if (get(src))
+            out.set(i, true);
+    }
+    return out;
+}
+
+BitVec
+BitVec::rotr(std::size_t k) const
+{
+    if (nbits_ == 0)
+        return BitVec(0);
+    k %= nbits_;
+    return rotl(nbits_ - k == nbits_ ? 0 : nbits_ - k);
+}
+
+BitVec
+BitVec::slice(std::size_t start, std::size_t len) const
+{
+    RIF_ASSERT(start + len <= nbits_);
+    BitVec out(len);
+    // Word-aligned fast path covers the common QC-LDPC segment case
+    // (segments are multiples of 64 bits).
+    if ((start & 63) == 0) {
+        const std::size_t w0 = start >> 6;
+        for (std::size_t w = 0; w < out.words_.size(); ++w)
+            out.words_[w] = words_[w0 + w];
+        out.trimTail();
+        return out;
+    }
+    for (std::size_t i = 0; i < len; ++i)
+        if (get(start + i))
+            out.set(i, true);
+    return out;
+}
+
+void
+BitVec::insert(std::size_t start, const BitVec &other)
+{
+    RIF_ASSERT(start + other.nbits_ <= nbits_);
+    if ((start & 63) == 0 && (other.nbits_ & 63) == 0) {
+        const std::size_t w0 = start >> 6;
+        for (std::size_t w = 0; w < other.words_.size(); ++w)
+            words_[w0 + w] = other.words_[w];
+        return;
+    }
+    for (std::size_t i = 0; i < other.nbits_; ++i)
+        set(start + i, other.get(i));
+}
+
+bool
+BitVec::operator==(const BitVec &other) const
+{
+    return nbits_ == other.nbits_ && words_ == other.words_;
+}
+
+void
+BitVec::trimTail()
+{
+    const std::size_t extra = nbits_ & 63;
+    if (extra != 0 && !words_.empty())
+        words_.back() &= (std::uint64_t(1) << extra) - 1;
+}
+
+} // namespace rif

@@ -1,0 +1,16 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace rif {
+namespace log_detail {
+
+void
+emit(const char *level, const std::string &msg)
+{
+    std::fprintf(stderr, "[%s] %s\n", level, msg.c_str());
+    std::fflush(stderr);
+}
+
+} // namespace log_detail
+} // namespace rif

@@ -1,0 +1,174 @@
+#include "common/rng.h"
+
+#include "common/logging.h"
+
+namespace rif {
+
+namespace {
+
+/** splitmix64 step used to expand a single seed into generator state. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto &s : s_)
+        s = splitmix64(x);
+    // Guard against the all-zero state, which is a fixed point.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
+        s_[0] = 1;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return (next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::below(std::uint64_t n)
+{
+    RIF_ASSERT(n > 0);
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t limit = ~std::uint64_t(0) - (~std::uint64_t(0) % n);
+    std::uint64_t v;
+    do {
+        v = next();
+    } while (v >= limit);
+    return v % n;
+}
+
+std::int64_t
+Rng::range(std::int64_t lo, std::int64_t hi)
+{
+    RIF_ASSERT(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+        below(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+double
+Rng::gaussian()
+{
+    if (hasCachedGaussian_) {
+        hasCachedGaussian_ = false;
+        return cachedGaussian_;
+    }
+    double u1 = 0.0;
+    while (u1 <= 1e-300)
+        u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cachedGaussian_ = r * std::sin(theta);
+    hasCachedGaussian_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::gaussian(double mean, double sigma)
+{
+    return mean + sigma * gaussian();
+}
+
+double
+Rng::lognormal(double mu, double sigma)
+{
+    return std::exp(gaussian(mu, sigma));
+}
+
+double
+Rng::exponential(double rate)
+{
+    RIF_ASSERT(rate > 0.0);
+    double u = 0.0;
+    while (u <= 1e-300)
+        u = uniform();
+    return -std::log(u) / rate;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next() ^ 0xd1b54a32d192ed03ull);
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double theta)
+    : n_(n), theta_(theta)
+{
+    RIF_ASSERT(n > 0);
+    RIF_ASSERT(theta >= 0.0 && theta < 1.0,
+               "ZipfSampler implements the 0 <= theta < 1 YCSB form");
+    double zeta2 = 0.0;
+    for (std::uint64_t i = 0; i < 2 && i < n; ++i)
+        zeta2 += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    zetaN_ = 0.0;
+    for (std::uint64_t i = 0; i < n; ++i)
+        zetaN_ += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetaN_);
+}
+
+std::uint64_t
+ZipfSampler::sample(Rng &rng) const
+{
+    // Gray/Jim Gray et al. "Quickly generating billion-record synthetic
+    // databases" rejection-free method as popularized by YCSB.
+    const double u = rng.uniform();
+    const double uz = u * zetaN_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_))
+        return 1;
+    const auto r = static_cast<std::uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return r >= n_ ? n_ - 1 : r;
+}
+
+} // namespace rif

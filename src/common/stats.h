@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Lightweight statistics containers used by the simulator and the
+ * benchmark harnesses: running moments, reservoir-free percentile tracking
+ * and fixed-bin histograms for latency CDFs.
+ */
+
+#ifndef RIF_COMMON_STATS_H
+#define RIF_COMMON_STATS_H
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace rif {
+
+/** Running mean/variance/min/max without storing samples (Welford). */
+class RunningStats
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStats &other);
+
+    std::uint64_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double variance() const;
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Stores every sample and answers arbitrary percentile queries; used for
+ * read-latency tail analysis (Fig. 19) where exactness at p99.99 matters.
+ */
+class PercentileTracker
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /**
+     * Return the p-th percentile (p in [0, 100]) by nearest-rank on the
+     * sorted sample set; 0 when empty.
+     */
+    double percentile(double p) const;
+
+    /** Full CDF as (value, cumulative fraction) pairs over `points` knots. */
+    std::vector<std::pair<double, double>> cdf(int points = 50) const;
+
+    std::uint64_t count() const { return samples_.size(); }
+    double mean() const;
+
+  private:
+    void ensureSorted() const;
+
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+};
+
+/** Fixed-width-bin histogram over [lo, hi) with under/overflow bins. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, int bins);
+
+    /** Add one sample. */
+    void add(double x);
+
+    int bins() const { return static_cast<int>(counts_.size()); }
+    std::uint64_t binCount(int i) const { return counts_.at(i); }
+    double binLow(int i) const;
+    double binHigh(int i) const;
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t total() const { return total_; }
+
+  private:
+    double lo_, hi_, width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace rif
+
+#endif // RIF_COMMON_STATS_H

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Console table and CSV emission for the benchmark harnesses. Every
+ * figure/table bench builds one of these and prints the same rows/series
+ * the paper reports.
+ */
+
+#ifndef RIF_COMMON_TABLE_H
+#define RIF_COMMON_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rif {
+
+/** A simple column-aligned text table with an optional title. */
+class Table
+{
+  public:
+    explicit Table(std::string title = "");
+
+    /** Set the column headers (defines the column count). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append one row of pre-formatted cells. */
+    void addRow(std::vector<std::string> row);
+
+    /** Format a double with the given precision. */
+    static std::string num(double v, int precision = 2);
+
+    /** Format an integer. */
+    static std::string num(std::uint64_t v);
+
+    /** Render aligned to the stream. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV to the stream. */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace rif
+
+#endif // RIF_COMMON_TABLE_H

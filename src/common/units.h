@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Simulation time and size units. Simulated time is an integer count of
+ * nanoseconds (Tick) so event ordering is exact; helpers convert to the
+ * microsecond quantities the paper reports.
+ */
+
+#ifndef RIF_COMMON_UNITS_H
+#define RIF_COMMON_UNITS_H
+
+#include <cstdint>
+
+namespace rif {
+
+/** Simulated time in nanoseconds. */
+using Tick = std::uint64_t;
+
+constexpr Tick kNsPerUs = 1000;
+constexpr Tick kNsPerMs = 1000 * 1000;
+constexpr Tick kNsPerSec = 1000ull * 1000 * 1000;
+
+/** Microseconds -> ticks. */
+constexpr Tick
+usToTicks(double us)
+{
+    return static_cast<Tick>(us * static_cast<double>(kNsPerUs) + 0.5);
+}
+
+/** Ticks -> microseconds. */
+constexpr double
+ticksToUs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kNsPerUs);
+}
+
+/** Ticks -> milliseconds. */
+constexpr double
+ticksToMs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kNsPerMs);
+}
+
+/** Ticks -> seconds. */
+constexpr double
+ticksToSec(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kNsPerSec);
+}
+
+constexpr std::uint64_t kKiB = 1024;
+constexpr std::uint64_t kMiB = 1024 * kKiB;
+constexpr std::uint64_t kGiB = 1024 * kMiB;
+
+/** Bytes over ticks -> MB/s (decimal MB, as the paper reports). */
+constexpr double
+bytesPerTickToMBps(std::uint64_t bytes, Tick elapsed)
+{
+    if (elapsed == 0)
+        return 0.0;
+    return static_cast<double>(bytes) / 1e6 /
+           (static_cast<double>(elapsed) / 1e9);
+}
+
+} // namespace rif
+
+#endif // RIF_COMMON_UNITS_H

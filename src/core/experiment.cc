@@ -1,0 +1,101 @@
+#include "core/experiment.h"
+
+#include <memory>
+
+namespace rif {
+
+Experiment::Experiment() = default;
+
+Experiment &
+Experiment::withPolicy(ssd::PolicyKind policy)
+{
+    config_.policy = policy;
+    return *this;
+}
+
+Experiment &
+Experiment::withPeCycles(double pe)
+{
+    config_.peCycles = pe;
+    return *this;
+}
+
+RunResult
+Experiment::run(const std::string &workload_name,
+                const RunScale &scale) const
+{
+    trace::SyntheticWorkload source(trace::workloadByName(workload_name),
+                                    scale.requests, scale.seed);
+    ssd::Ssd drive(config_);
+    RunResult out;
+    out.workload = workload_name;
+    out.policy = config_.policy;
+    out.peCycles = config_.peCycles;
+    out.stats = drive.run(source);
+    return out;
+}
+
+RunResult
+Experiment::run(trace::TraceSource &source, const std::string &label) const
+{
+    ssd::Ssd drive(config_);
+    RunResult out;
+    out.workload = label;
+    out.policy = config_.policy;
+    out.peCycles = config_.peCycles;
+    out.stats = drive.run(source);
+    return out;
+}
+
+RunResult
+Experiment::runMultiTenant(const std::vector<trace::WorkloadSpec> &specs,
+                           const RunScale &scale) const
+{
+    std::vector<std::unique_ptr<trace::SyntheticWorkload>> gens;
+    std::vector<std::unique_ptr<trace::OffsetTrace>> shifted;
+    std::vector<trace::TraceSource *> sources;
+    std::uint64_t offset = 0;
+    std::string label;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        gens.push_back(std::make_unique<trace::SyntheticWorkload>(
+            specs[i], scale.requests, scale.seed + i));
+        shifted.push_back(
+            std::make_unique<trace::OffsetTrace>(*gens.back(), offset));
+        sources.push_back(shifted.back().get());
+        offset += specs[i].footprintPages;
+        if (i)
+            label += "+";
+        label += specs[i].name;
+    }
+
+    ssd::Ssd drive(config_);
+    RunResult out;
+    out.workload = label;
+    out.policy = config_.policy;
+    out.peCycles = config_.peCycles;
+    out.stats = drive.runMultiQueue(sources);
+    return out;
+}
+
+std::vector<RunResult>
+Experiment::sweepPolicies(const std::string &workload_name,
+                          const std::vector<ssd::PolicyKind> &policies,
+                          const RunScale &scale) const
+{
+    std::vector<RunResult> out;
+    out.reserve(policies.size());
+    for (ssd::PolicyKind p : policies) {
+        Experiment e = *this;
+        e.withPolicy(p);
+        out.push_back(e.run(workload_name, scale));
+    }
+    return out;
+}
+
+const char *
+versionString()
+{
+    return "rif 1.0.0";
+}
+
+} // namespace rif

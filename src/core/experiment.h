@@ -1,0 +1,91 @@
+/**
+ * @file
+ * High-level experiment facade — the public API most users of the
+ * library interact with. An Experiment binds an SSD configuration
+ * (policy + wear state) to a workload and produces the statistics the
+ * paper's figures report; helpers sweep policies and P/E cycles the way
+ * the evaluation section does.
+ */
+
+#ifndef RIF_CORE_EXPERIMENT_H
+#define RIF_CORE_EXPERIMENT_H
+
+#include <string>
+#include <vector>
+
+#include "ssd/ssd.h"
+#include "trace/trace.h"
+
+namespace rif {
+
+/** Workload scale knobs shared by benches, examples and tests. */
+struct RunScale
+{
+    std::uint64_t requests = 20000; ///< trace length per run
+    std::uint64_t seed = 99;
+};
+
+/** One (policy, P/E, workload) simulation outcome. */
+struct RunResult
+{
+    std::string workload;
+    ssd::PolicyKind policy = ssd::PolicyKind::Rif;
+    double peCycles = 0.0;
+    ssd::SsdStats stats;
+
+    double bandwidthMBps() const { return stats.ioBandwidthMBps(); }
+};
+
+/** Facade for configuring and running simulations. */
+class Experiment
+{
+  public:
+    /** Start from the paper's Table I defaults. */
+    Experiment();
+
+    /** Access and adjust the underlying configuration. */
+    ssd::SsdConfig &config() { return config_; }
+    const ssd::SsdConfig &config() const { return config_; }
+
+    /** Select the read-retry policy. */
+    Experiment &withPolicy(ssd::PolicyKind policy);
+
+    /** Set the wear operating point. */
+    Experiment &withPeCycles(double pe);
+
+    /** Run a named paper workload (Table II). */
+    RunResult run(const std::string &workload_name,
+                  const RunScale &scale = RunScale{}) const;
+
+    /** Run any trace source. */
+    RunResult run(trace::TraceSource &source,
+                  const std::string &label = "custom") const;
+
+    /**
+     * Multi-tenant run: each spec becomes one host submission queue on
+     * its own LBA partition (see Ssd::runMultiQueue). Per-tenant read
+     * latencies are in stats.queueReadLatencyUs, indexed like `specs`.
+     */
+    RunResult runMultiTenant(
+        const std::vector<trace::WorkloadSpec> &specs,
+        const RunScale &scale = RunScale{}) const;
+
+    /**
+     * The paper's main sweep (Fig. 17): every policy in `policies` on
+     * one workload at one P/E point.
+     */
+    std::vector<RunResult> sweepPolicies(
+        const std::string &workload_name,
+        const std::vector<ssd::PolicyKind> &policies,
+        const RunScale &scale = RunScale{}) const;
+
+  private:
+    ssd::SsdConfig config_;
+};
+
+/** Library version string. */
+const char *versionString();
+
+} // namespace rif
+
+#endif // RIF_CORE_EXPERIMENT_H

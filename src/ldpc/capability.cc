@@ -1,0 +1,90 @@
+#include "ldpc/capability.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "ldpc/channel.h"
+
+namespace rif {
+namespace ldpc {
+
+CapabilitySweepConfig
+defaultSweep()
+{
+    CapabilitySweepConfig cfg;
+    for (int i = 1; i <= 16; ++i)
+        cfg.rbers.push_back(static_cast<double>(i) * 1e-3);
+    return cfg;
+}
+
+std::vector<CapabilityPoint>
+measureCapability(const QcLdpcCode &code, const MinSumDecoder &decoder,
+                  const CapabilitySweepConfig &config)
+{
+    RIF_ASSERT(config.trials > 0);
+    Rng rng(config.seed);
+    std::vector<CapabilityPoint> out;
+    out.reserve(config.rbers.size());
+
+    for (double rber : config.rbers) {
+        CapabilityPoint pt;
+        pt.rber = rber;
+        std::uint64_t failures = 0;
+        double iter_sum = 0.0;
+        double sw_sum = 0.0;
+        double psw_sum = 0.0;
+        for (int trial = 0; trial < config.trials; ++trial) {
+            HardWord data = randomData(code.params().k(), rng);
+            HardWord word = code.encode(data);
+            injectErrors(word, rber, rng);
+            sw_sum += static_cast<double>(code.syndromeWeight(word));
+            psw_sum +=
+                static_cast<double>(code.prunedSyndromeWeight(word));
+            const DecodeResult res = decoder.decode(word, rber);
+            if (!res.success)
+                ++failures;
+            iter_sum += res.iterations;
+        }
+        const auto n = static_cast<double>(config.trials);
+        pt.failureProbability = static_cast<double>(failures) / n;
+        pt.avgIterations = iter_sum / n;
+        pt.avgSyndromeWeight = sw_sum / n;
+        pt.avgPrunedSyndromeWeight = psw_sum / n;
+        out.push_back(pt);
+    }
+    return out;
+}
+
+double
+estimateCapability(const std::vector<CapabilityPoint> &points,
+                   double failure_threshold)
+{
+    for (const auto &pt : points)
+        if (pt.failureProbability >= failure_threshold)
+            return pt.rber;
+    return 0.0;
+}
+
+double
+syndromeWeightAt(const std::vector<CapabilityPoint> &points, double rber,
+                 bool pruned)
+{
+    RIF_ASSERT(!points.empty());
+    auto value = [&](const CapabilityPoint &pt) {
+        return pruned ? pt.avgPrunedSyndromeWeight : pt.avgSyndromeWeight;
+    };
+    if (rber <= points.front().rber)
+        return value(points.front());
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        if (rber <= points[i].rber) {
+            const auto &a = points[i - 1];
+            const auto &b = points[i];
+            const double f = (rber - a.rber) / (b.rber - a.rber);
+            return value(a) + f * (value(b) - value(a));
+        }
+    }
+    return value(points.back());
+}
+
+} // namespace ldpc
+} // namespace rif

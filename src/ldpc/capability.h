@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Monte-Carlo measurement of a code's error-correction behaviour: failure
+ * probability and average iteration count as functions of RBER (Fig. 3),
+ * and the syndrome-weight-vs-RBER correlation the RP module exploits
+ * (Fig. 10). Results feed both the benches and the SSD simulator's tECC
+ * model.
+ */
+
+#ifndef RIF_LDPC_CAPABILITY_H
+#define RIF_LDPC_CAPABILITY_H
+
+#include <vector>
+
+#include "common/rng.h"
+#include "ldpc/code.h"
+#include "ldpc/decoder.h"
+
+namespace rif {
+namespace ldpc {
+
+/** One RBER operating point of the capability sweep. */
+struct CapabilityPoint
+{
+    double rber = 0.0;
+    double failureProbability = 0.0;
+    double avgIterations = 0.0;
+    double avgSyndromeWeight = 0.0;       ///< full H, one codeword
+    double avgPrunedSyndromeWeight = 0.0; ///< first t rows only
+};
+
+/** Configuration of a capability sweep. */
+struct CapabilitySweepConfig
+{
+    std::vector<double> rbers;  ///< operating points
+    int trials = 100;           ///< codewords per point
+    std::uint64_t seed = 7;
+};
+
+/** Default sweep: RBER 1e-3 .. 16e-3 (the paper's Fig. 3/10 x-axis). */
+CapabilitySweepConfig defaultSweep();
+
+/** Run the sweep with a min-sum decoder. */
+std::vector<CapabilityPoint> measureCapability(
+    const QcLdpcCode &code, const MinSumDecoder &decoder,
+    const CapabilitySweepConfig &config);
+
+/**
+ * Estimate the code's correction capability: the smallest swept RBER whose
+ * failure probability exceeds `failure_threshold` (the paper uses 1e-1 and
+ * reports 0.0085). Returns 0 if no point qualifies.
+ */
+double estimateCapability(const std::vector<CapabilityPoint> &points,
+                          double failure_threshold = 0.1);
+
+/**
+ * Interpolate the average syndrome weight at a given RBER from sweep
+ * results (used to derive the RP threshold rho_s).
+ */
+double syndromeWeightAt(const std::vector<CapabilityPoint> &points,
+                        double rber, bool pruned);
+
+} // namespace ldpc
+} // namespace rif
+
+#endif // RIF_LDPC_CAPABILITY_H

@@ -1,0 +1,63 @@
+#include "ldpc/channel.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace rif {
+namespace ldpc {
+
+HardWord
+randomData(std::size_t k, Rng &rng)
+{
+    HardWord d(k);
+    for (std::size_t i = 0; i < k; i += 64) {
+        std::uint64_t bits = rng.next();
+        const std::size_t lim = std::min<std::size_t>(64, k - i);
+        for (std::size_t b = 0; b < lim; ++b)
+            d[i + b] = (bits >> b) & 1;
+    }
+    return d;
+}
+
+std::size_t
+injectErrors(HardWord &word, double rber, Rng &rng)
+{
+    RIF_ASSERT(rber >= 0.0 && rber <= 1.0);
+    if (rber == 0.0)
+        return 0;
+    // Sample the gap between errors geometrically instead of testing each
+    // bit: at RBER ~1e-2 over 36k bits this is ~300 draws, not 36k.
+    std::size_t flipped = 0;
+    const double denom = std::log1p(-rber);
+    std::size_t i = 0;
+    while (true) {
+        double u = 0.0;
+        while (u <= 1e-300)
+            u = rng.uniform();
+        const auto gap =
+            static_cast<std::size_t>(std::log(u) / denom);
+        i += gap;
+        if (i >= word.size())
+            break;
+        word[i] ^= 1;
+        ++flipped;
+        ++i;
+    }
+    return flipped;
+}
+
+void
+injectExactErrors(HardWord &word, std::size_t count, Rng &rng)
+{
+    RIF_ASSERT(count <= word.size());
+    std::unordered_set<std::size_t> chosen;
+    while (chosen.size() < count) {
+        const std::size_t i = rng.below(word.size());
+        if (chosen.insert(i).second)
+            word[i] ^= 1;
+    }
+}
+
+} // namespace ldpc
+} // namespace rif

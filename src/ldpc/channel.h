@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Binary-symmetric-channel error injection used by the Monte-Carlo
+ * capability and RP-accuracy experiments.
+ */
+
+#ifndef RIF_LDPC_CHANNEL_H
+#define RIF_LDPC_CHANNEL_H
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "ldpc/code.h"
+
+namespace rif {
+namespace ldpc {
+
+/** Generate k random data bits. */
+HardWord randomData(std::size_t k, Rng &rng);
+
+/**
+ * Flip each bit independently with probability rber (a BSC). Returns the
+ * number of bits actually flipped.
+ */
+std::size_t injectErrors(HardWord &word, double rber, Rng &rng);
+
+/**
+ * Flip exactly `count` distinct bits chosen uniformly (fixed-weight error
+ * pattern, useful for controlled sweeps).
+ */
+void injectExactErrors(HardWord &word, std::size_t count, Rng &rng);
+
+} // namespace ldpc
+} // namespace rif
+
+#endif // RIF_LDPC_CHANNEL_H

@@ -1,0 +1,242 @@
+#include "ldpc/code.h"
+
+#include <set>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace rif {
+namespace ldpc {
+
+CodeParams
+paperCode()
+{
+    return CodeParams{};
+}
+
+CodeParams
+testCode()
+{
+    CodeParams p;
+    p.circulant = 64;
+    return p;
+}
+
+QcLdpcCode::QcLdpcCode(const CodeParams &params)
+    : params_(params)
+{
+    RIF_ASSERT(params_.blockRows >= 2 && params_.blockCols > params_.blockRows);
+    RIF_ASSERT(params_.circulant >= 4);
+    chooseShifts();
+    buildAdjacency();
+}
+
+int
+QcLdpcCode::shift(int i, int j) const
+{
+    return shifts_[static_cast<std::size_t>(i) * params_.dataBlocks() + j];
+}
+
+void
+QcLdpcCode::chooseShifts()
+{
+    const int r = params_.blockRows;
+    const int d = params_.dataBlocks();
+    const int t = params_.circulant;
+    shifts_.assign(static_cast<std::size_t>(r) * d, 0);
+
+    Rng rng(params_.seed);
+
+    // For each unordered block-row pair (i1, i2), the set of shift
+    // differences C[i1][j] - C[i2][j] (mod t) seen so far. Two block
+    // columns with an equal difference for some row pair create a
+    // length-4 cycle in the Tanner graph, which harms min-sum badly.
+    // The bidiagonal parity columns contribute difference 0 for each
+    // adjacent row pair, so 0 is pre-reserved there.
+    std::vector<std::set<int>> used;
+    used.resize(static_cast<std::size_t>(r) * r);
+    auto diffsAt = [&](int i1, int i2) -> std::set<int> & {
+        return used[static_cast<std::size_t>(i1) * r + i2];
+    };
+    for (int i = 0; i + 1 < r; ++i)
+        diffsAt(i, i + 1).insert(0);
+
+    for (int j = 0; j < d; ++j) {
+        for (int attempt = 0;; ++attempt) {
+            RIF_ASSERT(attempt < 10000,
+                       "girth-4-free shift search failed; circulant too small");
+            std::vector<int> cand(static_cast<std::size_t>(r));
+            for (int i = 0; i < r; ++i)
+                cand[i] = static_cast<int>(rng.below(
+                    static_cast<std::uint64_t>(t)));
+            bool ok = true;
+            for (int i1 = 0; i1 < r && ok; ++i1) {
+                for (int i2 = i1 + 1; i2 < r && ok; ++i2) {
+                    const int diff =
+                        ((cand[i1] - cand[i2]) % t + t) % t;
+                    if (diffsAt(i1, i2).count(diff))
+                        ok = false;
+                }
+            }
+            if (!ok)
+                continue;
+            for (int i1 = 0; i1 < r; ++i1) {
+                for (int i2 = i1 + 1; i2 < r; ++i2) {
+                    const int diff =
+                        ((cand[i1] - cand[i2]) % t + t) % t;
+                    diffsAt(i1, i2).insert(diff);
+                }
+            }
+            for (int i = 0; i < r; ++i)
+                shifts_[static_cast<std::size_t>(i) * d + j] = cand[i];
+            break;
+        }
+    }
+}
+
+void
+QcLdpcCode::buildAdjacency()
+{
+    const int r = params_.blockRows;
+    const int d = params_.dataBlocks();
+    const int t = params_.circulant;
+    const std::size_t k = params_.k();
+
+    chkStart_.assign(params_.m() + 1, 0);
+    // Row degree: d data circulants + 1 or 2 parity identities.
+    std::size_t edges = 0;
+    for (int i = 0; i < r; ++i) {
+        const std::size_t deg =
+            static_cast<std::size_t>(d) + (i == 0 ? 1 : 2);
+        edges += deg * static_cast<std::size_t>(t);
+    }
+    edgeVar_.reserve(edges);
+
+    for (int i = 0; i < r; ++i) {
+        for (int a = 0; a < t; ++a) {
+            const std::size_t m = static_cast<std::size_t>(i) * t + a;
+            chkStart_[m] = static_cast<std::uint32_t>(edgeVar_.size());
+            for (int j = 0; j < d; ++j) {
+                const int c = shift(i, j);
+                const int b = (a + c) % t;
+                edgeVar_.push_back(static_cast<std::uint32_t>(
+                    static_cast<std::size_t>(j) * t + b));
+            }
+            // Parity block i (always) and parity block i-1 (for i > 0).
+            edgeVar_.push_back(static_cast<std::uint32_t>(
+                k + static_cast<std::size_t>(i) * t + a));
+            if (i > 0) {
+                edgeVar_.push_back(static_cast<std::uint32_t>(
+                    k + static_cast<std::size_t>(i - 1) * t + a));
+            }
+        }
+    }
+    chkStart_[params_.m()] = static_cast<std::uint32_t>(edgeVar_.size());
+}
+
+HardWord
+QcLdpcCode::encode(const HardWord &data) const
+{
+    RIF_ASSERT(data.size() == params_.k());
+    const int r = params_.blockRows;
+    const int d = params_.dataBlocks();
+    const int t = params_.circulant;
+
+    HardWord word(params_.n(), 0);
+    std::copy(data.begin(), data.end(), word.begin());
+
+    // Partial syndromes of the data part, per block row.
+    std::vector<HardWord> sd(static_cast<std::size_t>(r),
+                             HardWord(static_cast<std::size_t>(t), 0));
+    for (int i = 0; i < r; ++i) {
+        for (int j = 0; j < d; ++j) {
+            const int c = shift(i, j);
+            const std::size_t base = static_cast<std::size_t>(j) * t;
+            for (int a = 0; a < t; ++a)
+                sd[i][a] ^= data[base + (a + c) % t];
+        }
+    }
+
+    // Back-substitution through the bidiagonal parity part:
+    // p0 = sd0, pk = sdk ^ p(k-1).
+    const std::size_t k = params_.k();
+    HardWord prev(static_cast<std::size_t>(t), 0);
+    for (int i = 0; i < r; ++i) {
+        for (int a = 0; a < t; ++a) {
+            const std::uint8_t p = sd[i][a] ^ prev[a];
+            word[k + static_cast<std::size_t>(i) * t + a] = p;
+            prev[a] = p;
+        }
+    }
+    return word;
+}
+
+HardWord
+QcLdpcCode::syndrome(const HardWord &word) const
+{
+    RIF_ASSERT(word.size() == params_.n());
+    HardWord s(params_.m(), 0);
+    for (std::size_t m = 0; m < params_.m(); ++m) {
+        std::uint8_t acc = 0;
+        for (std::uint32_t e = chkStart_[m]; e < chkStart_[m + 1]; ++e)
+            acc ^= word[edgeVar_[e]];
+        s[m] = acc;
+    }
+    return s;
+}
+
+std::size_t
+QcLdpcCode::syndromeWeight(const HardWord &word) const
+{
+    std::size_t w = 0;
+    for (std::size_t m = 0; m < params_.m(); ++m) {
+        std::uint8_t acc = 0;
+        for (std::uint32_t e = chkStart_[m]; e < chkStart_[m + 1]; ++e)
+            acc ^= word[edgeVar_[e]];
+        w += acc;
+    }
+    return w;
+}
+
+std::size_t
+QcLdpcCode::prunedSyndromeWeight(const HardWord &word) const
+{
+    const std::size_t t = static_cast<std::size_t>(params_.circulant);
+    std::size_t w = 0;
+    for (std::size_t m = 0; m < t; ++m) {
+        std::uint8_t acc = 0;
+        for (std::uint32_t e = chkStart_[m]; e < chkStart_[m + 1]; ++e)
+            acc ^= word[edgeVar_[e]];
+        w += acc;
+    }
+    return w;
+}
+
+bool
+QcLdpcCode::isCodeword(const HardWord &word) const
+{
+    return syndromeWeight(word) == 0;
+}
+
+BitVec
+toBitVec(const HardWord &w)
+{
+    BitVec v(w.size());
+    for (std::size_t i = 0; i < w.size(); ++i)
+        if (w[i])
+            v.set(i, true);
+    return v;
+}
+
+HardWord
+toHardWord(const BitVec &v)
+{
+    HardWord w(v.size(), 0);
+    for (std::size_t i = 0; i < v.size(); ++i)
+        w[i] = v.get(i) ? 1 : 0;
+    return w;
+}
+
+} // namespace ldpc
+} // namespace rif

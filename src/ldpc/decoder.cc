@@ -1,0 +1,288 @@
+#include "ldpc/decoder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rif {
+namespace ldpc {
+
+namespace {
+
+/** Build variable-major edge grouping from the code's check-major lists. */
+void
+buildVarAdjacency(const QcLdpcCode &code,
+                  std::vector<std::uint32_t> &var_edge,
+                  std::vector<std::uint32_t> &var_start,
+                  std::vector<std::uint32_t> &edge_chk)
+{
+    const auto &ev = code.checkAdjacency();
+    const auto &cs = code.checkOffsets();
+    const std::size_t n = code.params().n();
+    const std::size_t m = code.params().m();
+    const std::size_t edges = ev.size();
+
+    edge_chk.resize(edges);
+    for (std::size_t chk = 0; chk < m; ++chk)
+        for (std::uint32_t e = cs[chk]; e < cs[chk + 1]; ++e)
+            edge_chk[e] = static_cast<std::uint32_t>(chk);
+
+    std::vector<std::uint32_t> degree(n, 0);
+    for (std::size_t e = 0; e < edges; ++e)
+        ++degree[ev[e]];
+
+    var_start.assign(n + 1, 0);
+    for (std::size_t v = 0; v < n; ++v)
+        var_start[v + 1] = var_start[v] + degree[v];
+
+    var_edge.resize(edges);
+    std::vector<std::uint32_t> cursor(var_start.begin(),
+                                      var_start.end() - 1);
+    for (std::size_t e = 0; e < edges; ++e)
+        var_edge[cursor[ev[e]]++] = static_cast<std::uint32_t>(e);
+}
+
+} // namespace
+
+MinSumDecoder::MinSumDecoder(const QcLdpcCode &code, int max_iterations,
+                             float alpha)
+    : code_(code), maxIterations_(max_iterations), alpha_(alpha)
+{
+    RIF_ASSERT(max_iterations > 0);
+    buildVarAdjacency(code_, varEdge_, varStart_, edgeChk_);
+}
+
+DecodeResult
+MinSumDecoder::decode(const HardWord &received, double channel_rber) const
+{
+    const auto &params = code_.params();
+    RIF_ASSERT(received.size() == params.n());
+
+    const std::size_t n = params.n();
+    const std::size_t m = params.m();
+    const auto &ev = code_.checkAdjacency();
+    const auto &cs = code_.checkOffsets();
+    const std::size_t edges = ev.size();
+
+    const double p = std::clamp(channel_rber, 1e-6, 0.49);
+    const float llr0 = static_cast<float>(std::log((1.0 - p) / p));
+
+    std::vector<float> chan(n);
+    for (std::size_t v = 0; v < n; ++v)
+        chan[v] = received[v] ? -llr0 : llr0;
+
+    std::vector<float> v2c(edges);
+    std::vector<float> c2v(edges, 0.0f);
+    for (std::size_t e = 0; e < edges; ++e)
+        v2c[e] = chan[ev[e]];
+
+    HardWord hard = received;
+    DecodeResult result;
+
+    for (int iter = 1; iter <= maxIterations_; ++iter) {
+        // Check-node pass: normalized min-sum with the two-min trick.
+        for (std::size_t chk = 0; chk < m; ++chk) {
+            const std::uint32_t lo = cs[chk];
+            const std::uint32_t hi = cs[chk + 1];
+            float min1 = 1e30f, min2 = 1e30f;
+            std::uint32_t min_e = lo;
+            int sign = 1;
+            for (std::uint32_t e = lo; e < hi; ++e) {
+                const float v = v2c[e];
+                const float mag = std::fabs(v);
+                if (v < 0.0f)
+                    sign = -sign;
+                if (mag < min1) {
+                    min2 = min1;
+                    min1 = mag;
+                    min_e = e;
+                } else if (mag < min2) {
+                    min2 = mag;
+                }
+            }
+            for (std::uint32_t e = lo; e < hi; ++e) {
+                const float mag = (e == min_e) ? min2 : min1;
+                float s = static_cast<float>(sign);
+                if (v2c[e] < 0.0f)
+                    s = -s;
+                c2v[e] = alpha_ * s * mag;
+            }
+        }
+
+        // Variable-node pass and hard decision.
+        for (std::size_t v = 0; v < n; ++v) {
+            float total = chan[v];
+            for (std::uint32_t i = varStart_[v]; i < varStart_[v + 1]; ++i)
+                total += c2v[varEdge_[i]];
+            for (std::uint32_t i = varStart_[v]; i < varStart_[v + 1]; ++i) {
+                const std::uint32_t e = varEdge_[i];
+                v2c[e] = total - c2v[e];
+            }
+            hard[v] = total < 0.0f ? 1 : 0;
+        }
+
+        result.iterations = iter;
+        if (code_.isCodeword(hard)) {
+            result.success = true;
+            result.word = std::move(hard);
+            return result;
+        }
+    }
+
+    result.success = false;
+    return result;
+}
+
+LayeredMinSumDecoder::LayeredMinSumDecoder(const QcLdpcCode &code,
+                                           int max_iterations, float alpha)
+    : code_(code), maxIterations_(max_iterations), alpha_(alpha)
+{
+    RIF_ASSERT(max_iterations > 0);
+}
+
+DecodeResult
+LayeredMinSumDecoder::decode(const HardWord &received,
+                             double channel_rber) const
+{
+    const auto &params = code_.params();
+    RIF_ASSERT(received.size() == params.n());
+
+    const std::size_t n = params.n();
+    const auto t = static_cast<std::size_t>(params.circulant);
+    const int layers = params.blockRows;
+    const auto &ev = code_.checkAdjacency();
+    const auto &cs = code_.checkOffsets();
+
+    const double p = std::clamp(channel_rber, 1e-6, 0.49);
+    const float llr0 = static_cast<float>(std::log((1.0 - p) / p));
+
+    std::vector<float> posterior(n);
+    for (std::size_t v = 0; v < n; ++v)
+        posterior[v] = received[v] ? -llr0 : llr0;
+
+    std::vector<float> c2v(ev.size(), 0.0f);
+    HardWord hard = received;
+    DecodeResult result;
+
+    for (int iter = 1; iter <= maxIterations_; ++iter) {
+        for (int layer = 0; layer < layers; ++layer) {
+            const std::size_t m0 = static_cast<std::size_t>(layer) * t;
+            for (std::size_t m = m0; m < m0 + t; ++m) {
+                const std::uint32_t lo = cs[m];
+                const std::uint32_t hi = cs[m + 1];
+                // Peel the old check message to get fresh v2c inputs.
+                float min1 = 1e30f, min2 = 1e30f;
+                std::uint32_t min_e = lo;
+                int sign = 1;
+                for (std::uint32_t e = lo; e < hi; ++e) {
+                    const float v2c = posterior[ev[e]] - c2v[e];
+                    const float mag = std::fabs(v2c);
+                    if (v2c < 0.0f)
+                        sign = -sign;
+                    if (mag < min1) {
+                        min2 = min1;
+                        min1 = mag;
+                        min_e = e;
+                    } else if (mag < min2) {
+                        min2 = mag;
+                    }
+                }
+                for (std::uint32_t e = lo; e < hi; ++e) {
+                    const float v2c = posterior[ev[e]] - c2v[e];
+                    const float mag = (e == min_e) ? min2 : min1;
+                    float s = static_cast<float>(sign);
+                    if (v2c < 0.0f)
+                        s = -s;
+                    const float updated = alpha_ * s * mag;
+                    posterior[ev[e]] += updated - c2v[e];
+                    c2v[e] = updated;
+                }
+            }
+        }
+
+        for (std::size_t v = 0; v < n; ++v)
+            hard[v] = posterior[v] < 0.0f ? 1 : 0;
+        result.iterations = iter;
+        if (code_.isCodeword(hard)) {
+            result.success = true;
+            result.word = std::move(hard);
+            return result;
+        }
+    }
+
+    result.success = false;
+    return result;
+}
+
+BitFlipDecoder::BitFlipDecoder(const QcLdpcCode &code, int max_iterations)
+    : code_(code), maxIterations_(max_iterations)
+{
+    RIF_ASSERT(max_iterations > 0);
+    buildVarAdjacency(code_, varEdge_, varStart_, edgeChk_);
+}
+
+DecodeResult
+BitFlipDecoder::decode(const HardWord &received) const
+{
+    const auto &params = code_.params();
+    RIF_ASSERT(received.size() == params.n());
+    const std::size_t n = params.n();
+
+    HardWord word = received;
+    DecodeResult result;
+
+    for (int iter = 1; iter <= maxIterations_; ++iter) {
+        HardWord synd = code_.syndrome(word);
+        result.iterations = iter;
+
+        bool any_unsat = false;
+        for (std::uint8_t s : synd) {
+            if (s) {
+                any_unsat = true;
+                break;
+            }
+        }
+        if (!any_unsat) {
+            result.success = true;
+            result.word = std::move(word);
+            return result;
+        }
+
+        bool flipped = false;
+        std::size_t worst_var = 0;
+        int worst_unsat = 0;
+        for (std::size_t v = 0; v < n; ++v) {
+            const std::uint32_t lo = varStart_[v];
+            const std::uint32_t hi = varStart_[v + 1];
+            int unsat = 0;
+            for (std::uint32_t i = lo; i < hi; ++i)
+                unsat += synd[edgeChk_[varEdge_[i]]];
+            if (unsat > worst_unsat) {
+                worst_unsat = unsat;
+                worst_var = v;
+            }
+            // Gallager-B majority rule.
+            if (2 * unsat > static_cast<int>(hi - lo)) {
+                word[v] ^= 1;
+                flipped = true;
+            }
+        }
+        if (!flipped) {
+            // No strict majority anywhere (a trapping set): flip the
+            // single most-violated bit to keep descending.
+            if (worst_unsat == 0)
+                break;
+            word[worst_var] ^= 1;
+        }
+    }
+
+    if (code_.isCodeword(word)) {
+        result.success = true;
+        result.word = std::move(word);
+    }
+    return result;
+}
+
+} // namespace ldpc
+} // namespace rif

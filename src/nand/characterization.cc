@@ -1,0 +1,95 @@
+#include "nand/characterization.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rif {
+namespace nand {
+
+BlockPopulation::BlockPopulation(const RberModel &model,
+                                 const CharacterizationConfig &config)
+    : model_(model)
+{
+    RIF_ASSERT(config.chips > 0 && config.blocksPerChip > 0);
+    Rng rng(config.seed);
+    factors_.reserve(static_cast<std::size_t>(config.chips) *
+                     config.blocksPerChip);
+    for (int chip = 0; chip < config.chips; ++chip) {
+        const double chip_factor = rng.lognormal(0.0, config.chipSigma);
+        for (int blk = 0; blk < config.blocksPerChip; ++blk)
+            factors_.push_back(chip_factor * model_.sampleBlockFactor(rng));
+    }
+}
+
+std::vector<double>
+BlockPopulation::retentionThresholds(double pe) const
+{
+    std::vector<double> out;
+    out.reserve(factors_.size());
+    for (double f : factors_) {
+        double sum = 0.0;
+        for (int t = 0; t < kPageTypes; ++t) {
+            sum += model_.retentionUntilCapability(
+                pe, static_cast<PageType>(t), f);
+        }
+        out.push_back(sum / kPageTypes);
+    }
+    return out;
+}
+
+double
+BlockPopulation::proportionCrossingAtDay(double pe, int day) const
+{
+    const auto thresholds = retentionThresholds(pe);
+    std::uint64_t in_bin = 0;
+    for (double d : thresholds) {
+        if (d >= static_cast<double>(day) &&
+            d < static_cast<double>(day + 1)) {
+            ++in_bin;
+        }
+    }
+    return static_cast<double>(in_bin) /
+           static_cast<double>(thresholds.size());
+}
+
+ChunkSimilarity
+measureChunkSimilarity(double page_rber, std::uint64_t page_bytes,
+                       std::uint64_t chunk_bytes, int pages,
+                       double chunk_sigma, Rng &rng)
+{
+    RIF_ASSERT(chunk_bytes > 0 && page_bytes % chunk_bytes == 0);
+    RIF_ASSERT(page_rber > 0.0 && page_rber < 1.0);
+    const auto chunks = page_bytes / chunk_bytes;
+    const double chunk_bits = static_cast<double>(chunk_bytes) * 8.0;
+
+    ChunkSimilarity out;
+    out.chunkBytes = chunk_bytes;
+    double spread_sum = 0.0;
+
+    for (int p = 0; p < pages; ++p) {
+        double rmax = 0.0, rmin = 1.0;
+        for (std::uint64_t c = 0; c < chunks; ++c) {
+            // Systematic per-chunk factor (process similarity keeps it
+            // tight) plus binomial sampling noise, approximated by a
+            // Gaussian at these error counts (hundreds per chunk).
+            const double factor = rng.lognormal(0.0, chunk_sigma);
+            const double mean_errors = page_rber * factor * chunk_bits;
+            const double noisy = std::max(
+                0.0,
+                rng.gaussian(mean_errors, std::sqrt(mean_errors)));
+            const double chunk_rber = noisy / chunk_bits;
+            rmax = std::max(rmax, chunk_rber);
+            rmin = std::min(rmin, chunk_rber);
+        }
+        const double spread = rmax > 0.0 ? (rmax - rmin) / rmax : 0.0;
+        out.maxSpread = std::max(out.maxSpread, spread);
+        spread_sum += spread;
+    }
+    out.meanSpread = spread_sum / std::max(pages, 1);
+    return out;
+}
+
+} // namespace nand
+} // namespace rif

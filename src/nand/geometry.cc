@@ -1,0 +1,19 @@
+#include "nand/geometry.h"
+
+namespace rif {
+namespace nand {
+
+Geometry
+tinyGeometry()
+{
+    Geometry g;
+    g.channels = 1;
+    g.diesPerChannel = 2;
+    g.planesPerDie = 4;
+    g.blocksPerPlane = 32;
+    g.pagesPerBlock = 64;
+    return g;
+}
+
+} // namespace nand
+} // namespace rif

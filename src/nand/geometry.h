@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Structural description of the simulated SSD's flash array (Table I of
+ * the paper) and physical page addressing.
+ */
+
+#ifndef RIF_NAND_GEOMETRY_H
+#define RIF_NAND_GEOMETRY_H
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace rif {
+namespace nand {
+
+/** TLC page types; each is read with a different VREF subset. */
+enum class PageType
+{
+    Lsb = 0,
+    Csb = 1,
+    Msb = 2,
+};
+
+constexpr int kPageTypes = 3;
+
+/** Flash array geometry (defaults follow the paper's Table I). */
+struct Geometry
+{
+    int channels = 8;
+    int diesPerChannel = 4;
+    int planesPerDie = 4;
+    int blocksPerPlane = 1888;
+    int pagesPerBlock = 576;
+    std::uint64_t pageBytes = 16 * kKiB;
+    int codewordsPerPage = 4; ///< 4-KiB payload codewords per page
+
+    std::uint64_t
+    totalDies() const
+    {
+        return static_cast<std::uint64_t>(channels) * diesPerChannel;
+    }
+    std::uint64_t
+    totalPlanes() const
+    {
+        return totalDies() * planesPerDie;
+    }
+    std::uint64_t
+    pagesPerPlane() const
+    {
+        return static_cast<std::uint64_t>(blocksPerPlane) * pagesPerBlock;
+    }
+    std::uint64_t
+    totalPages() const
+    {
+        return totalPlanes() * pagesPerPlane();
+    }
+    std::uint64_t
+    capacityBytes() const
+    {
+        return totalPages() * pageBytes;
+    }
+};
+
+/** A small geometry for tests and timeline studies. */
+Geometry tinyGeometry();
+
+/** Physical page address. */
+struct PhysAddr
+{
+    int channel = 0;
+    int die = 0;
+    int plane = 0;
+    int block = 0;
+    int page = 0;
+
+    bool
+    operator==(const PhysAddr &o) const
+    {
+        return channel == o.channel && die == o.die && plane == o.plane &&
+               block == o.block && page == o.page;
+    }
+};
+
+/** Page type from page index within a block (simple striped layout). */
+constexpr PageType
+pageTypeOf(int page_in_block)
+{
+    return static_cast<PageType>(page_in_block % kPageTypes);
+}
+
+/** NAND operation latencies (Table I), in simulation ticks. */
+struct Timing
+{
+    Tick tR = usToTicks(40.0);       ///< page sense
+    Tick tProg = usToTicks(400.0);   ///< page program
+    Tick tErase = usToTicks(3500.0); ///< block erase
+    Tick tDmaPage = usToTicks(13.0); ///< 16-KiB page over 1.2 GB/s channel
+    Tick tPred = usToTicks(2.5);     ///< ODEAR RP prediction (4-KiB chunk)
+    Tick tEccMin = usToTicks(1.0);   ///< best-case page decode
+    Tick tEccMax = usToTicks(20.0);  ///< failed / max-iteration decode
+};
+
+} // namespace nand
+} // namespace rif
+
+#endif // RIF_NAND_GEOMETRY_H

@@ -1,0 +1,154 @@
+#include "nand/rber_model.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rif {
+namespace nand {
+
+RberModel::RberModel(const RberParams &params)
+    : params_(params)
+{
+}
+
+double
+RberModel::rber(double pe, double ret_days, std::uint64_t reads) const
+{
+    RIF_ASSERT(pe >= 0.0 && ret_days >= 0.0);
+    const auto &p = params_;
+    const double pe_k = pe / 1000.0;
+    const double base = p.peBase + p.peCoeff * std::pow(pe_k, p.peExp);
+    const double ret = p.retCoeff * (1.0 + p.retPeScale * pe_k) *
+                       std::pow(ret_days, p.retExp);
+    const double disturb =
+        p.readCoeff * static_cast<double>(reads) * (1.0 + pe_k);
+    return base + ret + disturb;
+}
+
+double
+RberModel::rber(double pe, double ret_days, std::uint64_t reads,
+                PageType type, double block_factor) const
+{
+    return rber(pe, ret_days, reads) *
+           params_.typeFactor[static_cast<int>(type)] * block_factor;
+}
+
+double
+RberModel::rberAfterRetry(double first_rber) const
+{
+    // Re-reading at near-optimal VREF removes the retention-shift
+    // component; what remains is roughly the wear baseline.
+    return first_rber * params_.optimalVrefFactor;
+}
+
+bool
+RberModel::exceedsCapability(double rber_value) const
+{
+    return rber_value > params_.capability;
+}
+
+double
+RberModel::retentionUntilCapability(double pe, PageType type,
+                                    double block_factor) const
+{
+    const double cap = params_.capability;
+    if (rber(pe, 0.0, 0, type, block_factor) >= cap)
+        return 0.0;
+    double lo = 0.0, hi = 1.0;
+    while (rber(pe, hi, 0, type, block_factor) < cap) {
+        hi *= 2.0;
+        if (hi > 4096.0)
+            return hi; // never crosses within any realistic window
+    }
+    for (int i = 0; i < 60; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (rber(pe, mid, 0, type, block_factor) < cap)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+double
+RberModel::sampleBlockFactor(Rng &rng) const
+{
+    // Median 1.0: lognormal with mu = 0.
+    return rng.lognormal(0.0, params_.blockSigma);
+}
+
+BlockRberTable::BlockRberTable(const RberModel &model, double block_factor,
+                               std::vector<double> pe_points,
+                               std::vector<double> ret_points)
+    : blockFactor_(block_factor),
+      readCoeff_(model.params().readCoeff),
+      pePoints_(std::move(pe_points)),
+      retPoints_(std::move(ret_points))
+{
+    RIF_ASSERT(pePoints_.size() >= 2 && retPoints_.size() >= 2);
+    for (int t = 0; t < kPageTypes; ++t) {
+        values_[t].resize(pePoints_.size() * retPoints_.size());
+        for (std::size_t pi = 0; pi < pePoints_.size(); ++pi) {
+            for (std::size_t ri = 0; ri < retPoints_.size(); ++ri) {
+                values_[t][pi * retPoints_.size() + ri] =
+                    model.rber(pePoints_[pi], retPoints_[ri], 0,
+                               static_cast<PageType>(t), blockFactor_);
+            }
+        }
+    }
+}
+
+double
+BlockRberTable::gridAt(std::size_t pi, std::size_t ri, PageType type) const
+{
+    return values_[static_cast<int>(type)][pi * retPoints_.size() + ri];
+}
+
+double
+BlockRberTable::lookup(double pe, double ret_days, PageType type,
+                       std::uint64_t reads) const
+{
+    auto locate = [](const std::vector<double> &knots, double x,
+                     std::size_t &idx, double &frac) {
+        if (x <= knots.front()) {
+            idx = 0;
+            frac = 0.0;
+            return;
+        }
+        if (x >= knots.back()) {
+            idx = knots.size() - 2;
+            frac = 1.0;
+            return;
+        }
+        for (std::size_t i = 1; i < knots.size(); ++i) {
+            if (x <= knots[i]) {
+                idx = i - 1;
+                frac = (x - knots[i - 1]) / (knots[i] - knots[i - 1]);
+                return;
+            }
+        }
+        idx = knots.size() - 2;
+        frac = 1.0;
+    };
+
+    std::size_t pi, ri;
+    double pf, rf;
+    locate(pePoints_, pe, pi, pf);
+    locate(retPoints_, ret_days, ri, rf);
+
+    const double v00 = gridAt(pi, ri, type);
+    const double v01 = gridAt(pi, ri + 1, type);
+    const double v10 = gridAt(pi + 1, ri, type);
+    const double v11 = gridAt(pi + 1, ri + 1, type);
+    const double v0 = v00 + rf * (v01 - v00);
+    const double v1 = v10 + rf * (v11 - v10);
+    const double base = v0 + pf * (v1 - v0);
+
+    const double disturb = readCoeff_ * static_cast<double>(reads) *
+                           (1.0 + pe / 1000.0) * blockFactor_;
+    return base + disturb;
+}
+
+} // namespace nand
+} // namespace rif

@@ -1,0 +1,64 @@
+#include "nand/vref_table.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rif {
+namespace nand {
+
+VrefSequence::VrefSequence(const VthModel &model, PageType type, double pe,
+                           int steps, double max_days)
+    : model_(model), type_(type)
+{
+    RIF_ASSERT(steps >= 2 && max_days > 0.0);
+    steps_.reserve(static_cast<std::size_t>(steps));
+    for (int k = 0; k < steps; ++k) {
+        VrefStep s;
+        // Step 0 is the factory default; later steps target deeper
+        // retention knots, spaced quadratically because early charge
+        // loss is fastest (§II-A2).
+        const double frac =
+            static_cast<double>(k) / static_cast<double>(steps - 1);
+        s.profiledDays = max_days * frac * frac;
+        if (k == 0) {
+            s.offsetVolts = 0.0;
+        } else {
+            // Profile: the offset minimizing page RBER at this knot,
+            // found by golden-section-style scan over a sane range.
+            double best_off = 0.0;
+            double best_rber = 1.0;
+            for (double off = 0.0; off >= -0.60; off -= 0.01) {
+                const double r =
+                    model_.pageRber(type_, pe, s.profiledDays, off);
+                if (r < best_rber) {
+                    best_rber = r;
+                    best_off = off;
+                }
+            }
+            s.offsetVolts = best_off;
+        }
+        steps_.push_back(s);
+    }
+}
+
+double
+VrefSequence::rberAtStep(int k, double pe, double ret_days) const
+{
+    RIF_ASSERT(k >= 0 && k < size());
+    return model_.pageRber(type_, pe, ret_days, steps_[k].offsetVolts);
+}
+
+int
+VrefSequence::roundsUntilDecodable(double pe, double ret_days,
+                                   double capability) const
+{
+    for (int k = 0; k < size(); ++k) {
+        if (rberAtStep(k, pe, ret_days) <= capability)
+            return k;
+    }
+    return size();
+}
+
+} // namespace nand
+} // namespace rif

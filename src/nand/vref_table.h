@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Manufacturer-style read-retry VREF sequence (paper §II-B2): a
+ * predetermined list of read-voltage offsets the controller steps
+ * through when a decode fails. The table is derived from the V_TH model
+ * by profiling which offsets best serve increasing retention ages —
+ * exactly how vendors build these tables from characterization data.
+ */
+
+#ifndef RIF_NAND_VREF_TABLE_H
+#define RIF_NAND_VREF_TABLE_H
+
+#include <vector>
+
+#include "nand/vth_model.h"
+
+namespace rif {
+namespace nand {
+
+/** One entry of the retry sequence: a common offset for every
+ *  threshold the page type reads (negative = lower voltages). */
+struct VrefStep
+{
+    double offsetVolts = 0.0;
+    /** Retention age (days at the profiling P/E) this step targets. */
+    double profiledDays = 0.0;
+};
+
+/** A profiled read-retry voltage sequence. */
+class VrefSequence
+{
+  public:
+    /**
+     * Profile a sequence against the V_TH model: step k is the offset
+     * minimizing the page RBER at the k-th retention knot.
+     *
+     * @param model V_TH model to profile against
+     * @param type page type the sequence serves
+     * @param pe P/E count used for profiling
+     * @param steps number of entries (typical tables hold 5-10)
+     * @param max_days deepest retention age covered
+     */
+    VrefSequence(const VthModel &model, PageType type, double pe,
+                 int steps, double max_days);
+
+    int size() const { return static_cast<int>(steps_.size()); }
+    const VrefStep &step(int k) const { return steps_.at(k); }
+
+    /**
+     * Page RBER when read with step k's offset at the given wear —
+     * what the conventional retry loop experiences on its k-th retry.
+     */
+    double rberAtStep(int k, double pe, double ret_days) const;
+
+    /**
+     * Number of retry rounds a conventional loop needs until the RBER
+     * drops to or below `capability` (= NRR), or size() if the
+     * sequence is exhausted.
+     */
+    int roundsUntilDecodable(double pe, double ret_days,
+                             double capability) const;
+
+  private:
+    const VthModel &model_;
+    PageType type_;
+    std::vector<VrefStep> steps_;
+};
+
+} // namespace nand
+} // namespace rif
+
+#endif // RIF_NAND_VREF_TABLE_H

@@ -1,0 +1,204 @@
+#include "nand/vth_model.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rif {
+namespace nand {
+
+namespace {
+
+/** Standard normal CDF. */
+double
+phi(double x)
+{
+    return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+/** Gaussian density. */
+double
+density(const StateDist &s, double x)
+{
+    const double z = (x - s.mean) / s.sigma;
+    return std::exp(-0.5 * z * z) / s.sigma;
+}
+
+} // namespace
+
+const std::array<int, 2> &
+lsbThresholds()
+{
+    static const std::array<int, 2> t{1, 5};
+    return t;
+}
+
+const std::array<int, 3> &
+csbThresholds()
+{
+    static const std::array<int, 3> t{2, 4, 6};
+    return t;
+}
+
+const std::array<int, 2> &
+msbThresholds()
+{
+    static const std::array<int, 2> t{3, 7};
+    return t;
+}
+
+VthModel::VthModel(const DistortionParams &params)
+    : params_(params)
+{
+}
+
+std::array<StateDist, kStates>
+VthModel::states(double pe, double ret_days) const
+{
+    RIF_ASSERT(pe >= 0.0 && ret_days >= 0.0);
+    const auto &p = params_;
+    std::array<StateDist, kStates> out;
+
+    const double pe_k = pe / 1000.0;
+    const double sigma_scale = 1.0 + p.sigmaPePerK * pe_k +
+                               p.sigmaRetPerSqrtDay * std::sqrt(ret_days);
+    const double ret_mag = p.retShiftCoeff *
+                           (1.0 + p.retShiftPePerK * pe_k) *
+                           std::pow(ret_days, p.retShiftExp);
+
+    for (int s = 0; s < kStates; ++s) {
+        StateDist d;
+        if (s == 0) {
+            // The erased state gains charge under wear (moves up) but we
+            // model it as stationary: VR1 errors are dominated by P1.
+            d.mean = p.eraseMean;
+            d.sigma = p.eraseSigma * sigma_scale;
+        } else {
+            d.mean = p.firstProgMean + p.stateStep * (s - 1);
+            const double f = p.stateFactorBase +
+                             (1.0 - p.stateFactorBase) * s / 7.0;
+            d.mean -= ret_mag * f;       // retention charge loss
+            d.mean -= p.peShiftPerK * pe_k; // permanent trap-up shift
+            d.sigma = p.progSigma * sigma_scale;
+        }
+        out[s] = d;
+    }
+    return out;
+}
+
+double
+VthModel::defaultVref(int i) const
+{
+    RIF_ASSERT(i >= 1 && i <= kThresholds);
+    const auto fresh = states(0.0, 0.0);
+    // Factory trim: equal-density crossing of the fresh distributions.
+    const StateDist &lo = fresh[i - 1];
+    const StateDist &hi = fresh[i];
+    // For equal sigmas this is the midpoint; erased/P1 needs the full
+    // crossing computation.
+    double a = lo.mean, b = hi.mean;
+    for (int iter = 0; iter < 60; ++iter) {
+        const double mid = 0.5 * (a + b);
+        if (density(lo, mid) > density(hi, mid))
+            a = mid;
+        else
+            b = mid;
+    }
+    return 0.5 * (a + b);
+}
+
+double
+VthModel::optimalVref(int i, double pe, double ret_days) const
+{
+    RIF_ASSERT(i >= 1 && i <= kThresholds);
+    const auto st = states(pe, ret_days);
+    const StateDist &lo = st[i - 1];
+    const StateDist &hi = st[i];
+    double a = lo.mean, b = hi.mean;
+    for (int iter = 0; iter < 60; ++iter) {
+        const double mid = 0.5 * (a + b);
+        if (density(lo, mid) > density(hi, mid))
+            a = mid;
+        else
+            b = mid;
+    }
+    return 0.5 * (a + b);
+}
+
+double
+VthModel::thresholdErrorProb(int i, double vref, double pe,
+                             double ret_days) const
+{
+    RIF_ASSERT(i >= 1 && i <= kThresholds);
+    const auto st = states(pe, ret_days);
+    // A cell in state s < i must lie below vref; a cell in state s >= i
+    // must lie above it. Uniform occupancy of 1/8 per state.
+    double err = 0.0;
+    for (int s = 0; s < kStates; ++s) {
+        const double below = phi((vref - st[s].mean) / st[s].sigma);
+        if (s < i)
+            err += (1.0 - below) / kStates;
+        else
+            err += below / kStates;
+    }
+    return err;
+}
+
+double
+VthModel::pageRber(PageType type, double pe, double ret_days,
+                   double vref_offset) const
+{
+    auto sum = [&](auto const &thresholds) {
+        double r = 0.0;
+        for (int t : thresholds) {
+            r += thresholdErrorProb(t, defaultVref(t) + vref_offset, pe,
+                                    ret_days);
+        }
+        return r;
+    };
+    switch (type) {
+      case PageType::Lsb:
+        return sum(lsbThresholds());
+      case PageType::Csb:
+        return sum(csbThresholds());
+      case PageType::Msb:
+        return sum(msbThresholds());
+    }
+    panic("unknown page type");
+}
+
+double
+VthModel::pageRberOptimal(PageType type, double pe, double ret_days) const
+{
+    auto sum = [&](auto const &thresholds) {
+        double r = 0.0;
+        for (int t : thresholds) {
+            r += thresholdErrorProb(t, optimalVref(t, pe, ret_days), pe,
+                                    ret_days);
+        }
+        return r;
+    };
+    switch (type) {
+      case PageType::Lsb:
+        return sum(lsbThresholds());
+      case PageType::Csb:
+        return sum(csbThresholds());
+      case PageType::Msb:
+        return sum(msbThresholds());
+    }
+    panic("unknown page type");
+}
+
+double
+VthModel::onesFraction(int i, double vref, double pe, double ret_days) const
+{
+    RIF_ASSERT(i >= 1 && i <= kThresholds);
+    const auto st = states(pe, ret_days);
+    double ones = 0.0;
+    for (int s = 0; s < kStates; ++s)
+        ones += phi((vref - st[s].mean) / st[s].sigma) / kStates;
+    return ones;
+}
+
+} // namespace nand
+} // namespace rif

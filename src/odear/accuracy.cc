@@ -1,0 +1,139 @@
+#include "odear/accuracy.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "ldpc/channel.h"
+
+namespace rif {
+namespace odear {
+
+std::vector<AccuracyPoint>
+measureRpAccuracy(const ldpc::QcLdpcCode &code, const RpModule &rp,
+                  const ldpc::MinSumDecoder &decoder,
+                  AccuracySweepConfig config)
+{
+    if (config.rbers.empty()) {
+        for (int i = 3; i <= 33; i += 2)
+            config.rbers.push_back(static_cast<double>(i) * 1e-3);
+    }
+    RIF_ASSERT(config.trials > 0);
+
+    CodewordRearranger rearranger(code);
+    Rng rng(config.seed);
+    std::vector<AccuracyPoint> out;
+    out.reserve(config.rbers.size());
+
+    for (double rber : config.rbers) {
+        AccuracyPoint pt;
+        pt.rber = rber;
+        int correct = 0, false_retry = 0, miss = 0;
+        int decodable_n = 0, undecodable_n = 0;
+        for (int trial = 0; trial < config.trials; ++trial) {
+            ldpc::HardWord data = ldpc::randomData(code.params().k(), rng);
+            ldpc::HardWord word = code.encode(data);
+            ldpc::injectErrors(word, rber, rng);
+            const BitVec flash =
+                rearranger.toFlashLayout(ldpc::toBitVec(word));
+            const bool predicted_retry = rp.predictRetry(flash);
+            const bool decodable = decoder.decode(word, rber).success;
+
+            if (decodable)
+                ++decodable_n;
+            else
+                ++undecodable_n;
+            if (predicted_retry != decodable) {
+                ++correct; // prediction matches the decoder outcome
+            } else if (predicted_retry) {
+                ++false_retry; // decodable but flagged for retry
+            } else {
+                ++miss; // undecodable but transferred off-chip
+            }
+        }
+        const auto n = static_cast<double>(config.trials);
+        pt.accuracy = correct / n;
+        pt.falseRetryRate =
+            decodable_n ? static_cast<double>(false_retry) / decodable_n
+                        : 0.0;
+        pt.missRate =
+            undecodable_n ? static_cast<double>(miss) / undecodable_n : 0.0;
+        pt.decodeFailureRate = undecodable_n / n;
+        out.push_back(pt);
+    }
+    return out;
+}
+
+double
+accuracyAboveCapability(const std::vector<AccuracyPoint> &points,
+                        double capability)
+{
+    double sum = 0.0;
+    int n = 0;
+    for (const auto &pt : points) {
+        if (pt.rber > capability) {
+            sum += pt.accuracy;
+            ++n;
+        }
+    }
+    return n ? sum / n : 0.0;
+}
+
+RpBehaviorModel::RpBehaviorModel(double capability, double codeword_bits,
+                                 double observed_bits)
+    : capability_(capability),
+      codewordBits_(codeword_bits),
+      observedBits_(observed_bits)
+{
+    RIF_ASSERT(capability > 0.0 && capability < 0.5);
+    RIF_ASSERT(codeword_bits >= 64.0 && observed_bits >= 64.0);
+}
+
+double
+RpBehaviorModel::realizationSigma(double rber) const
+{
+    return std::sqrt(std::max(rber * (1.0 - rber), 1e-12) / codewordBits_);
+}
+
+double
+RpBehaviorModel::observationSigma(double rber) const
+{
+    // The RP sees the chunk through fewer effective samples; subtract
+    // the realization variance to get the *additional* observation noise.
+    const double total =
+        std::max(rber * (1.0 - rber), 1e-12) / observedBits_;
+    const double real =
+        std::max(rber * (1.0 - rber), 1e-12) / codewordBits_;
+    return std::sqrt(std::max(total - real, 1e-16));
+}
+
+RpBehaviorModel::ReadOutcome
+RpBehaviorModel::sample(double rber, Rng &rng) const
+{
+    ReadOutcome out;
+    out.realizedRber =
+        std::max(0.0, rng.gaussian(rber, realizationSigma(rber)));
+    out.decodable = out.realizedRber <= capability_;
+    const double observed =
+        out.realizedRber + rng.gaussian(0.0, observationSigma(rber));
+    out.rpPredictsRetry = observed > capability_;
+    return out;
+}
+
+double
+RpBehaviorModel::failureProbability(double rber) const
+{
+    const double z = (capability_ - rber) / realizationSigma(rber);
+    return 0.5 * std::erfc(z / std::sqrt(2.0));
+}
+
+double
+RpBehaviorModel::retryPredictionProbability(double rber) const
+{
+    const double sigma = std::sqrt(
+        std::max(rber * (1.0 - rber), 1e-12) / observedBits_);
+    const double z = (capability_ - rber) / sigma;
+    return 0.5 * std::erfc(z / std::sqrt(2.0));
+}
+
+} // namespace odear
+} // namespace rif

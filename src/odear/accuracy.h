@@ -1,0 +1,108 @@
+/**
+ * @file
+ * RP validation experiments (Figs. 11 and 14): compare the RP module's
+ * retry prediction against the ground truth of a full min-sum decode over
+ * a sweep of RBER values, and distill the result into the probabilistic
+ * behaviour model the SSD simulator consumes (exactly as the paper's
+ * extended MQSim consumes the measured accuracy function).
+ */
+
+#ifndef RIF_ODEAR_ACCURACY_H
+#define RIF_ODEAR_ACCURACY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "ldpc/decoder.h"
+#include "odear/rp_module.h"
+
+namespace rif {
+namespace odear {
+
+/** One RBER point of the accuracy validation. */
+struct AccuracyPoint
+{
+    double rber = 0.0;
+    double accuracy = 0.0;       ///< P(prediction == decoder outcome)
+    double falseRetryRate = 0.0; ///< P(predict retry | decodable)
+    double missRate = 0.0;       ///< P(predict ok | undecodable)
+    double decodeFailureRate = 0.0;
+};
+
+/** Sweep configuration (defaults follow the Fig. 11/14 x-axis). */
+struct AccuracySweepConfig
+{
+    std::vector<double> rbers; ///< empty -> 3e-3 .. 33e-3 step 2e-3
+    int trials = 100;
+    std::uint64_t seed = 11;
+};
+
+/**
+ * Run the validation: for each RBER, draw codewords, predict with the RP
+ * module (in flash layout) and decode with min-sum for ground truth.
+ */
+std::vector<AccuracyPoint> measureRpAccuracy(
+    const ldpc::QcLdpcCode &code, const RpModule &rp,
+    const ldpc::MinSumDecoder &decoder, AccuracySweepConfig config);
+
+/**
+ * Average accuracy over the points whose RBER is above the capability —
+ * the headline number (99.1% without approximations, 98.7% with).
+ */
+double accuracyAboveCapability(const std::vector<AccuracyPoint> &points,
+                               double capability);
+
+/**
+ * Probabilistic RP/decoder behaviour model for the SSD simulator.
+ *
+ * A page read realizes an error fraction x ~ N(rber, binomial sigma over
+ * the codeword); the decoder fails iff x exceeds the capability, and the
+ * RP observes x through chunk/pruning sampling noise. This reproduces the
+ * measured accuracy curve (high away from the capability, ~50% at it)
+ * with the correct prediction/outcome correlation.
+ */
+class RpBehaviorModel
+{
+  public:
+    /**
+     * @param capability decoder correction capability (RBER)
+     * @param codeword_bits bits the decoder sees (realization noise)
+     * @param observed_bits bits the RP effectively samples (chunk +
+     *        pruning make this smaller, adding prediction noise)
+     */
+    RpBehaviorModel(double capability, double codeword_bits,
+                    double observed_bits);
+
+    /** Outcome of one read. */
+    struct ReadOutcome
+    {
+        double realizedRber = 0.0;
+        bool decodable = true;
+        bool rpPredictsRetry = false;
+    };
+
+    /** Sample a read of a page with the given nominal RBER. */
+    ReadOutcome sample(double rber, Rng &rng) const;
+
+    /** Probability the decoder fails at this nominal RBER. */
+    double failureProbability(double rber) const;
+
+    /** Probability RP predicts retry at this nominal RBER. */
+    double retryPredictionProbability(double rber) const;
+
+    double capability() const { return capability_; }
+
+  private:
+    double realizationSigma(double rber) const;
+    double observationSigma(double rber) const;
+
+    double capability_;
+    double codewordBits_;
+    double observedBits_;
+};
+
+} // namespace odear
+} // namespace rif
+
+#endif // RIF_ODEAR_ACCURACY_H

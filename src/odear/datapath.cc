@@ -1,0 +1,81 @@
+#include "odear/datapath.h"
+
+#include "common/logging.h"
+
+namespace rif {
+namespace odear {
+
+RpDatapath::RpDatapath(const ldpc::QcLdpcCode &code, std::size_t rho_s,
+                       int word_bits, double clock_mhz)
+    : code_(code), rhoS_(rho_s), wordBits_(word_bits),
+      clockMhz_(clock_mhz)
+{
+    RIF_ASSERT(word_bits > 0 && (word_bits % 64) == 0,
+               "datapath word width must be a multiple of 64");
+    RIF_ASSERT(code.params().circulant % word_bits == 0,
+               "segment length must be word-aligned");
+    RIF_ASSERT(clock_mhz > 0.0);
+}
+
+std::uint64_t
+RpDatapath::fetchCycles() const
+{
+    const auto &p = code_.params();
+    // Segments participating in the pruned syndrome: the data blocks
+    // plus the first parity block, each t bits long, one word/cycle.
+    const std::uint64_t segments =
+        static_cast<std::uint64_t>(p.dataBlocks()) + 1;
+    const std::uint64_t words_per_segment =
+        static_cast<std::uint64_t>(p.circulant) /
+        static_cast<std::uint64_t>(wordBits_);
+    return segments * words_per_segment;
+}
+
+DatapathResult
+RpDatapath::run(const BitVec &flash_codeword) const
+{
+    const auto &p = code_.params();
+    RIF_ASSERT(flash_codeword.size() == p.n());
+
+    const auto t = static_cast<std::size_t>(p.circulant);
+    const std::size_t segments =
+        static_cast<std::size_t>(p.dataBlocks()) + 1;
+    const std::size_t words_per_segment =
+        t / static_cast<std::size_t>(wordBits_);
+    const std::size_t w64 = static_cast<std::size_t>(wordBits_) / 64;
+
+    const auto &words = flash_codeword.words();
+
+    DatapathResult out;
+    // Process syndrome column by column: the hardware iterates the 128
+    // syndromes held in the syndrome register across every segment,
+    // then counts and accumulates. Each fetched word costs one cycle;
+    // the XOR/count/accumulate stages are pipelined behind the fetch.
+    for (std::size_t col = 0; col < words_per_segment; ++col) {
+        std::uint64_t synd[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+        RIF_ASSERT(w64 <= 8);
+        for (std::size_t seg = 0; seg < segments; ++seg) {
+            // Word `col` of segment `seg`; segments are word-aligned
+            // (t is a multiple of wordBits and of 64).
+            const std::size_t base = (seg * t) / 64 + col * w64;
+            for (std::size_t w = 0; w < w64; ++w)
+                synd[w] ^= words[base + w];
+            ++out.cycles; // one page-buffer fetch per word
+        }
+        for (std::size_t w = 0; w < w64; ++w)
+            out.syndromeWeight += static_cast<std::size_t>(
+                std::popcount(synd[w]));
+    }
+    // Pipeline drain: the last word still traverses XOR, weight count
+    // and accumulate (two stages), plus the final comparison.
+    out.cycles += 3;
+
+    const double ns_per_cycle = 1000.0 / clockMhz_;
+    out.latency = static_cast<Tick>(
+        static_cast<double>(out.cycles) * ns_per_cycle + 0.5);
+    out.predictRetry = out.syndromeWeight > rhoS_;
+    return out;
+}
+
+} // namespace odear
+} // namespace rif

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Cycle-level functional simulation of the RP hardware datapath
+ * (paper Fig. 16): 128-bit words stream from the page buffer into the
+ * segment register, XOR into the syndrome register, feed a weight
+ * counter and accumulate — fully pipelined, so total latency is the
+ * fetch stream plus the pipeline drain. Validates both the syndrome
+ * result (against CodewordRearranger) and the ~2.5 µs tPRED claim from
+ * first principles.
+ */
+
+#ifndef RIF_ODEAR_DATAPATH_H
+#define RIF_ODEAR_DATAPATH_H
+
+#include <cstdint>
+
+#include "common/bitvec.h"
+#include "common/units.h"
+#include "ldpc/code.h"
+
+namespace rif {
+namespace odear {
+
+/** Result of streaming one chunk through the datapath. */
+struct DatapathResult
+{
+    std::size_t syndromeWeight = 0; ///< accumulated weight
+    std::uint64_t cycles = 0;       ///< total cycles consumed
+    Tick latency = 0;               ///< cycles at the configured clock
+    bool predictRetry = false;      ///< weight > rho_s
+};
+
+/** The Fig. 16 pipeline. */
+class RpDatapath
+{
+  public:
+    /**
+     * @param code the QC-LDPC code (segment geometry)
+     * @param rho_s correctability threshold
+     * @param word_bits page-buffer word width (128 in the paper)
+     * @param clock_mhz RP clock (100 MHz in the paper's synthesis)
+     */
+    RpDatapath(const ldpc::QcLdpcCode &code, std::size_t rho_s,
+               int word_bits = 128, double clock_mhz = 100.0);
+
+    /**
+     * Stream a flash-layout codeword through the pipeline exactly as
+     * the hardware would: for each 128-bit column of the syndrome, the
+     * participating segments' words are fetched and XORed (one word
+     * per cycle), the popcount stage and accumulator run one and two
+     * cycles behind.
+     *
+     * @param flash_codeword rearranged codeword as stored in the array
+     */
+    DatapathResult run(const BitVec &flash_codeword) const;
+
+    /** Fetch cycles alone (the latency-dominant term). */
+    std::uint64_t fetchCycles() const;
+
+  private:
+    const ldpc::QcLdpcCode &code_;
+    std::size_t rhoS_;
+    int wordBits_;
+    double clockMhz_;
+};
+
+} // namespace odear
+} // namespace rif
+
+#endif // RIF_ODEAR_DATAPATH_H

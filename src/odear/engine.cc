@@ -1,0 +1,112 @@
+#include "odear/engine.h"
+
+#include "common/logging.h"
+#include "ldpc/channel.h"
+
+namespace rif {
+namespace odear {
+
+FunctionalPipeline::FunctionalPipeline(const ldpc::QcLdpcCode &code,
+                                       const nand::VthModel &vth,
+                                       const RpConfig &rp_config)
+    : code_(code),
+      vth_(vth),
+      rearranger_(code),
+      rp_(code, rp_config),
+      rvs_(vth),
+      decoder_(code, 20)
+{
+}
+
+ProgrammedPage
+FunctionalPipeline::program(const std::vector<ldpc::HardWord> &payloads,
+                            std::uint64_t page_seed,
+                            nand::PageType type) const
+{
+    RIF_ASSERT(!payloads.empty());
+    ProgrammedPage page;
+    page.scrambleSeed = page_seed;
+    page.type = type;
+    page.flashCodewords.reserve(payloads.size());
+    for (std::size_t i = 0; i < payloads.size(); ++i) {
+        RIF_ASSERT(payloads[i].size() == code_.params().k());
+        // Scramble (per-codeword keystream), encode, rearrange.
+        BitVec data = ldpc::toBitVec(payloads[i]);
+        nand::Randomizer(page_seed + i).apply(data);
+        const ldpc::HardWord codeword =
+            code_.encode(ldpc::toHardWord(data));
+        page.flashCodewords.push_back(
+            rearranger_.toFlashLayout(ldpc::toBitVec(codeword)));
+    }
+    return page;
+}
+
+std::vector<BitVec>
+FunctionalPipeline::senseWithErrors(const ProgrammedPage &page,
+                                    double rber, Rng &rng) const
+{
+    std::vector<BitVec> sensed;
+    sensed.reserve(page.flashCodewords.size());
+    for (const BitVec &stored : page.flashCodewords) {
+        ldpc::HardWord bits = ldpc::toHardWord(stored);
+        ldpc::injectErrors(bits, rber, rng);
+        sensed.push_back(ldpc::toBitVec(bits));
+    }
+    return sensed;
+}
+
+FunctionalReadResult
+FunctionalPipeline::read(const ProgrammedPage &page, double pe,
+                         double ret_days, Rng &rng) const
+{
+    FunctionalReadResult out;
+
+    // 1. Sense at the default read voltages; the V_TH model gives the
+    //    wear-appropriate raw bit error rate.
+    out.firstSenseRber = vth_.pageRber(page.type, pe, ret_days);
+    std::vector<BitVec> sensed =
+        senseWithErrors(page, out.firstSenseRber, rng);
+
+    // 2. On-die RP prediction on the configured chunk (one codeword).
+    const int chunk = rp_.config().chunkIndex;
+    RIF_ASSERT(chunk >= 0 &&
+               chunk < static_cast<int>(sensed.size()));
+    out.chunkSyndromeWeight = rp_.computedWeight(sensed[chunk]);
+    out.predictedUncorrectable = rp_.predictRetry(sensed[chunk]);
+
+    // 3. When flagged, the RVS selects near-optimal voltages and the
+    //    page is re-sensed in-die; the re-read skips the RP (§IV-C).
+    if (out.predictedUncorrectable) {
+        const VrefSelection sel =
+            rvs_.select(page.type, pe, ret_days, rng);
+        out.reReadRber = sel.predictedRber;
+        sensed = senseWithErrors(page, out.reReadRber, rng);
+        out.retriedOnDie = true;
+    }
+
+    // 4. Controller side: restore the layout, decode, descramble.
+    out.decodeSucceeded = true;
+    out.payloads.clear();
+    for (std::size_t i = 0; i < sensed.size(); ++i) {
+        const BitVec restored = rearranger_.toControllerLayout(sensed[i]);
+        const double assumed =
+            out.retriedOnDie ? out.reReadRber : out.firstSenseRber;
+        const ldpc::DecodeResult res =
+            decoder_.decode(ldpc::toHardWord(restored), assumed);
+        if (!res.success) {
+            out.decodeSucceeded = false;
+            break;
+        }
+        BitVec data(code_.params().k());
+        for (std::size_t b = 0; b < data.size(); ++b)
+            data.set(b, res.word[b]);
+        nand::Randomizer(page.scrambleSeed + i).apply(data);
+        out.payloads.push_back(ldpc::toHardWord(data));
+    }
+    if (!out.decodeSucceeded)
+        out.payloads.clear();
+    return out;
+}
+
+} // namespace odear
+} // namespace rif

@@ -1,0 +1,36 @@
+#include "odear/overhead.h"
+
+namespace rif {
+namespace odear {
+
+OverheadModel::OverheadModel(const RpOverhead &constants)
+    : constants_(constants)
+{
+}
+
+double
+OverheadModel::areaOverheadFraction() const
+{
+    return constants_.areaMm2 / constants_.flashDieAreaMm2;
+}
+
+double
+OverheadModel::netEnergyNj(std::uint64_t total_reads,
+                           std::uint64_t avoided_transfers) const
+{
+    const double cost = constants_.energyPerPredictionNj *
+                        static_cast<double>(total_reads);
+    const double saved = constants_.energySavedPerAvoidedTransferNj *
+                         static_cast<double>(avoided_transfers);
+    return cost - saved;
+}
+
+double
+OverheadModel::breakEvenReadsPerRetry() const
+{
+    return constants_.energySavedPerAvoidedTransferNj /
+           constants_.energyPerPredictionNj;
+}
+
+} // namespace odear
+} // namespace rif

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * PPA and energy overhead model of the RP module (paper §VI-C). The
+ * constants come from the paper's Synopsys Design Compiler synthesis at
+ * 130 nm / 100 MHz; the model turns them into workload-level energy
+ * deltas (every read pays one prediction; every avoided uncorrectable
+ * transfer refunds the off-chip movement energy).
+ */
+
+#ifndef RIF_ODEAR_OVERHEAD_H
+#define RIF_ODEAR_OVERHEAD_H
+
+#include <cstdint>
+
+#include "odear/rp_module.h"
+
+namespace rif {
+namespace odear {
+
+/** Workload-level energy accounting for the RiF scheme. */
+class OverheadModel
+{
+  public:
+    explicit OverheadModel(const RpOverhead &constants = RpOverhead{});
+
+    const RpOverhead &constants() const { return constants_; }
+
+    /** Area overhead relative to a reference flash die (fraction). */
+    double areaOverheadFraction() const;
+
+    /**
+     * Net energy delta (nJ, negative = savings) for a read mix.
+     *
+     * @param total_reads page reads performed
+     * @param avoided_transfers uncorrectable off-chip transfers avoided
+     *        by on-die prediction
+     */
+    double netEnergyNj(std::uint64_t total_reads,
+                       std::uint64_t avoided_transfers) const;
+
+    /** Reads-per-retry break-even point: the maximum number of reads per
+     *  avoided transfer at which RiF still saves energy. */
+    double breakEvenReadsPerRetry() const;
+
+  private:
+    RpOverhead constants_;
+};
+
+} // namespace odear
+} // namespace rif
+
+#endif // RIF_ODEAR_OVERHEAD_H

@@ -1,0 +1,69 @@
+#include "odear/rearrange.h"
+
+#include "common/logging.h"
+
+namespace rif {
+namespace odear {
+
+CodewordRearranger::CodewordRearranger(const ldpc::QcLdpcCode &code)
+    : code_(code)
+{
+}
+
+BitVec
+CodewordRearranger::toFlashLayout(const BitVec &codeword) const
+{
+    const auto &p = code_.params();
+    RIF_ASSERT(codeword.size() == p.n());
+    const auto t = static_cast<std::size_t>(p.circulant);
+    const int d = p.dataBlocks();
+
+    BitVec out(p.n());
+    for (int j = 0; j < p.blockCols; ++j) {
+        BitVec seg = codeword.slice(static_cast<std::size_t>(j) * t, t);
+        // Data segments rotate by their block-row-0 shift; the first
+        // parity segment is already an identity (shift 0) and the
+        // remaining parity segments do not participate in block row 0.
+        if (j < d)
+            seg = seg.rotl(static_cast<std::size_t>(code_.shift(0, j)));
+        out.insert(static_cast<std::size_t>(j) * t, seg);
+    }
+    return out;
+}
+
+BitVec
+CodewordRearranger::toControllerLayout(const BitVec &flash_word) const
+{
+    const auto &p = code_.params();
+    RIF_ASSERT(flash_word.size() == p.n());
+    const auto t = static_cast<std::size_t>(p.circulant);
+    const int d = p.dataBlocks();
+
+    BitVec out(p.n());
+    for (int j = 0; j < p.blockCols; ++j) {
+        BitVec seg = flash_word.slice(static_cast<std::size_t>(j) * t, t);
+        if (j < d)
+            seg = seg.rotr(static_cast<std::size_t>(code_.shift(0, j)));
+        out.insert(static_cast<std::size_t>(j) * t, seg);
+    }
+    return out;
+}
+
+std::size_t
+CodewordRearranger::onDieSyndromeWeight(const BitVec &flash_word) const
+{
+    const auto &p = code_.params();
+    RIF_ASSERT(flash_word.size() == p.n());
+    const auto t = static_cast<std::size_t>(p.circulant);
+    const int d = p.dataBlocks();
+
+    // XOR of the d data segments plus the first parity segment — the
+    // hardware datapath of Fig. 16 (segment reg -> XOR -> weight counter).
+    BitVec acc(t);
+    for (int j = 0; j <= d; ++j)
+        acc.xorWith(flash_word.slice(static_cast<std::size_t>(j) * t, t));
+    return acc.popcount();
+}
+
+} // namespace odear
+} // namespace rif

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Codeword rearrangement scheme (paper §V-B): the controller rotates each
+ * t-bit codeword segment left by its block-row-0 circulant shift before
+ * programming, so that on-die every sub-matrix of the pruned parity-check
+ * row becomes the identity and the syndrome computation collapses to an
+ * XOR of segments followed by a popcount — exactly what the RP datapath
+ * implements. The controller restores the layout before off-chip LDPC
+ * decoding.
+ */
+
+#ifndef RIF_ODEAR_REARRANGE_H
+#define RIF_ODEAR_REARRANGE_H
+
+#include "common/bitvec.h"
+#include "ldpc/code.h"
+
+namespace rif {
+namespace odear {
+
+/** Rotation-based layout transform tied to one QC-LDPC code. */
+class CodewordRearranger
+{
+  public:
+    explicit CodewordRearranger(const ldpc::QcLdpcCode &code);
+
+    /**
+     * Controller-side transform applied after ECC encoding, before the
+     * data is sent to the flash die for programming.
+     */
+    BitVec toFlashLayout(const BitVec &codeword) const;
+
+    /**
+     * Controller-side inverse applied after reading, before off-chip
+     * LDPC decoding.
+     */
+    BitVec toControllerLayout(const BitVec &flash_word) const;
+
+    /**
+     * The on-die pruned syndrome weight: XOR of all rotated segments,
+     * then popcount. Mathematically equals
+     * QcLdpcCode::prunedSyndromeWeight of the restored layout.
+     */
+    std::size_t onDieSyndromeWeight(const BitVec &flash_word) const;
+
+  private:
+    const ldpc::QcLdpcCode &code_;
+};
+
+} // namespace odear
+} // namespace rif
+
+#endif // RIF_ODEAR_REARRANGE_H

@@ -1,0 +1,75 @@
+#include "odear/rp_module.h"
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "ldpc/channel.h"
+
+namespace rif {
+namespace odear {
+
+RpModule::RpModule(const ldpc::QcLdpcCode &code, const RpConfig &config)
+    : code_(code), config_(config), rearranger_(code)
+{
+}
+
+std::size_t
+RpModule::computedWeight(const BitVec &flash_codeword) const
+{
+    if (config_.usePruning)
+        return rearranger_.onDieSyndromeWeight(flash_codeword);
+    // Without pruning the die would need the original layout back to
+    // evaluate every block row; model that as restoring and computing
+    // the full syndrome.
+    const BitVec restored = rearranger_.toControllerLayout(flash_codeword);
+    return code_.syndromeWeight(ldpc::toHardWord(restored));
+}
+
+bool
+RpModule::predictRetry(const BitVec &flash_codeword) const
+{
+    return computedWeight(flash_codeword) > config_.rhoS;
+}
+
+Tick
+RpModule::predictionLatency(std::uint64_t chunk_bytes) const
+{
+    // The pipeline (Fig. 16) overlaps XOR and weight counting with the
+    // page-buffer fetch, so fetch time dominates; add one drain of the
+    // final word through the two pipeline stages.
+    const double fetch_us = config_.bufferReadUsPerKiB *
+                            static_cast<double>(chunk_bytes) / 1024.0;
+    const double drain_us = 2.0 / config_.clockMhz; // two stages
+    return usToTicks(fetch_us + drain_us);
+}
+
+Tick
+RpModule::predictionLatency() const
+{
+    const auto &p = code_.params();
+    const std::uint64_t chunk_bytes =
+        config_.useChunk ? p.k() / 8 : p.k() / 8 * 4;
+    return predictionLatency(chunk_bytes);
+}
+
+std::size_t
+RpModule::calibrateThreshold(const ldpc::QcLdpcCode &code,
+                             const RpConfig &config, double capability_rber,
+                             int trials, std::uint64_t seed)
+{
+    RIF_ASSERT(trials > 0);
+    RpModule rp(code, config);
+    CodewordRearranger rearranger(code);
+    Rng rng(seed);
+    std::size_t sum = 0;
+    for (int i = 0; i < trials; ++i) {
+        ldpc::HardWord data = ldpc::randomData(code.params().k(), rng);
+        ldpc::HardWord word = code.encode(data);
+        ldpc::injectErrors(word, capability_rber, rng);
+        const BitVec flash = rearranger.toFlashLayout(ldpc::toBitVec(word));
+        sum += rp.computedWeight(flash);
+    }
+    return sum / static_cast<std::size_t>(trials);
+}
+
+} // namespace odear
+} // namespace rif

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The read-retry predictor (RP) of the ODEAR engine: a syndrome-weight
+ * thresholding heuristic with the paper's two approximations (chunk-based
+ * prediction over one 4-KiB codeword, syndrome pruning to the first t
+ * checks) plus a cycle-level latency model of the 128-bit datapath
+ * (Fig. 16) and the synthesis-derived PPA constants (§VI-C).
+ */
+
+#ifndef RIF_ODEAR_RP_MODULE_H
+#define RIF_ODEAR_RP_MODULE_H
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "ldpc/code.h"
+#include "odear/rearrange.h"
+
+namespace rif {
+namespace odear {
+
+/** RP configuration. */
+struct RpConfig
+{
+    bool useChunk = true;     ///< inspect one codeword, not the page
+    bool usePruning = true;   ///< first t syndromes only
+    /**
+     * Correctability threshold rho_s on the computed syndrome weight;
+     * calibrate with calibrateThreshold() (the paper picks the average
+     * syndrome weight at the capability RBER, Fig. 10).
+     */
+    std::size_t rhoS = 224;
+    int chunkIndex = 0;       ///< which codeword of the page to inspect
+
+    /** Datapath parameters for the latency model. */
+    int wordBits = 128;          ///< page-buffer word width
+    double clockMhz = 100.0;     ///< RP operating frequency
+    double bufferReadUsPerKiB = 0.625; ///< page-buffer fetch, us per KiB
+};
+
+/** Synthesis-derived overhead constants (paper §VI-C). */
+struct RpOverhead
+{
+    double areaMm2 = 0.012;         ///< 130 nm, 100 MHz
+    double powerMw = 1.28;
+    double energyPerPredictionNj = 3.2;
+    double energySavedPerAvoidedTransferNj = 907.0;
+    double flashDieAreaMm2 = 101.0; ///< reference die area [72]
+};
+
+/** Functional + timing model of the RP module. */
+class RpModule
+{
+  public:
+    RpModule(const ldpc::QcLdpcCode &code, const RpConfig &config);
+
+    const RpConfig &config() const { return config_; }
+
+    /**
+     * Predict whether an off-chip LDPC engine could decode the sensed
+     * codeword (given in flash layout when rearrangement is in use).
+     *
+     * @return true when a read-retry should be performed on-die
+     */
+    bool predictRetry(const BitVec &flash_codeword) const;
+
+    /** Syndrome weight actually computed by the configured datapath. */
+    std::size_t computedWeight(const BitVec &flash_codeword) const;
+
+    /**
+     * Prediction latency (tPRED): dominated by fetching the inspected
+     * chunk from the page buffer; the XOR/popcount pipeline overlaps
+     * with the fetch (paper: ~2.5 us for a 4-KiB chunk).
+     */
+    Tick predictionLatency(std::uint64_t chunk_bytes) const;
+
+    /** Latency with the configured chunk (one codeword payload). */
+    Tick predictionLatency() const;
+
+    /**
+     * Calibrate rho_s: average computed weight of codewords whose RBER
+     * equals the capability (Fig. 10's operating point).
+     */
+    static std::size_t calibrateThreshold(const ldpc::QcLdpcCode &code,
+                                          const RpConfig &config,
+                                          double capability_rber,
+                                          int trials, std::uint64_t seed);
+
+  private:
+    const ldpc::QcLdpcCode &code_;
+    RpConfig config_;
+    CodewordRearranger rearranger_;
+};
+
+} // namespace odear
+} // namespace rif
+
+#endif // RIF_ODEAR_RP_MODULE_H

@@ -1,0 +1,109 @@
+#include "odear/rvs_module.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace rif {
+namespace odear {
+
+using nand::PageType;
+
+namespace {
+
+std::vector<int>
+thresholdsFor(PageType type)
+{
+    switch (type) {
+      case PageType::Lsb:
+        return {nand::lsbThresholds().begin(), nand::lsbThresholds().end()};
+      case PageType::Csb:
+        return {nand::csbThresholds().begin(), nand::csbThresholds().end()};
+      case PageType::Msb:
+        return {nand::msbThresholds().begin(), nand::msbThresholds().end()};
+    }
+    panic("unknown page type");
+}
+
+} // namespace
+
+RvsModule::RvsModule(const nand::VthModel &model,
+                     std::uint64_t cells_counted, double flank_offset_v)
+    : model_(model),
+      cellsCounted_(cells_counted),
+      flankOffsetV_(flank_offset_v)
+{
+    RIF_ASSERT(cells_counted >= 64);
+    RIF_ASSERT(flank_offset_v > 0.0);
+}
+
+VrefSelection
+RvsModule::select(PageType type, double pe, double ret_days, Rng &rng) const
+{
+    VrefSelection sel;
+    for (int i = 1; i <= nand::kThresholds; ++i)
+        sel.vref[i] = model_.defaultVref(i);
+
+    const auto &dp = model_.params();
+    const double n = static_cast<double>(cellsCounted_);
+    for (int i : thresholdsFor(type)) {
+        const double v0 = model_.defaultVref(i);
+        // Calibration sense on the upper adjacent state's flank: the
+        // ones fraction there moves steeply with the state's V_TH
+        // shift, so the counter deviation is a sensitive observable.
+        const double v_cal = v0 + flankOffsetV_;
+        const double f_true = model_.onesFraction(i, v_cal, pe, ret_days);
+        const double noise_sigma =
+            std::sqrt(std::max(f_true * (1.0 - f_true), 1e-9) / n);
+        const double f_obs = f_true + rng.gaussian(0.0, noise_sigma);
+
+        // Invert the (monotone) fresh ones-fraction curve at f_obs: a
+        // downward shift of the upper state by delta makes the aged
+        // wordline at v_cal look like the fresh one at v_cal + delta.
+        double lo = v_cal - 2.0, hi = v_cal + 2.0;
+        const double f_lo = model_.onesFraction(i, lo, 0.0, 0.0);
+        const double f_hi = model_.onesFraction(i, hi, 0.0, 0.0);
+        if (f_obs <= f_lo || f_obs >= f_hi) {
+            continue; // counter saturated; keep the default voltage
+        }
+        for (int it = 0; it < 50; ++it) {
+            const double mid = 0.5 * (lo + hi);
+            if (model_.onesFraction(i, mid, 0.0, 0.0) < f_obs)
+                lo = mid;
+            else
+                hi = mid;
+        }
+        const double upper_shift = 0.5 * (lo + hi) - v_cal;
+
+        // Manufacturer-profiled correction: the optimal read point
+        // follows the *average* of the two adjacent states' shifts,
+        // and the lower state loses proportionally less charge.
+        const double f_up = dp.stateFactorBase +
+                            (1.0 - dp.stateFactorBase) * i / 7.0;
+        const double f_lo_state =
+            dp.stateFactorBase +
+            (1.0 - dp.stateFactorBase) * (i - 1) / 7.0;
+        const double beta =
+            i == 1 ? 0.5 : (f_up + f_lo_state) / (2.0 * f_up);
+
+        sel.vref[i] = v0 - beta * upper_shift;
+    }
+
+    sel.predictedRber = rberAfterSelection(type, pe, ret_days, sel);
+    sel.optimalRber = model_.pageRberOptimal(type, pe, ret_days);
+    return sel;
+}
+
+double
+RvsModule::rberAfterSelection(PageType type, double pe, double ret_days,
+                              const VrefSelection &sel) const
+{
+    double r = 0.0;
+    for (int i : thresholdsFor(type))
+        r += model_.thresholdErrorProb(i, sel.vref[i], pe, ret_days);
+    return r;
+}
+
+} // namespace odear
+} // namespace rif

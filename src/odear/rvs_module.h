@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The read-voltage selector (RVS) of the ODEAR engine. RiF adopts the
+ * Swift-Read mechanism [ISSCC'22]: a calibration sense at a predefined
+ * VREF counts the ones in the wordline; because data is randomized, the
+ * deviation from the expected ones count reveals the V_TH shift, from
+ * which a near-optimal VREF is computed and the page is re-read — all
+ * inside the die, without controller assistance.
+ */
+
+#ifndef RIF_ODEAR_RVS_MODULE_H
+#define RIF_ODEAR_RVS_MODULE_H
+
+#include <array>
+
+#include "common/rng.h"
+#include "nand/vth_model.h"
+
+namespace rif {
+namespace odear {
+
+/** Result of one in-die VREF selection. */
+struct VrefSelection
+{
+    /** Estimated per-threshold read voltages (index 1..7 used). */
+    std::array<double, nand::kThresholds + 1> vref{};
+    /** RBER the page would exhibit when re-read at those voltages. */
+    double predictedRber = 0.0;
+    /** RBER at the true optimal voltages (lower bound). */
+    double optimalRber = 0.0;
+};
+
+/** Swift-Read-style ones-count VREF estimator. */
+class RvsModule
+{
+  public:
+    /**
+     * @param model the V_TH model describing the sensed wordline
+     * @param cells_counted cells sampled by the ones counter (a full
+     *        16-KiB wordline senses 131072 cells)
+     * @param flank_offset_v calibration-sense offset above the default
+     *        read voltage, placing the sense on the upper state's flank
+     *        where the ones-count slope (and thus sensitivity) is high —
+     *        "the most representative VREF value... determined by
+     *        manufacturers after extensive profiling" (paper §III-B)
+     */
+    explicit RvsModule(const nand::VthModel &model,
+                       std::uint64_t cells_counted = 131072,
+                       double flank_offset_v = 0.25);
+
+    /**
+     * Run the Swift-Read estimation for a page with the given wear
+     * state. The calibration sense observes a noisy ones fraction at
+     * each of the page type's predefined VREFs; inverting the local
+     * slope of the ones-fraction curve yields the VREF correction.
+     *
+     * @param type page type (determines which thresholds are read)
+     * @param pe block P/E cycles
+     * @param ret_days data retention age
+     * @param rng counter sampling noise source
+     */
+    VrefSelection select(nand::PageType type, double pe, double ret_days,
+                         Rng &rng) const;
+
+    /**
+     * RBER of the page when re-read with the returned selection —
+     * convenience wrapper used by tests to validate the paper's claim
+     * that re-read pages land well below the ECC capability.
+     */
+    double rberAfterSelection(nand::PageType type, double pe,
+                              double ret_days, const VrefSelection &sel)
+        const;
+
+  private:
+    const nand::VthModel &model_;
+    std::uint64_t cellsCounted_;
+    double flankOffsetV_;
+};
+
+} // namespace odear
+} // namespace rif
+
+#endif // RIF_ODEAR_RVS_MODULE_H

@@ -1,0 +1,64 @@
+#include "ssd/config.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rif {
+namespace ssd {
+
+const char *
+policyName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::Zero:
+        return "SSDzero";
+      case PolicyKind::FixedSequence:
+        return "CONV";
+      case PolicyKind::IdealOffChip:
+        return "SSDone";
+      case PolicyKind::Sentinel:
+        return "SENC";
+      case PolicyKind::SwiftRead:
+        return "SWR";
+      case PolicyKind::SwiftReadPlus:
+        return "SWR+";
+      case PolicyKind::RpController:
+        return "RPSSD";
+      case PolicyKind::Rif:
+        return "RiFSSD";
+    }
+    panic("unknown policy kind");
+}
+
+nand::Geometry
+SsdConfig::simGeometry()
+{
+    nand::Geometry g; // Table I organization...
+    g.blocksPerPlane = 128; // ...scaled down from 1888 blocks/plane
+    return g;
+}
+
+nand::Geometry
+SsdConfig::paperGeometry()
+{
+    return nand::Geometry{};
+}
+
+Tick
+SsdConfig::teccSuccess(double rber_value) const
+{
+    // LDPC decode latency grows with the iteration count, which rises
+    // superlinearly toward the capability (Fig. 3(b)). Successful
+    // decodes span ~1-6 us; the capped quadratic matches the measured
+    // iteration curve of our QC-LDPC.
+    const double ratio =
+        std::clamp(rber_value / rber.capability, 0.0, 1.0);
+    const double us = 1.0 + 5.0 * ratio * ratio;
+    const Tick t = usToTicks(us);
+    return std::min(t, timing.tEccMax);
+}
+
+} // namespace ssd
+} // namespace rif

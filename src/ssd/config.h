@@ -1,0 +1,148 @@
+/**
+ * @file
+ * SSD simulator configuration: the flash geometry and latencies of the
+ * paper's Table I, the host/channel bandwidths, the read-retry policy
+ * under evaluation and the wear/retention operating point.
+ */
+
+#ifndef RIF_SSD_CONFIG_H
+#define RIF_SSD_CONFIG_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+#include "nand/geometry.h"
+#include "nand/rber_model.h"
+
+namespace rif {
+namespace ssd {
+
+/** Read-retry handling scheme of an SSD configuration (paper §VI-A). */
+enum class PolicyKind
+{
+    Zero,          ///< SSDzero: hypothetical, no read ever retries
+    FixedSequence, ///< conventional retry: predetermined VREF steps,
+                   ///< NRR often > 1 (paper §II-B2)
+    IdealOffChip,  ///< SSDone: ideal off-chip retry, NRR = 1
+    Sentinel,      ///< SENC: Sentinel [MICRO'20]
+    SwiftRead,     ///< SWR: Swift-Read [ISSCC'22]
+    SwiftReadPlus, ///< SWR+: SWR + proactive VREF tracking [MICRO'19]
+    RpController,  ///< RPSSD: RP at the controller (early termination)
+    Rif,           ///< RiFSSD: on-die ODEAR engine
+};
+
+/** Which substrate supplies per-read RBER values. */
+enum class RberSource
+{
+    Parametric, ///< calibrated fast model (nand::RberModel)
+    VthModel,   ///< physics-flavoured V_TH overlap model
+};
+
+/** Human-readable policy name as used in the paper's figures. */
+const char *policyName(PolicyKind kind);
+
+/** All comparison policies in the paper's plotting order. */
+inline constexpr PolicyKind kAllPolicies[] = {
+    PolicyKind::Sentinel,      PolicyKind::SwiftRead,
+    PolicyKind::SwiftReadPlus, PolicyKind::RpController,
+    PolicyKind::Rif,           PolicyKind::Zero,
+};
+
+/** Full simulator configuration. */
+struct SsdConfig
+{
+    nand::Geometry geometry = simGeometry();
+    nand::Timing timing;
+    nand::RberParams rber;
+    /** RBER substrate used by the FTL's read translation. */
+    RberSource rberSource = RberSource::Parametric;
+
+    PolicyKind policy = PolicyKind::Rif;
+
+    /** Host interface peak bandwidth (PCIe 4.0 x4). */
+    double hostGBps = 8.0;
+    /** Closed-loop outstanding host requests. */
+    int queueDepth = 64;
+    /**
+     * Pages the channel may deliver to the ECC engine before it must
+     * stall (decoder input buffering; §III-B3's root cause three).
+     */
+    int eccBufferPages = 2;
+
+    /** Wear state: P/E cycles experienced by every block. */
+    double peCycles = 0.0;
+    /** Periodic refresh window; cold data age is uniform in
+     *  [coldAgeMinDays, refreshDays). */
+    double refreshDays = 30.0;
+    /** Lower bound of cold-data age (raised by deterministic studies
+     *  that need every cold read to require a retry). */
+    double coldAgeMinDays = 0.0;
+    /** Initial age of hot (will-be-rewritten) data, uniform [0, this). */
+    double hotAgeDays = 2.0;
+
+    /** SENC: probability a failed page needs an extra sentinel-cell
+     *  read at different VREFs (CSB/MSB pages; §III-B). */
+    double sentinelExtraReadProb = 2.0 / 3.0;
+    /** SWR+: fraction of reads whose VREF the tracker pre-optimized. */
+    double vrefTrackedFraction = 0.40;
+    /** Controller-side RP latency (RPSSD early decode termination). */
+    Tick tPredController = usToTicks(2.5);
+
+    /** Conventional fixed-sequence retry: each VREF step along the
+     *  manufacturer sequence multiplies the page's RBER by this. */
+    double seqStepFactor = 0.65;
+    /** Maximum VREF steps before the sequence is exhausted (the final
+     *  step falls back to the near-optimal voltage). */
+    int maxRetrySteps = 8;
+
+    /** RP behaviour model: effective bits observed by the predictor. */
+    double rpObservedBits = 1024.0 * 33.0;
+    /** Bits per codeword seen by the decoder. */
+    double codewordBits = 36864.0;
+
+    /**
+     * Serve queued reads ahead of writes/erases at each die (read
+     * prioritization, common in enterprise firmware). Off by default
+     * to match the paper's plain transaction scheduling.
+     */
+    bool readPriority = false;
+
+    /** GC: free-block low watermark per plane. */
+    int gcFreeBlockThreshold = 3;
+
+    /**
+     * Read-disturb management: relocate a block once its read count
+     * since the last program exceeds this (0 disables). Internal reads
+     * and programs consume channel/die bandwidth exactly like GC.
+     */
+    std::uint32_t readDisturbThreshold = 200000;
+    /** Fraction of the logical footprint preconditioned as valid. */
+    double preconditionFill = 1.0;
+
+    std::uint64_t seed = 1234;
+
+    /**
+     * Scaled-down simulation geometry: Table I channel/die/plane
+     * organization with fewer blocks so a run fits in memory/minutes
+     * (the paper's 2-TiB drive is reported by table01_config).
+     */
+    static nand::Geometry simGeometry();
+
+    /** Table I full-size geometry (for capacity reporting). */
+    static nand::Geometry paperGeometry();
+
+    /** Per-page ECC decode latency for a successfully decoded page. */
+    Tick teccSuccess(double rber_value) const;
+
+    /** Per-page ECC decode latency for a failed decode (max iters). */
+    Tick teccFailure() const { return timing.tEccMax; }
+
+    /** Decode latency after a near-optimal re-read (paper: 1 us). */
+    Tick teccAfterRetry() const { return timing.tEccMin; }
+};
+
+} // namespace ssd
+} // namespace rif
+
+#endif // RIF_SSD_CONFIG_H

@@ -1,0 +1,303 @@
+#include "ssd/devices.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace rif {
+namespace ssd {
+
+Tick
+PageOp::pendingDieTicks() const
+{
+    if (type != Type::Read)
+        return dieTicks;
+    Tick t = 0;
+    for (std::size_t i = phase; i < script.phases.size(); ++i) {
+        if (script.phases[i].kind != ReadPhase::Kind::DieVisit)
+            break;
+        t += script.phases[i].duration;
+    }
+    return t;
+}
+
+DieModel::DieModel(Simulator &sim, const SsdConfig &config,
+                   ChannelModel &channel, EccEngine &ecc)
+    : sim_(sim), config_(config), channel_(channel), ecc_(ecc)
+{
+}
+
+void
+DieModel::enqueue(PageOp *op)
+{
+    queue_.push_back(op);
+    // Defer batch formation by one zero-delay event so that all ops
+    // arriving at the same tick (e.g. the pages of one host request)
+    // coalesce into a single multi-plane batch instead of the first op
+    // issuing alone.
+    sim_.schedule(0, [this] { tryStart(); });
+}
+
+void
+DieModel::tryStart()
+{
+    if (busy_ || queue_.empty())
+        return;
+
+    // Build a multi-plane batch: operations of the front op's type on
+    // distinct planes, scanned in FIFO order. With read priority the
+    // batch type is Read whenever any read is queued.
+    PageOp::Type batch_type = queue_.front()->type;
+    if (config_.readPriority && batch_type != PageOp::Type::Read) {
+        for (const PageOp *op : queue_) {
+            if (op->type == PageOp::Type::Read) {
+                batch_type = PageOp::Type::Read;
+                break;
+            }
+        }
+    }
+    const int max_planes = config_.geometry.planesPerDie;
+    std::vector<PageOp *> batch;
+    std::uint32_t plane_mask = 0;
+
+    if (batch_type == PageOp::Type::Erase) {
+        batch.push_back(queue_.front());
+        queue_.pop_front();
+    } else {
+        for (auto it = queue_.begin();
+             it != queue_.end() &&
+             static_cast<int>(batch.size()) < max_planes;) {
+            PageOp *op = *it;
+            const std::uint32_t bit = 1u << op->addr.plane;
+            if (op->type == batch_type && !(plane_mask & bit)) {
+                plane_mask |= bit;
+                batch.push_back(op);
+                it = queue_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    RIF_ASSERT(!batch.empty());
+
+    busy_ = true;
+    Tick busy_for = 0;
+    for (PageOp *op : batch) {
+        const Tick t = op->pendingDieTicks();
+        busy_for = std::max(busy_for, t);
+        sim_.schedule(t, [this, op] { releaseOp(op); });
+    }
+    sim_.schedule(busy_for, [this] {
+        busy_ = false;
+        tryStart();
+    });
+}
+
+void
+DieModel::releaseOp(PageOp *op)
+{
+    switch (op->type) {
+      case PageOp::Type::Read: {
+        // Consume the run of DieVisit phases just executed.
+        while (!op->scriptDone() &&
+               op->currentPhase().kind == ReadPhase::Kind::DieVisit) {
+            op->phase++;
+        }
+        RIF_ASSERT(!op->scriptDone() &&
+                       op->currentPhase().kind ==
+                           ReadPhase::Kind::Transfer,
+                   "a die visit must be followed by a transfer");
+        channel_.enqueue(op);
+        break;
+      }
+      case PageOp::Type::Write:
+      case PageOp::Type::Erase: {
+        // Move the completion out first: it commonly deletes `op`, which
+        // would otherwise destroy the executing closure's captures.
+        auto done = std::move(op->onComplete);
+        done(op);
+        break;
+      }
+    }
+}
+
+ChannelModel::ChannelModel(Simulator &sim, const SsdConfig &config,
+                           EccEngine &ecc, ChannelUsage &usage)
+    : sim_(sim), config_(config), ecc_(ecc), usage_(usage)
+{
+}
+
+void
+ChannelModel::setDieLookup(
+    std::function<DieModel &(const nand::PhysAddr &)> f)
+{
+    dieLookup_ = std::move(f);
+}
+
+void
+ChannelModel::enqueue(PageOp *op)
+{
+    queue_.push_back(op);
+    tryStart();
+}
+
+void
+ChannelModel::poke()
+{
+    tryStart();
+}
+
+void
+ChannelModel::tryStart()
+{
+    if (busy_)
+        return;
+    if (queue_.empty()) {
+        usage_.transition(ChannelState::Idle, sim_.now());
+        return;
+    }
+
+    PageOp *op = queue_.front();
+    // A read transfer heads to the ECC engine only when a decode phase
+    // follows; e.g. Sentinel's extra sentinel-cell read is consumed by
+    // the controller without an LDPC decode.
+    const bool is_read = op->type == PageOp::Type::Read;
+    const bool toward_ecc =
+        is_read && op->phase + 1 < op->script.phases.size() &&
+        op->script.phases[op->phase + 1].kind == ReadPhase::Kind::Decode;
+    if (toward_ecc && !ecc_.canAccept()) {
+        // Root cause three (§III-B3): the decoder's buffer is full, so
+        // the channel idles even though work is pending.
+        usage_.transition(ChannelState::EccWait, sim_.now());
+        return;
+    }
+    queue_.pop_front();
+
+    ChannelState state = ChannelState::WriteXfer;
+    if (is_read)
+        state = op->currentPhase().usage;
+    if (toward_ecc)
+        ecc_.reserve();
+    usage_.transition(state, sim_.now());
+    busy_ = true;
+
+    sim_.schedule(config_.timing.tDmaPage, [this, op, is_read,
+                                            toward_ecc] {
+        busy_ = false;
+        if (!is_read) {
+            // Program data is now in the die's page buffer.
+            dieLookup_(op->addr).enqueue(op);
+        } else {
+            op->phase++; // consume the Transfer phase
+            if (toward_ecc) {
+                ecc_.accept(op);
+            } else if (op->scriptDone()) {
+                auto done = std::move(op->onComplete);
+                done(op);
+            } else {
+                RIF_ASSERT(op->currentPhase().kind ==
+                               ReadPhase::Kind::DieVisit,
+                           "transfer must lead to decode, die or end");
+                dieLookup_(op->addr).enqueue(op);
+            }
+        }
+        tryStart();
+    });
+}
+
+EccEngine::EccEngine(Simulator &sim, const SsdConfig &config)
+    : sim_(sim), config_(config)
+{
+}
+
+void
+EccEngine::setDieLookup(std::function<DieModel &(const nand::PhysAddr &)> f)
+{
+    dieLookup_ = std::move(f);
+}
+
+void
+EccEngine::reserve()
+{
+    RIF_ASSERT(held_ < config_.eccBufferPages);
+    ++held_;
+}
+
+void
+EccEngine::accept(PageOp *op)
+{
+    queue_.push_back(op);
+    tryDecode();
+}
+
+void
+EccEngine::tryDecode()
+{
+    if (busy_ || queue_.empty())
+        return;
+    PageOp *op = queue_.front();
+    queue_.pop_front();
+    busy_ = true;
+
+    const ReadPhase &ph = op->currentPhase();
+    RIF_ASSERT(ph.kind == ReadPhase::Kind::Decode);
+
+    sim_.schedule(ph.duration, [this, op] {
+        busy_ = false;
+        RIF_ASSERT(held_ > 0);
+        --held_;
+
+        const bool failed = op->currentPhase().decodeFails;
+        op->phase++; // consume the Decode phase
+        if (failed) {
+            RIF_ASSERT(!op->scriptDone() &&
+                           op->currentPhase().kind ==
+                               ReadPhase::Kind::DieVisit,
+                       "a failed decode must be followed by a re-read");
+            dieLookup_(op->addr).enqueue(op);
+        } else {
+            RIF_ASSERT(op->scriptDone(),
+                       "successful decode must end the script");
+            auto done = std::move(op->onComplete);
+            done(op);
+        }
+        if (channel_ != nullptr)
+            channel_->poke();
+        tryDecode();
+    });
+}
+
+HostLink::HostLink(Simulator &sim, double gbps)
+    : sim_(sim), bytesPerTick_(gbps * 1e9 / static_cast<double>(kNsPerSec))
+{
+    RIF_ASSERT(gbps > 0.0);
+}
+
+void
+HostLink::transfer(std::uint64_t bytes, std::function<void()> done)
+{
+    Job job;
+    job.duration = static_cast<Tick>(
+        static_cast<double>(bytes) / bytesPerTick_ + 0.5);
+    job.done = std::move(done);
+    queue_.push_back(std::move(job));
+    tryStart();
+}
+
+void
+HostLink::tryStart()
+{
+    if (busy_ || queue_.empty())
+        return;
+    Job job = std::move(queue_.front());
+    queue_.pop_front();
+    busy_ = true;
+    sim_.schedule(job.duration, [this, done = std::move(job.done)] {
+        busy_ = false;
+        done();
+        tryStart();
+    });
+}
+
+} // namespace ssd
+} // namespace rif

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Hardware resource models of the simulated SSD: flash dies (multi-plane
+ * batched senses and programs), flash channels (page DMA with ECC-buffer
+ * back-pressure and usage accounting), the per-channel ECC engine and the
+ * host interface link. Page operations carry their pre-planned read
+ * scripts (ssd/policy.h) and walk phase by phase through these resources.
+ */
+
+#ifndef RIF_SSD_DEVICES_H
+#define RIF_SSD_DEVICES_H
+
+#include <deque>
+#include <functional>
+
+#include "nand/geometry.h"
+#include "ssd/config.h"
+#include "ssd/policy.h"
+#include "ssd/sim.h"
+#include "ssd/stats.h"
+
+namespace rif {
+namespace ssd {
+
+class ChannelModel;
+class EccEngine;
+class DieModel;
+
+/** One page-granularity operation in flight. */
+struct PageOp
+{
+    enum class Type
+    {
+        Read,
+        Write,
+        Erase,
+    };
+
+    Type type = Type::Read;
+    nand::PhysAddr addr;
+
+    /** For reads: the planned script and the execution cursor. */
+    ReadScript script;
+    std::size_t phase = 0;
+
+    /** For writes/erases: die occupancy. */
+    Tick dieTicks = 0;
+
+    /** Invoked exactly once when the operation retires. */
+    std::function<void(PageOp *)> onComplete;
+
+    /** Current phase accessor (reads only). */
+    const ReadPhase &currentPhase() const { return script.phases[phase]; }
+    bool scriptDone() const { return phase >= script.phases.size(); }
+
+    /**
+     * Die occupancy of the current run of DieVisit phases, starting at
+     * the cursor.
+     */
+    Tick pendingDieTicks() const;
+};
+
+/**
+ * A flash die: executes one batch at a time. Reads and writes to
+ * distinct planes are merged into multi-plane batches; each operation
+ * releases at its own die occupancy while the die frees at the batch
+ * maximum (planes operate in parallel; §III-B3).
+ */
+class DieModel
+{
+  public:
+    DieModel(Simulator &sim, const SsdConfig &config, ChannelModel &channel,
+             EccEngine &ecc);
+
+    /** Queue an operation whose next phase runs on this die. */
+    void enqueue(PageOp *op);
+
+    bool idle() const { return !busy_; }
+    std::size_t queued() const { return queue_.size(); }
+
+  private:
+    void tryStart();
+    void releaseOp(PageOp *op);
+
+    Simulator &sim_;
+    const SsdConfig &config_;
+    ChannelModel &channel_;
+    EccEngine &ecc_;
+    std::deque<PageOp *> queue_;
+    bool busy_ = false;
+};
+
+/**
+ * A flash channel: one page transfer at a time; transfers toward the
+ * ECC engine stall when the engine's input buffer is full (the ECCWAIT
+ * state of Fig. 18).
+ */
+class ChannelModel
+{
+  public:
+    ChannelModel(Simulator &sim, const SsdConfig &config, EccEngine &ecc,
+                 ChannelUsage &usage);
+
+    /** Queue an operation whose next phase is a channel transfer. */
+    void enqueue(PageOp *op);
+
+    /** Re-evaluate after the ECC engine frees buffer space. */
+    void poke();
+
+    /** Writes continue to a die after their inbound transfer. */
+    void setDieLookup(std::function<DieModel &(const nand::PhysAddr &)> f);
+
+    bool idle() const { return !busy_; }
+
+  private:
+    void tryStart();
+
+    Simulator &sim_;
+    const SsdConfig &config_;
+    EccEngine &ecc_;
+    ChannelUsage &usage_;
+    std::function<DieModel &(const nand::PhysAddr &)> dieLookup_;
+    std::deque<PageOp *> queue_;
+    bool busy_ = false;
+};
+
+/**
+ * Channel-level ECC engine: FIFO decode of delivered pages with a small
+ * input buffer. The channel reserves a buffer slot when it starts a
+ * transfer toward the engine and the slot frees when the page's decode
+ * completes.
+ */
+class EccEngine
+{
+  public:
+    EccEngine(Simulator &sim, const SsdConfig &config);
+
+    /** Wire the owning channel (poked when buffer space frees). */
+    void setChannel(ChannelModel *channel) { channel_ = channel; }
+
+    /** True when a transfer toward the engine may begin. */
+    bool canAccept() const { return held_ < config_.eccBufferPages; }
+
+    /** Reserve a buffer slot (called at transfer start). */
+    void reserve();
+
+    /** A transferred page arrives for decoding. */
+    void accept(PageOp *op);
+
+    /** Reads continue to a die after a failed decode. */
+    void setDieLookup(std::function<DieModel &(const nand::PhysAddr &)> f);
+
+    int held() const { return held_; }
+
+  private:
+    void tryDecode();
+
+    Simulator &sim_;
+    const SsdConfig &config_;
+    ChannelModel *channel_ = nullptr;
+    std::function<DieModel &(const nand::PhysAddr &)> dieLookup_;
+    std::deque<PageOp *> queue_;
+    int held_ = 0;
+    bool busy_ = false;
+};
+
+/** Host interface link: serializes host data at the PCIe bandwidth. */
+class HostLink
+{
+  public:
+    HostLink(Simulator &sim, double gbps);
+
+    /** Transfer `bytes` and invoke `done` on completion. */
+    void transfer(std::uint64_t bytes, std::function<void()> done);
+
+  private:
+    void tryStart();
+
+    struct Job
+    {
+        Tick duration;
+        std::function<void()> done;
+    };
+
+    Simulator &sim_;
+    double bytesPerTick_;
+    std::deque<Job> queue_;
+    bool busy_ = false;
+};
+
+} // namespace ssd
+} // namespace rif
+
+#endif // RIF_SSD_DEVICES_H

@@ -1,0 +1,376 @@
+#include "ssd/ftl.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace rif {
+namespace ssd {
+
+Ftl::Ftl(const SsdConfig &config, Rng rng)
+    : config_(config), rberModel_(config.rber), rng_(rng)
+{
+    const auto &g = config_.geometry;
+    const std::size_t nplanes = g.totalPlanes();
+    planes_.resize(nplanes);
+    blocks_.resize(nplanes * static_cast<std::size_t>(g.blocksPerPlane));
+    for (auto &b : blocks_) {
+        b.factor = static_cast<float>(rberModel_.sampleBlockFactor(rng_));
+        b.lpnOf.assign(g.pagesPerBlock, 0);
+        b.valid.assign(g.pagesPerBlock, false);
+    }
+    for (std::size_t p = 0; p < nplanes; ++p) {
+        auto &plane = planes_[p];
+        plane.freeBlocks.reserve(g.blocksPerPlane);
+        // Keep the list LIFO-pop-from-back but in ascending order for
+        // deterministic fill patterns.
+        for (int b = g.blocksPerPlane - 1; b >= 0; --b)
+            plane.freeBlocks.push_back(b);
+    }
+}
+
+std::size_t
+Ftl::planeIndex(int channel, int die, int plane) const
+{
+    const auto &g = config_.geometry;
+    return (static_cast<std::size_t>(channel) * g.diesPerChannel + die) *
+               g.planesPerDie +
+           plane;
+}
+
+std::size_t
+Ftl::blockIndex(std::size_t plane_idx, int block) const
+{
+    return plane_idx * config_.geometry.blocksPerPlane + block;
+}
+
+Ppn
+Ftl::encodePpn(const nand::PhysAddr &a) const
+{
+    const auto &g = config_.geometry;
+    const std::size_t pi = planeIndex(a.channel, a.die, a.plane);
+    const std::size_t idx =
+        (blockIndex(pi, a.block)) * g.pagesPerBlock + a.page;
+    RIF_ASSERT(idx < kInvalidPpn);
+    return static_cast<Ppn>(idx);
+}
+
+nand::PhysAddr
+Ftl::decodePpn(Ppn p) const
+{
+    const auto &g = config_.geometry;
+    nand::PhysAddr a;
+    a.page = static_cast<int>(p % g.pagesPerBlock);
+    std::uint64_t rest = p / g.pagesPerBlock;
+    a.block = static_cast<int>(rest % g.blocksPerPlane);
+    rest /= g.blocksPerPlane;
+    a.plane = static_cast<int>(rest % g.planesPerDie);
+    rest /= g.planesPerDie;
+    a.die = static_cast<int>(rest % g.diesPerChannel);
+    rest /= g.diesPerChannel;
+    a.channel = static_cast<int>(rest);
+    RIF_ASSERT(a.channel < g.channels);
+    return a;
+}
+
+nand::PhysAddr
+Ftl::allocateInPlane(std::size_t plane_idx, std::uint64_t lpn)
+{
+    const auto &g = config_.geometry;
+    auto &plane = planes_[plane_idx];
+
+    if (plane.activeBlock < 0) {
+        RIF_ASSERT(!plane.freeBlocks.empty(),
+                   "plane out of free blocks: GC fell behind");
+        plane.activeBlock = plane.freeBlocks.back();
+        plane.freeBlocks.pop_back();
+        auto &meta = blocks_[blockIndex(plane_idx, plane.activeBlock)];
+        meta.free = false;
+        meta.writeCursor = 0;
+        meta.validCount = 0;
+        meta.readCount = 0;
+        std::fill(meta.valid.begin(), meta.valid.end(), false);
+    }
+
+    auto &meta = blocks_[blockIndex(plane_idx, plane.activeBlock)];
+    const int page = meta.writeCursor++;
+    meta.valid[page] = true;
+    meta.validCount++;
+    meta.lpnOf[page] = static_cast<std::uint32_t>(lpn);
+
+    nand::PhysAddr a;
+    a.plane = static_cast<int>(plane_idx % g.planesPerDie);
+    a.die = static_cast<int>((plane_idx / g.planesPerDie) %
+                             g.diesPerChannel);
+    a.channel = static_cast<int>(plane_idx /
+                                 (g.planesPerDie * g.diesPerChannel));
+    a.block = plane.activeBlock;
+    a.page = page;
+
+    if (meta.writeCursor == g.pagesPerBlock)
+        plane.activeBlock = -1; // block full; next write opens another
+
+    return a;
+}
+
+void
+Ftl::precondition(std::uint64_t footprint_pages, std::uint64_t cold_start)
+{
+    precondition(footprint_pages, [cold_start](std::uint64_t lpn) {
+        return lpn >= cold_start;
+    });
+}
+
+void
+Ftl::precondition(std::uint64_t footprint_pages,
+                  const std::function<bool(std::uint64_t)> &is_cold)
+{
+    const auto &g = config_.geometry;
+    RIF_ASSERT(mapping_.empty(), "precondition must run once");
+    const double capacity =
+        static_cast<double>(g.totalPages());
+    RIF_ASSERT(static_cast<double>(footprint_pages) <= capacity * 0.90,
+               "logical footprint too large for the simulated geometry");
+
+    mapping_.assign(footprint_pages, kInvalidPpn);
+    retentionDays_.assign(footprint_pages, 0.0f);
+
+    const std::size_t nplanes = g.totalPlanes();
+    const std::uint64_t filled = static_cast<std::uint64_t>(
+        static_cast<double>(footprint_pages) * config_.preconditionFill);
+    for (std::uint64_t lpn = 0; lpn < filled; ++lpn) {
+        const std::size_t pi = lpn % nplanes;
+        const nand::PhysAddr a = allocateInPlane(pi, lpn);
+        mapping_[lpn] = encodePpn(a);
+        const bool cold = is_cold(lpn);
+        retentionDays_[lpn] = static_cast<float>(
+            cold ? rng_.uniform(config_.coldAgeMinDays,
+                                config_.refreshDays)
+                 : rng_.uniform(0.0, config_.hotAgeDays));
+    }
+}
+
+ReadTranslation
+Ftl::translateRead(std::uint64_t lpn)
+{
+    RIF_ASSERT(lpn < mapping_.size(), "read beyond logical footprint");
+    ReadTranslation out;
+    Ppn ppn = mapping_[lpn];
+    if (ppn == kInvalidPpn) {
+        // Reading a never-written page: serve as a fresh hot page
+        // (real drives return zeroes without touching the array, but
+        // traces rarely do this; map it lazily for robustness).
+        const nand::PhysAddr a = allocateInPlane(
+            lpn % config_.geometry.totalPlanes(), lpn);
+        mapping_[lpn] = encodePpn(a);
+        retentionDays_[lpn] = 0.0f;
+        ppn = mapping_[lpn];
+    }
+    out.addr = decodePpn(ppn);
+    out.type = nand::pageTypeOf(out.addr.page);
+
+    const std::size_t pi =
+        planeIndex(out.addr.channel, out.addr.die, out.addr.plane);
+    auto &meta = blocks_[blockIndex(pi, out.addr.block)];
+    meta.readCount++;
+    if (config_.readDisturbThreshold != 0 &&
+        meta.readCount % config_.readDisturbThreshold == 0 &&
+        !meta.gcPending && !meta.free) {
+        disturbCandidates_.push_back(blockIndex(pi, out.addr.block));
+    }
+    if (config_.rberSource == RberSource::VthModel) {
+        // Physics path: V_TH state overlap at default VREF, scaled by
+        // the block's process-variation factor, plus the read-disturb
+        // term the distribution model does not carry.
+        const double disturb = rberModel_.params().readCoeff *
+                               static_cast<double>(meta.readCount) *
+                               (1.0 + config_.peCycles / 1000.0);
+        out.rber = vthModel_.pageRber(out.type, config_.peCycles,
+                                      retentionDays_[lpn]) *
+                       meta.factor +
+                   disturb * meta.factor;
+    } else {
+        out.rber = rberModel_.rber(config_.peCycles, retentionDays_[lpn],
+                                   meta.readCount, out.type, meta.factor);
+    }
+    return out;
+}
+
+void
+Ftl::invalidate(Ppn ppn)
+{
+    const nand::PhysAddr a = decodePpn(ppn);
+    const std::size_t pi = planeIndex(a.channel, a.die, a.plane);
+    auto &meta = blocks_[blockIndex(pi, a.block)];
+    RIF_ASSERT(meta.valid[a.page], "double invalidate");
+    meta.valid[a.page] = false;
+    RIF_ASSERT(meta.validCount > 0);
+    meta.validCount--;
+}
+
+nand::PhysAddr
+Ftl::allocateWrite(std::uint64_t lpn)
+{
+    RIF_ASSERT(lpn < mapping_.size(), "write beyond logical footprint");
+    if (mapping_[lpn] != kInvalidPpn)
+        invalidate(mapping_[lpn]);
+    // Round-robin across planes, skipping planes that are out of space
+    // (their GC is still reclaiming); only a drive-wide exhaustion is an
+    // error.
+    const std::size_t nplanes = config_.geometry.totalPlanes();
+    std::size_t pi = 0;
+    bool found = false;
+    for (std::size_t probe = 0; probe < nplanes; ++probe) {
+        pi = (writeCursorPlane_++) % nplanes;
+        const auto &plane = planes_[pi];
+        if (plane.activeBlock >= 0 || !plane.freeBlocks.empty()) {
+            found = true;
+            break;
+        }
+    }
+    RIF_ASSERT(found, "every plane out of free blocks: GC fell behind");
+    const nand::PhysAddr a = allocateInPlane(pi, lpn);
+    mapping_[lpn] = encodePpn(a);
+    retentionDays_[lpn] = 0.0f;
+    return a;
+}
+
+void
+Ftl::buildRelocationJob(std::size_t plane_idx, int victim, GcJob &out)
+{
+    const auto &g = config_.geometry;
+    auto &meta = blocks_[blockIndex(plane_idx, victim)];
+    meta.gcPending = true;
+    out.plane = static_cast<int>(plane_idx % g.planesPerDie);
+    out.die = static_cast<int>((plane_idx / g.planesPerDie) %
+                               g.diesPerChannel);
+    out.channel = static_cast<int>(
+        plane_idx / (g.planesPerDie * g.diesPerChannel));
+    out.block = victim;
+    out.lpnsToMove.clear();
+    for (int p = 0; p < g.pagesPerBlock; ++p) {
+        if (meta.valid[p]) {
+            // Confirm the mapping still points here (a host write may
+            // have superseded the page since).
+            const std::uint64_t lpn = meta.lpnOf[p];
+            nand::PhysAddr a;
+            a.channel = out.channel;
+            a.die = out.die;
+            a.plane = out.plane;
+            a.block = victim;
+            a.page = p;
+            if (lpn < mapping_.size() && mapping_[lpn] == encodePpn(a))
+                out.lpnsToMove.push_back(lpn);
+        }
+    }
+}
+
+bool
+Ftl::nextReadDisturbJob(GcJob &out)
+{
+    while (!disturbCandidates_.empty()) {
+        const std::size_t bi = disturbCandidates_.back();
+        disturbCandidates_.pop_back();
+        auto &meta = blocks_[bi];
+        const std::size_t plane_idx =
+            bi / static_cast<std::size_t>(config_.geometry.blocksPerPlane);
+        const int block = static_cast<int>(
+            bi % static_cast<std::size_t>(config_.geometry.blocksPerPlane));
+        if (meta.free || meta.gcPending ||
+            block == planes_[plane_idx].activeBlock) {
+            continue; // stale candidate
+        }
+        if (meta.writeCursor < config_.geometry.pagesPerBlock)
+            continue; // still open for writes; skip
+        buildRelocationJob(plane_idx, block, out);
+        return true;
+    }
+    return false;
+}
+
+bool
+Ftl::nextGcJob(GcJob &out)
+{
+    const auto &g = config_.geometry;
+    for (std::size_t pi = 0; pi < planes_.size(); ++pi) {
+        auto &plane = planes_[pi];
+        if (static_cast<int>(plane.freeBlocks.size()) >=
+            config_.gcFreeBlockThreshold) {
+            continue;
+        }
+        // Greedy victim: fewest valid pages among full, non-pending
+        // blocks.
+        int victim = -1;
+        int best_valid = g.pagesPerBlock + 1;
+        for (int b = 0; b < g.blocksPerPlane; ++b) {
+            const auto &meta = blocks_[blockIndex(pi, b)];
+            if (meta.free || meta.gcPending || b == plane.activeBlock)
+                continue;
+            if (meta.writeCursor < g.pagesPerBlock)
+                continue; // only reclaim fully written blocks
+            if (meta.validCount < best_valid) {
+                best_valid = meta.validCount;
+                victim = b;
+            }
+        }
+        if (victim < 0)
+            continue;
+        buildRelocationJob(pi, victim, out);
+        return true;
+    }
+    return false;
+}
+
+void
+Ftl::completeErase(const GcJob &job)
+{
+    const std::size_t pi = planeIndex(job.channel, job.die, job.plane);
+    auto &meta = blocks_[blockIndex(pi, job.block)];
+    RIF_ASSERT(meta.gcPending);
+    RIF_ASSERT(meta.validCount == 0,
+               "erasing a block that still holds valid pages");
+    meta.gcPending = false;
+    meta.free = true;
+    meta.eraseCount++;
+    meta.writeCursor = 0;
+    std::fill(meta.valid.begin(), meta.valid.end(), false);
+    planes_[pi].freeBlocks.push_back(job.block);
+    ++erases_;
+}
+
+std::uint64_t
+Ftl::totalFreeBlocks() const
+{
+    std::uint64_t n = 0;
+    for (const auto &plane : planes_)
+        n += plane.freeBlocks.size();
+    return n;
+}
+
+bool
+Ftl::writePressureCritical() const
+{
+    // Keep at least one free block per plane in reserve: below that,
+    // host writes must wait for garbage collection (write throttling,
+    // as real drives do under sustained random-write pressure).
+    return totalFreeBlocks() <= planes_.size();
+}
+
+int
+Ftl::freeBlocksInPlane(int channel, int die, int plane) const
+{
+    return static_cast<int>(
+        planes_[planeIndex(channel, die, plane)].freeBlocks.size());
+}
+
+std::uint64_t
+Ftl::validPages() const
+{
+    std::uint64_t n = 0;
+    for (const auto &b : blocks_)
+        n += b.validCount;
+    return n;
+}
+
+} // namespace ssd
+} // namespace rif

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Page-mapping flash translation layer: logical-to-physical mapping with
+ * channel-first striping for plane parallelism, per-block metadata
+ * (validity, read counts, process-variation factor), retention-age
+ * tracking per logical page, preconditioning, and greedy garbage
+ * collection.
+ */
+
+#ifndef RIF_SSD_FTL_H
+#define RIF_SSD_FTL_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "nand/rber_model.h"
+#include "nand/vth_model.h"
+#include "ssd/config.h"
+
+namespace rif {
+namespace ssd {
+
+/** Compact physical page number. */
+using Ppn = std::uint32_t;
+
+constexpr Ppn kInvalidPpn = ~Ppn(0);
+
+/** Result of a read translation. */
+struct ReadTranslation
+{
+    nand::PhysAddr addr;
+    nand::PageType type = nand::PageType::Lsb;
+    double rber = 0.0; ///< nominal RBER at default VREF
+};
+
+/** A garbage-collection work order: move these LPNs, then erase. */
+struct GcJob
+{
+    int channel = 0;
+    int die = 0;
+    int plane = 0;
+    int block = 0;
+    std::vector<std::uint64_t> lpnsToMove;
+};
+
+/** Page-mapping FTL. */
+class Ftl
+{
+  public:
+    Ftl(const SsdConfig &config, Rng rng);
+
+    /**
+     * Install the initial mapping for a logical footprint. LPNs at or
+     * beyond `cold_start` are cold (retention age uniform in the
+     * refresh window); the rest are hot (young data).
+     */
+    void precondition(std::uint64_t footprint_pages,
+                      std::uint64_t cold_start);
+
+    /**
+     * Predicate form for composite (multi-tenant) layouts: `is_cold`
+     * decides per LPN whether the page carries refresh-window-aged
+     * data.
+     */
+    void precondition(std::uint64_t footprint_pages,
+                      const std::function<bool(std::uint64_t)> &is_cold);
+
+    std::uint64_t footprintPages() const { return mapping_.size(); }
+
+    /** Translate a read and account a block read (read disturb). */
+    ReadTranslation translateRead(std::uint64_t lpn);
+
+    /**
+     * Allocate a fresh physical page for a write of `lpn`, invalidating
+     * the previous mapping. Resets the page's retention age.
+     */
+    nand::PhysAddr allocateWrite(std::uint64_t lpn);
+
+    /**
+     * If some plane fell below the free-block watermark, emit a GC job
+     * for it (at most one job per call). The caller relocates the LPNs
+     * (normal write path) and then calls completeErase().
+     */
+    bool nextGcJob(GcJob &out);
+
+    /**
+     * Read-disturb management: if any block's read count exceeded the
+     * configured threshold, emit a relocation job for it (§I's
+     * read-disturb management as SSD-internal traffic). Same job
+     * protocol as GC.
+     */
+    bool nextReadDisturbJob(GcJob &out);
+
+    /** Finish a GC job: erase the victim and return it to the free list. */
+    void completeErase(const GcJob &job);
+
+    /** Physical blocks per plane still free (for tests). */
+    int freeBlocksInPlane(int channel, int die, int plane) const;
+
+    /** Free blocks summed over all planes. */
+    std::uint64_t totalFreeBlocks() const;
+
+    /**
+     * True when host writes should be throttled so in-flight GC can
+     * catch up (free space nearly exhausted drive-wide).
+     */
+    bool writePressureCritical() const;
+
+    /** Total valid mapped pages (invariant checking). */
+    std::uint64_t validPages() const;
+
+    std::uint64_t erasesPerformed() const { return erases_; }
+
+  private:
+    struct BlockMeta
+    {
+        std::uint16_t writeCursor = 0;
+        std::uint16_t validCount = 0;
+        std::uint32_t readCount = 0;
+        std::uint32_t eraseCount = 0;
+        float factor = 1.0f;
+        bool free = true;
+        bool gcPending = false;
+        std::vector<std::uint32_t> lpnOf; ///< reverse map (per page)
+        std::vector<bool> valid;
+    };
+
+    struct PlaneState
+    {
+        int activeBlock = -1;
+        std::vector<int> freeBlocks; ///< local block indices
+    };
+
+    std::size_t planeIndex(int channel, int die, int plane) const;
+    std::size_t blockIndex(std::size_t plane_idx, int block) const;
+    Ppn encodePpn(const nand::PhysAddr &a) const;
+    nand::PhysAddr decodePpn(Ppn p) const;
+    /** Allocate the next page in a plane (opens a new block if needed). */
+    nand::PhysAddr allocateInPlane(std::size_t plane_idx,
+                                   std::uint64_t lpn);
+    void invalidate(Ppn ppn);
+    /** Shared GC/read-disturb job assembly for one victim block. */
+    void buildRelocationJob(std::size_t plane_idx, int victim,
+                            GcJob &out);
+
+    SsdConfig config_;
+    nand::RberModel rberModel_;
+    nand::VthModel vthModel_;
+    Rng rng_;
+
+    std::vector<Ppn> mapping_;
+    std::vector<float> retentionDays_;
+    std::vector<BlockMeta> blocks_;
+    std::vector<PlaneState> planes_;
+    std::uint64_t writeCursorPlane_ = 0; ///< round-robin allocator
+    std::uint64_t erases_ = 0;
+    /** Blocks whose read count crossed the disturb threshold. */
+    std::vector<std::size_t> disturbCandidates_;
+};
+
+} // namespace ssd
+} // namespace rif
+
+#endif // RIF_SSD_FTL_H

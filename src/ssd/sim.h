@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Discrete-event simulation kernel: a time-ordered event queue with
+ * stable FIFO ordering among same-tick events. Deliberately minimal —
+ * components schedule closures; there is no process abstraction.
+ */
+
+#ifndef RIF_SSD_SIM_H
+#define RIF_SSD_SIM_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.h"
+
+namespace rif {
+namespace ssd {
+
+/** Event-driven simulator kernel. */
+class Simulator
+{
+  public:
+    using Action = std::function<void()>;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule an action `delay` ticks in the future. */
+    void schedule(Tick delay, Action action);
+
+    /** Schedule at an absolute tick (must not be in the past). */
+    void scheduleAt(Tick when, Action action);
+
+    /** Run until the event queue drains. Returns the final tick. */
+    Tick run();
+
+    /** Run at most `max_events` events (watchdog for tests). */
+    Tick run(std::uint64_t max_events);
+
+    /** Number of events executed so far. */
+    std::uint64_t eventsExecuted() const { return executed_; }
+
+    bool empty() const { return queue_.empty(); }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Action action;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+} // namespace ssd
+} // namespace rif
+
+#endif // RIF_SSD_SIM_H

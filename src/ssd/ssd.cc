@@ -1,0 +1,321 @@
+#include "ssd/ssd.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace rif {
+namespace ssd {
+
+Ssd::Ssd(const SsdConfig &config)
+    : config_(config),
+      rng_(config.seed),
+      behavior_(makeBehaviorModel(config)),
+      ftl_(std::make_unique<Ftl>(config, Rng(config.seed ^ 0xf71))),
+      usage_(config.geometry.channels)
+{
+    const auto &g = config_.geometry;
+    stats_.channels.resize(g.channels);
+
+    eccs_.reserve(g.channels);
+    channels_.reserve(g.channels);
+    for (int c = 0; c < g.channels; ++c) {
+        eccs_.push_back(std::make_unique<EccEngine>(sim_, config_));
+        channels_.push_back(std::make_unique<ChannelModel>(
+            sim_, config_, *eccs_[c], stats_.channels[c]));
+        eccs_[c]->setChannel(channels_[c].get());
+    }
+    dies_.reserve(g.totalDies());
+    for (int c = 0; c < g.channels; ++c) {
+        for (int d = 0; d < g.diesPerChannel; ++d) {
+            dies_.push_back(std::make_unique<DieModel>(
+                sim_, config_, *channels_[c], *eccs_[c]));
+        }
+    }
+    auto lookup = [this](const nand::PhysAddr &a) -> DieModel & {
+        return dieAt(a);
+    };
+    for (int c = 0; c < g.channels; ++c) {
+        channels_[c]->setDieLookup(lookup);
+        eccs_[c]->setDieLookup(lookup);
+    }
+    hostLink_ = std::make_unique<HostLink>(sim_, config_.hostGBps);
+}
+
+Ssd::~Ssd() = default;
+
+DieModel &
+Ssd::dieAt(const nand::PhysAddr &addr)
+{
+    const auto &g = config_.geometry;
+    return *dies_[static_cast<std::size_t>(addr.channel) *
+                      g.diesPerChannel +
+                  addr.die];
+}
+
+SsdStats
+Ssd::run(trace::TraceSource &source)
+{
+    return runMultiQueue({&source});
+}
+
+SsdStats
+Ssd::runMultiQueue(const std::vector<trace::TraceSource *> &sources)
+{
+    RIF_ASSERT(!sources.empty());
+    std::uint64_t footprint = 0;
+    for (const auto *s : sources)
+        footprint = std::max(footprint, s->footprintPages());
+    ftl_->precondition(footprint, [&sources](std::uint64_t lpn) {
+        for (const auto *s : sources)
+            if (s->isCold(lpn))
+                return true;
+        return false;
+    });
+
+    queues_.clear();
+    queues_.resize(sources.size());
+    stats_.queueReadLatencyUs.resize(sources.size());
+    for (std::size_t q = 0; q < sources.size(); ++q)
+        queues_[q].source = sources[q];
+
+    int issued_any = 0;
+    for (std::size_t q = 0; q < sources.size(); ++q) {
+        for (int i = 0; i < config_.queueDepth; ++i)
+            issueNextRequest(static_cast<int>(q));
+        issued_any += queues_[q].outstanding;
+    }
+    if (issued_any == 0)
+        warn("trace produced no requests");
+
+    sim_.run();
+
+    stats_.makespan = sim_.now();
+    for (auto &u : stats_.channels)
+        u.finish(sim_.now());
+    return stats_;
+}
+
+void
+Ssd::issueNextRequest(int queue)
+{
+    auto &qs = queues_[static_cast<std::size_t>(queue)];
+    if (qs.drained)
+        return;
+    trace::IoRecord rec;
+    if (!qs.source->next(rec)) {
+        qs.drained = true;
+        return;
+    }
+    ++qs.outstanding;
+    ++stats_.hostRequests;
+    startRequest(rec, queue);
+}
+
+void
+Ssd::startRequest(const trace::IoRecord &rec, int queue)
+{
+    auto *req = new HostRequest;
+    req->isRead = rec.isRead;
+    req->pagesRemaining = static_cast<int>(rec.pages);
+    req->bytes = static_cast<std::uint64_t>(rec.pages) *
+                 config_.geometry.pageBytes;
+    req->issued = sim_.now();
+    req->queue = queue;
+
+    if (rec.isRead) {
+        dispatchReadPages(req, rec.lpn, rec.pages);
+    } else {
+        // Host data streams in over the host link before the pages are
+        // dispatched to the flash backend.
+        hostLink_->transfer(req->bytes, [this, req, rec] {
+            dispatchWritePages(req, rec.lpn, rec.pages);
+        });
+    }
+}
+
+PageOp *
+Ssd::newReadOp(std::uint64_t lpn, std::function<void(PageOp *)> done)
+{
+    const ReadTranslation tr = ftl_->translateRead(lpn);
+    auto *op = new PageOp;
+    op->type = PageOp::Type::Read;
+    op->addr = tr.addr;
+    op->script = planRead(config_, behavior_, tr.rber, rng_);
+    op->onComplete = std::move(done);
+    applyPlanStats(op->script.stats);
+    ++stats_.pageReads;
+    return op;
+}
+
+void
+Ssd::applyPlanStats(const ReadPlanStats &ps)
+{
+    if (ps.retried)
+        ++stats_.retriedReads;
+    stats_.uncorTransfers += ps.uncorTransfers;
+    stats_.failedDecodes += ps.failedDecodes;
+    stats_.rpPredictions += ps.rpPredictions;
+    stats_.avoidedTransfers += ps.avoidedTransfers;
+    stats_.falseInDieRetries += ps.falseInDieRetries;
+    stats_.missedPredictions += ps.missedPredictions;
+}
+
+void
+Ssd::dispatchReadPages(HostRequest *req, std::uint64_t lpn,
+                       std::uint32_t pages)
+{
+    for (std::uint32_t i = 0; i < pages; ++i) {
+        PageOp *op = newReadOp(lpn + i, [this, req](PageOp *done_op) {
+            delete done_op;
+            if (--req->pagesRemaining == 0) {
+                // All pages decoded; stream the data to the host.
+                hostLink_->transfer(req->bytes,
+                                    [this, req] { finishRequest(req); });
+            }
+        });
+        dieAt(op->addr).enqueue(op);
+    }
+    maybeStartGc(); // reads can trip the read-disturb threshold
+}
+
+void
+Ssd::dispatchWritePages(HostRequest *req, std::uint64_t lpn,
+                        std::uint32_t pages)
+{
+    if (ftl_->writePressureCritical()) {
+        // Throttle: park the write until GC frees blocks (drained on
+        // every erase completion).
+        stalledWrites_.push_back(
+            [this, req, lpn, pages] { dispatchWritePages(req, lpn, pages); });
+        maybeStartGc();
+        return;
+    }
+    for (std::uint32_t i = 0; i < pages; ++i) {
+        auto *op = new PageOp;
+        op->type = PageOp::Type::Write;
+        op->addr = ftl_->allocateWrite(lpn + i);
+        op->dieTicks = config_.timing.tProg;
+        op->onComplete = [this, req](PageOp *done_op) {
+            delete done_op;
+            ++stats_.pageWrites;
+            if (--req->pagesRemaining == 0)
+                finishRequest(req);
+        };
+        // Write data flows through the channel into the die first.
+        channels_[op->addr.channel]->enqueue(op);
+    }
+    maybeStartGc();
+}
+
+void
+Ssd::finishRequest(HostRequest *req)
+{
+    const double latency_us = ticksToUs(sim_.now() - req->issued);
+    if (req->isRead) {
+        stats_.hostReadBytes += req->bytes;
+        stats_.readLatencyUs.add(latency_us);
+        stats_.queueReadLatencyUs[static_cast<std::size_t>(req->queue)]
+            .add(latency_us);
+    } else {
+        stats_.hostWriteBytes += req->bytes;
+        stats_.writeLatencyUs.add(latency_us);
+    }
+    const int queue = req->queue;
+    delete req;
+    --queues_[static_cast<std::size_t>(queue)].outstanding;
+    issueNextRequest(queue);
+}
+
+void
+Ssd::drainStalledWrites()
+{
+    while (!stalledWrites_.empty() && !ftl_->writePressureCritical()) {
+        auto retry = std::move(stalledWrites_.front());
+        stalledWrites_.pop_front();
+        retry();
+    }
+}
+
+void
+Ssd::maybeStartGc()
+{
+    // Bound concurrent relocation so internal traffic cannot starve
+    // the host; free-space GC takes precedence over read-disturb
+    // relocations.
+    GcJob job;
+    while (gcJobsInFlight_ < config_.geometry.channels) {
+        if (ftl_->nextGcJob(job)) {
+            ++gcJobsInFlight_;
+            runGcJob(job);
+        } else if (ftl_->nextReadDisturbJob(job)) {
+            ++gcJobsInFlight_;
+            ++stats_.disturbBlockRelocations;
+            runGcJob(job);
+        } else {
+            break;
+        }
+    }
+}
+
+void
+Ssd::runGcJob(const GcJob &job)
+{
+    // Relocate every valid page (read via the normal retry-policy path,
+    // then program elsewhere), then erase the victim.
+    auto *moves_left = new int(static_cast<int>(job.lpnsToMove.size()));
+    auto *job_copy = new GcJob(job);
+
+    auto finish_moves = [this, moves_left, job_copy] {
+        if (--(*moves_left) > 0)
+            return;
+        auto *erase_op = new PageOp;
+        erase_op->type = PageOp::Type::Erase;
+        erase_op->addr.channel = job_copy->channel;
+        erase_op->addr.die = job_copy->die;
+        erase_op->addr.plane = job_copy->plane;
+        erase_op->addr.block = job_copy->block;
+        erase_op->dieTicks = config_.timing.tErase;
+        erase_op->onComplete = [this, job_copy,
+                                moves_left](PageOp *done_op) {
+            delete done_op;
+            ftl_->completeErase(*job_copy);
+            ++stats_.blockErases;
+            delete job_copy;
+            delete moves_left;
+            --gcJobsInFlight_;
+            maybeStartGc();
+            drainStalledWrites();
+        };
+        dieAt(erase_op->addr).enqueue(erase_op);
+    };
+
+    if (job.lpnsToMove.empty()) {
+        *moves_left = 1;
+        finish_moves();
+        return;
+    }
+
+    for (std::uint64_t lpn : job.lpnsToMove) {
+        PageOp *read_op =
+            newReadOp(lpn, [this, lpn, finish_moves](PageOp *done_op) {
+                delete done_op;
+                ++stats_.gcPageMoves;
+                auto *write_op = new PageOp;
+                write_op->type = PageOp::Type::Write;
+                write_op->addr = ftl_->allocateWrite(lpn);
+                write_op->dieTicks = config_.timing.tProg;
+                write_op->onComplete = [this,
+                                        finish_moves](PageOp *w) {
+                    delete w;
+                    ++stats_.pageWrites;
+                    finish_moves();
+                };
+                channels_[write_op->addr.channel]->enqueue(write_op);
+            });
+        dieAt(read_op->addr).enqueue(read_op);
+    }
+}
+
+} // namespace ssd
+} // namespace rif

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Top-level SSD model: wires channels, dies, ECC engines, the FTL and the
+ * host link together, replays a trace closed-loop at a fixed queue depth
+ * and produces the statistics the paper's figures are built from.
+ */
+
+#ifndef RIF_SSD_SSD_H
+#define RIF_SSD_SSD_H
+
+#include <memory>
+#include <vector>
+
+#include "odear/accuracy.h"
+#include "ssd/devices.h"
+#include "ssd/ftl.h"
+#include "ssd/sim.h"
+#include "trace/trace.h"
+
+namespace rif {
+namespace ssd {
+
+/** A complete simulated SSD. */
+class Ssd
+{
+  public:
+    explicit Ssd(const SsdConfig &config);
+    ~Ssd();
+
+    Ssd(const Ssd &) = delete;
+    Ssd &operator=(const Ssd &) = delete;
+
+    /**
+     * Replay a trace closed-loop (up to config.queueDepth outstanding
+     * requests) until the source is exhausted and all requests retire.
+     *
+     * @return the collected statistics (bandwidth, latencies, channel
+     *         usage, retry counters)
+     */
+    SsdStats run(trace::TraceSource &source);
+
+    /**
+     * Multi-queue replay: each source drives one host submission queue
+     * with its own closed loop of config.queueDepth requests (the
+     * multi-tenant mode of MQSim-class simulators). Sources should
+     * occupy disjoint LBA partitions (see trace::OffsetTrace); the FTL
+     * footprint is the maximum across queues and per-page coldness is
+     * the OR of the tenants' predicates. Per-queue read latencies land
+     * in SsdStats::queueReadLatencyUs.
+     */
+    SsdStats runMultiQueue(
+        const std::vector<trace::TraceSource *> &sources);
+
+    const SsdConfig &config() const { return config_; }
+
+    /** Access to the FTL for invariant checks in tests. */
+    const Ftl &ftl() const { return *ftl_; }
+
+    /** The event kernel (exposed for timeline studies). */
+    Simulator &simulator() { return sim_; }
+
+  private:
+    struct HostRequest
+    {
+        bool isRead = true;
+        std::uint64_t bytes = 0;
+        int pagesRemaining = 0;
+        Tick issued = 0;
+        int queue = 0;
+    };
+
+    struct QueueState
+    {
+        trace::TraceSource *source = nullptr;
+        bool drained = false;
+        int outstanding = 0;
+    };
+
+    DieModel &dieAt(const nand::PhysAddr &addr);
+    void issueNextRequest(int queue);
+    void startRequest(const trace::IoRecord &rec, int queue);
+    void dispatchReadPages(HostRequest *req, std::uint64_t lpn,
+                           std::uint32_t pages);
+    void dispatchWritePages(HostRequest *req, std::uint64_t lpn,
+                            std::uint32_t pages);
+    void finishRequest(HostRequest *req);
+    void maybeStartGc();
+    void drainStalledWrites();
+    void runGcJob(const GcJob &job);
+    PageOp *newReadOp(std::uint64_t lpn,
+                      std::function<void(PageOp *)> done);
+    void applyPlanStats(const ReadPlanStats &ps);
+
+    SsdConfig config_;
+    Simulator sim_;
+    Rng rng_;
+    odear::RpBehaviorModel behavior_;
+
+    std::unique_ptr<Ftl> ftl_;
+    std::vector<ChannelUsage> usage_;
+    std::vector<std::unique_ptr<EccEngine>> eccs_;
+    std::vector<std::unique_ptr<ChannelModel>> channels_;
+    std::vector<std::unique_ptr<DieModel>> dies_; // channel-major
+    std::unique_ptr<HostLink> hostLink_;
+
+    std::vector<QueueState> queues_;
+    int gcJobsInFlight_ = 0;
+    /** Host writes parked while GC reclaims free blocks. */
+    std::deque<std::function<void()>> stalledWrites_;
+
+    SsdStats stats_;
+};
+
+} // namespace ssd
+} // namespace rif
+
+#endif // RIF_SSD_SSD_H

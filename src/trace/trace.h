@@ -1,0 +1,205 @@
+/**
+ * @file
+ * I/O trace abstractions: the record format consumed by the SSD
+ * simulator's closed-loop replayer, a CSV trace parser, and synthetic
+ * workload generators reproducing the key characteristics (Table II) of
+ * the AliCloud and Systor traces the paper evaluates with.
+ */
+
+#ifndef RIF_TRACE_TRACE_H
+#define RIF_TRACE_TRACE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace rif {
+namespace trace {
+
+/** One host I/O request, in units of 16-KiB flash pages. */
+struct IoRecord
+{
+    bool isRead = true;
+    std::uint64_t lpn = 0;  ///< first logical page number
+    std::uint32_t pages = 1; ///< request length in pages
+};
+
+/** Pull-based request stream. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** Produce the next request; false at end of stream. */
+    virtual bool next(IoRecord &out) = 0;
+
+    /** Logical footprint in pages (defines the FTL mapping size). */
+    virtual std::uint64_t footprintPages() const = 0;
+
+    /**
+     * Pages never written by this stream (the FTL assigns them long
+     * retention ages). Empty means "derive nothing": all pages hot.
+     * The boundary style matches our generators: [coldStart, end).
+     */
+    virtual std::uint64_t coldRegionStart() const
+    {
+        return footprintPages();
+    }
+
+    /**
+     * Whether a page is cold (never written by this stream). The
+     * default derives it from the single cold boundary; composite
+     * sources (multi-tenant) override it.
+     */
+    virtual bool
+    isCold(std::uint64_t lpn) const
+    {
+        return lpn >= coldRegionStart() && lpn < footprintPages();
+    }
+};
+
+/** Named workload characteristics (paper Table II). */
+struct WorkloadSpec
+{
+    std::string name;
+    double readRatio = 0.5;     ///< fraction of requests that are reads
+    double coldReadRatio = 0.5; ///< fraction of reads hitting cold pages
+    std::uint64_t footprintPages = 1u << 19; ///< 8 GiB at 16 KiB/page
+    double coldFraction = 0.6;  ///< fraction of footprint that is cold
+    double seqProbability = 0.35; ///< chance a read continues a stream
+    double zipfTheta = 0.9;     ///< hot-set skew for writes/hot reads
+    std::uint32_t maxPages = 16; ///< max request size (16 -> 256 KiB)
+};
+
+/** The eight evaluated workloads (Table II read/cold-read ratios). */
+std::vector<WorkloadSpec> paperWorkloads();
+
+/** Look up one of the paper workloads by name (fatal if unknown). */
+WorkloadSpec workloadByName(const std::string &name);
+
+/**
+ * Synthetic generator: reads split between a never-written cold region
+ * (uniform, sequential-ish runs) and a zipfian hot region; writes go to
+ * the hot region only, so the generator's cold-read ratio and read ratio
+ * match the spec by construction.
+ */
+class SyntheticWorkload : public TraceSource
+{
+  public:
+    SyntheticWorkload(const WorkloadSpec &spec, std::uint64_t requests,
+                      std::uint64_t seed);
+
+    bool next(IoRecord &out) override;
+    std::uint64_t footprintPages() const override;
+    std::uint64_t coldRegionStart() const override;
+
+    const WorkloadSpec &spec() const { return spec_; }
+
+  private:
+    std::uint32_t samplePages(Rng &rng) const;
+
+    WorkloadSpec spec_;
+    std::uint64_t remaining_;
+    Rng rng_;
+    ZipfSampler hotSampler_;
+    std::uint64_t hotPages_;
+    std::uint64_t coldPages_;
+    /** Sequential-stream cursor within the cold region. */
+    std::uint64_t seqCursor_ = 0;
+    bool seqActive_ = false;
+};
+
+/**
+ * CSV trace file source. Each line: R|W,<lpn>,<pages>. Lines starting
+ * with '#' are comments. Footprint is the max touched page + 1 (the
+ * file is scanned once at construction).
+ */
+class FileTrace : public TraceSource
+{
+  public:
+    explicit FileTrace(const std::string &path);
+
+    bool next(IoRecord &out) override;
+    std::uint64_t footprintPages() const override;
+
+    /**
+     * Pages above every write in the file are never updated by the
+     * trace, hence cold (long retention age under the FTL).
+     */
+    std::uint64_t coldRegionStart() const override;
+
+  private:
+    std::vector<IoRecord> records_;
+    std::size_t cursor_ = 0;
+    std::uint64_t footprint_ = 0;
+    std::uint64_t coldStart_ = 0;
+};
+
+/** In-memory trace source (tests and timeline studies). */
+class VectorTrace : public TraceSource
+{
+  public:
+    VectorTrace(std::vector<IoRecord> records,
+                std::uint64_t footprint_pages,
+                std::uint64_t cold_start = 0);
+
+    bool next(IoRecord &out) override;
+    std::uint64_t footprintPages() const override;
+    std::uint64_t coldRegionStart() const override;
+
+  private:
+    std::vector<IoRecord> records_;
+    std::size_t cursor_ = 0;
+    std::uint64_t footprint_;
+    std::uint64_t coldStart_;
+};
+
+/**
+ * Measure the realized characteristics of a stream (for the Table II
+ * bench): read ratio and cold-read ratio given the cold boundary.
+ */
+struct TraceCharacteristics
+{
+    std::uint64_t requests = 0;
+    std::uint64_t readRequests = 0;
+    std::uint64_t coldReads = 0;
+    std::uint64_t totalPages = 0;
+
+    double readRatio() const;
+    double coldReadRatio() const;
+};
+
+TraceCharacteristics characterize(TraceSource &source,
+                                  std::uint64_t cold_start);
+
+/**
+ * Shifts a sub-stream into its own LBA partition — the building block
+ * of multi-tenant replay, where each NVMe queue serves one tenant with
+ * a disjoint slice of the logical space.
+ */
+class OffsetTrace : public TraceSource
+{
+  public:
+    /** @param inner the tenant's stream; not owned
+     *  @param offset_pages partition base LPN */
+    OffsetTrace(TraceSource &inner, std::uint64_t offset_pages);
+
+    bool next(IoRecord &out) override;
+    std::uint64_t footprintPages() const override;
+    std::uint64_t coldRegionStart() const override;
+    bool isCold(std::uint64_t lpn) const override;
+
+    std::uint64_t offset() const { return offset_; }
+
+  private:
+    TraceSource &inner_;
+    std::uint64_t offset_;
+};
+
+} // namespace trace
+} // namespace rif
+
+#endif // RIF_TRACE_TRACE_H

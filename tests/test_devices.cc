@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Unit tests of the hardware resource models: multi-plane die batching
+ * (including the same-tick coalescing regression), channel transfer
+ * serialization and usage accounting, ECC buffer back-pressure and the
+ * host link.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "ssd/devices.h"
+
+namespace rif {
+namespace ssd {
+namespace {
+
+/** Harness wiring one channel + ECC + one die. */
+struct Rig
+{
+    explicit Rig(int ecc_buffer_pages = 2)
+    {
+        cfg.geometry.channels = 1;
+        cfg.geometry.diesPerChannel = 1;
+        cfg.eccBufferPages = ecc_buffer_pages;
+        ecc = std::make_unique<EccEngine>(sim, cfg);
+        channel =
+            std::make_unique<ChannelModel>(sim, cfg, *ecc, usage);
+        ecc->setChannel(channel.get());
+        die = std::make_unique<DieModel>(sim, cfg, *channel, *ecc);
+        auto lookup = [this](const nand::PhysAddr &) -> DieModel & {
+            return *die;
+        };
+        channel->setDieLookup(lookup);
+        ecc->setDieLookup(lookup);
+    }
+
+    /** A simple clean-read op: sense tR, COR transfer, decode. */
+    PageOp *
+    makeRead(int plane, Tick decode_ticks, std::vector<Tick> *done_at)
+    {
+        auto *op = new PageOp;
+        op->type = PageOp::Type::Read;
+        op->addr.plane = plane;
+        op->script.phases = {
+            ReadPhase::die(cfg.timing.tR),
+            ReadPhase::xfer(ChannelState::CorXfer),
+            ReadPhase::decode(decode_ticks, false),
+        };
+        op->onComplete = [this, done_at](PageOp *o) {
+            done_at->push_back(sim.now());
+            delete o;
+        };
+        return op;
+    }
+
+    SsdConfig cfg;
+    Simulator sim;
+    ChannelUsage usage;
+    std::unique_ptr<EccEngine> ecc;
+    std::unique_ptr<ChannelModel> channel;
+    std::unique_ptr<DieModel> die;
+};
+
+TEST(DieModel, SameTickOpsFormOneMultiPlaneBatch)
+{
+    // Regression: four reads to distinct planes enqueued back-to-back
+    // at tick 0 must sense together (one tR), not serially.
+    Rig rig;
+    std::vector<Tick> done;
+    for (int plane = 0; plane < 4; ++plane)
+        rig.die->enqueue(rig.makeRead(plane, usToTicks(1.0), &done));
+    rig.sim.run();
+    ASSERT_EQ(done.size(), 4u);
+    // Sense 40 us together, then 4 x 13 us transfers + 1 us decode:
+    // last completion at ~40 + 52 + 1 = 93 us, far below the serial
+    // 4 x 40 = 160 us of sensing alone.
+    EXPECT_LE(done.back(), usToTicks(95.0));
+    EXPECT_GE(done.front(), usToTicks(53.0));
+}
+
+TEST(DieModel, SamePlaneOpsSerialize)
+{
+    Rig rig;
+    std::vector<Tick> done;
+    rig.die->enqueue(rig.makeRead(0, usToTicks(1.0), &done));
+    rig.die->enqueue(rig.makeRead(0, usToTicks(1.0), &done));
+    rig.sim.run();
+    ASSERT_EQ(done.size(), 2u);
+    // Two senses of the same plane cannot overlap: >= 80 us of die time
+    // before the second transfer even starts.
+    EXPECT_GE(done.back(), usToTicks(80.0 + 13.0));
+}
+
+TEST(DieModel, BatchReleasesEachOpAtItsOwnDuration)
+{
+    // One op has extra on-die work (RiF in-die retry); the clean op
+    // must release to the channel at tR, not at the batch maximum.
+    Rig rig;
+    std::vector<Tick> done;
+    PageOp *slow = rig.makeRead(0, usToTicks(1.0), &done);
+    slow->script.phases.insert(
+        slow->script.phases.begin() + 1,
+        ReadPhase::die(usToTicks(80.0))); // in-die retry
+    PageOp *fast = rig.makeRead(1, usToTicks(1.0), &done);
+    rig.die->enqueue(slow);
+    rig.die->enqueue(fast);
+    rig.sim.run();
+    ASSERT_EQ(done.size(), 2u);
+    // Fast op: 40 (sense) + 13 (xfer) + 1 (decode) = 54 us.
+    EXPECT_LE(done.front(), usToTicks(55.0));
+    // Slow op: 120 on die + 13 + 1.
+    EXPECT_GE(done.back(), usToTicks(133.0));
+}
+
+TEST(DieModel, WritesOccupyProgramTime)
+{
+    Rig rig;
+    std::vector<Tick> done;
+    auto *op = new PageOp;
+    op->type = PageOp::Type::Write;
+    op->addr.plane = 0;
+    op->dieTicks = rig.cfg.timing.tProg;
+    op->onComplete = [&](PageOp *o) {
+        done.push_back(rig.sim.now());
+        delete o;
+    };
+    rig.die->enqueue(op);
+    rig.sim.run();
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done[0], rig.cfg.timing.tProg);
+}
+
+TEST(Channel, TransfersSerializeAtPageGranularity)
+{
+    Rig rig;
+    std::vector<Tick> done;
+    for (int plane = 0; plane < 2; ++plane)
+        rig.die->enqueue(rig.makeRead(plane, usToTicks(1.0), &done));
+    rig.sim.run();
+    rig.usage.finish(rig.sim.now());
+    // Two transfers of 13 us each.
+    EXPECT_EQ(rig.usage.time(ChannelState::CorXfer), usToTicks(26.0));
+    EXPECT_EQ(rig.usage.time(ChannelState::UncorXfer), 0u);
+}
+
+TEST(Channel, EccBackPressureProducesEccWait)
+{
+    // Long decodes (20 us) behind 13 us transfers with a 2-page buffer
+    // must stall the channel (the paper's ECCWAIT).
+    Rig rig(2);
+    std::vector<Tick> done;
+    for (int plane = 0; plane < 4; ++plane)
+        rig.die->enqueue(rig.makeRead(plane, usToTicks(20.0), &done));
+    rig.sim.run();
+    rig.usage.finish(rig.sim.now());
+    EXPECT_GT(rig.usage.time(ChannelState::EccWait), 0u);
+    // Completions pace at the 20 us decode cadence, not 13 us.
+    ASSERT_EQ(done.size(), 4u);
+    EXPECT_GE(done[3] - done[0], usToTicks(3 * 20.0 - 1.0));
+}
+
+TEST(Channel, DeeperEccBufferRemovesEccWaitForShortBursts)
+{
+    Rig rig(8);
+    std::vector<Tick> done;
+    for (int plane = 0; plane < 4; ++plane)
+        rig.die->enqueue(rig.makeRead(plane, usToTicks(20.0), &done));
+    rig.sim.run();
+    rig.usage.finish(rig.sim.now());
+    EXPECT_EQ(rig.usage.time(ChannelState::EccWait), 0u);
+}
+
+TEST(Ecc, FailedDecodeSendsOpBackToDie)
+{
+    Rig rig;
+    std::vector<Tick> done;
+    auto *op = new PageOp;
+    op->type = PageOp::Type::Read;
+    op->addr.plane = 0;
+    op->script.phases = {
+        ReadPhase::die(rig.cfg.timing.tR),
+        ReadPhase::xfer(ChannelState::UncorXfer),
+        ReadPhase::decode(rig.cfg.timing.tEccMax, true),
+        ReadPhase::die(rig.cfg.timing.tR),
+        ReadPhase::xfer(ChannelState::CorXfer),
+        ReadPhase::decode(rig.cfg.timing.tEccMin, false),
+    };
+    op->onComplete = [&](PageOp *o) {
+        done.push_back(rig.sim.now());
+        delete o;
+    };
+    rig.die->enqueue(op);
+    rig.sim.run();
+    rig.usage.finish(rig.sim.now());
+    ASSERT_EQ(done.size(), 1u);
+    // 40 + 13 + 20 + 40 + 13 + 1 = 127 us end to end.
+    EXPECT_EQ(done[0], usToTicks(127.0));
+    EXPECT_EQ(rig.usage.time(ChannelState::UncorXfer), usToTicks(13.0));
+    EXPECT_EQ(rig.usage.time(ChannelState::CorXfer), usToTicks(13.0));
+}
+
+TEST(HostLink, SerializesAtConfiguredBandwidth)
+{
+    Simulator sim;
+    HostLink link(sim, 8.0); // 8 GB/s
+    std::vector<Tick> done;
+    // Two 64-KiB transfers: 8.192 us each, strictly serialized.
+    for (int i = 0; i < 2; ++i)
+        link.transfer(64 * kKiB, [&] { done.push_back(sim.now()); });
+    sim.run();
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_NEAR(static_cast<double>(done[0]), 8192.0, 2.0);
+    EXPECT_NEAR(static_cast<double>(done[1]), 16384.0, 4.0);
+}
+
+TEST(PageOp, PendingDieTicksSumsLeadingRun)
+{
+    PageOp op;
+    op.type = PageOp::Type::Read;
+    op.script.phases = {
+        ReadPhase::die(10), ReadPhase::die(20),
+        ReadPhase::xfer(ChannelState::CorXfer), ReadPhase::decode(5, false),
+    };
+    EXPECT_EQ(op.pendingDieTicks(), 30u);
+    op.phase = 2;
+    EXPECT_EQ(op.pendingDieTicks(), 0u);
+}
+
+} // namespace
+} // namespace ssd
+} // namespace rif

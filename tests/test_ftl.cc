@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Tests of the FTL: preconditioning, translation, retention-age
+ * assignment (cold vs hot), write allocation/invalidations, read-disturb
+ * accounting and the garbage-collection lifecycle.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ssd/ftl.h"
+
+namespace rif {
+namespace ssd {
+namespace {
+
+SsdConfig
+tinyConfig()
+{
+    SsdConfig cfg;
+    cfg.geometry = nand::tinyGeometry();
+    cfg.peCycles = 1000.0;
+    return cfg;
+}
+
+TEST(Ftl, PreconditionMapsEveryPage)
+{
+    const SsdConfig cfg = tinyConfig();
+    Ftl ftl(cfg, Rng(1));
+    const std::uint64_t footprint = 4096;
+    ftl.precondition(footprint, footprint / 2);
+    EXPECT_EQ(ftl.footprintPages(), footprint);
+    EXPECT_EQ(ftl.validPages(), footprint);
+    std::set<std::pair<int, int>> planes_seen;
+    for (std::uint64_t lpn = 0; lpn < footprint; ++lpn) {
+        const ReadTranslation tr = ftl.translateRead(lpn);
+        EXPECT_LT(tr.addr.channel, cfg.geometry.channels);
+        EXPECT_LT(tr.addr.die, cfg.geometry.diesPerChannel);
+        EXPECT_LT(tr.addr.plane, cfg.geometry.planesPerDie);
+        EXPECT_LT(tr.addr.block, cfg.geometry.blocksPerPlane);
+        EXPECT_LT(tr.addr.page, cfg.geometry.pagesPerBlock);
+        EXPECT_GT(tr.rber, 0.0);
+        planes_seen.insert({tr.addr.die, tr.addr.plane});
+    }
+    // Striping spreads the footprint across every plane of the tiny
+    // geometry (2 dies x 4 planes).
+    EXPECT_EQ(planes_seen.size(), 8u);
+}
+
+TEST(Ftl, ColdPagesAgeOlderThanHot)
+{
+    const SsdConfig cfg = tinyConfig();
+    Ftl ftl(cfg, Rng(2));
+    const std::uint64_t footprint = 8192;
+    const std::uint64_t cold_start = footprint / 2;
+    ftl.precondition(footprint, cold_start);
+
+    double hot_rber = 0.0, cold_rber = 0.0;
+    for (std::uint64_t lpn = 0; lpn < cold_start; ++lpn)
+        hot_rber += ftl.translateRead(lpn).rber;
+    for (std::uint64_t lpn = cold_start; lpn < footprint; ++lpn)
+        cold_rber += ftl.translateRead(lpn).rber;
+    hot_rber /= cold_start;
+    cold_rber /= (footprint - cold_start);
+    // Cold data carries the refresh-window retention age and therefore
+    // far higher RBER — the driver of the cold-read retry behaviour.
+    EXPECT_GT(cold_rber, 2.0 * hot_rber);
+}
+
+TEST(Ftl, RepeatedReadsAccumulateDisturb)
+{
+    const SsdConfig cfg = tinyConfig();
+    Ftl ftl(cfg, Rng(3));
+    ftl.precondition(1024, 512);
+    const double first = ftl.translateRead(700).rber;
+    double last = first;
+    for (int i = 0; i < 20000; ++i)
+        last = ftl.translateRead(700).rber;
+    EXPECT_GT(last, first);
+}
+
+TEST(Ftl, WriteMovesAndInvalidates)
+{
+    const SsdConfig cfg = tinyConfig();
+    Ftl ftl(cfg, Rng(4));
+    ftl.precondition(1024, 512);
+    const ReadTranslation before = ftl.translateRead(600);
+    const double old_rber = before.rber;
+    const nand::PhysAddr a = ftl.allocateWrite(600);
+    const ReadTranslation after = ftl.translateRead(600);
+    EXPECT_TRUE(after.addr == a);
+    EXPECT_FALSE(after.addr == before.addr);
+    // The rewrite resets retention: fresher data, lower RBER.
+    EXPECT_LT(after.rber, old_rber);
+    EXPECT_EQ(ftl.validPages(), 1024u);
+}
+
+TEST(Ftl, UnmappedReadIsServedLazily)
+{
+    const SsdConfig cfg = tinyConfig();
+    Ftl ftl(cfg, Rng(5));
+    ftl.precondition(1024, 512);
+    // Footprint holds but a fill below 1.0 leaves tail pages unmapped.
+    // (Exercised through a second FTL with partial preconditioning.)
+    SsdConfig partial = cfg;
+    partial.preconditionFill = 0.5;
+    Ftl ftl2(partial, Rng(5));
+    ftl2.precondition(1024, 512);
+    const ReadTranslation tr = ftl2.translateRead(1023);
+    EXPECT_GE(tr.rber, 0.0);
+    EXPECT_EQ(ftl2.translateRead(1023).addr.block, tr.addr.block);
+}
+
+TEST(Ftl, GcReclaimsInvalidatedBlocks)
+{
+    SsdConfig cfg = tinyConfig();
+    cfg.gcFreeBlockThreshold = 8;
+    Ftl ftl(cfg, Rng(6));
+    const std::uint64_t footprint = 12000; // ~73% of tiny capacity
+    ftl.precondition(footprint, footprint);
+
+    // Churn a hot set until some plane drops below the watermark.
+    Rng rng(7);
+    bool gc_seen = false;
+    for (int round = 0; round < 200000 && !gc_seen; ++round) {
+        ftl.allocateWrite(rng.below(2048));
+        GcJob job;
+        while (ftl.nextGcJob(job)) {
+            gc_seen = true;
+            // Relocate every still-valid page, then erase.
+            for (std::uint64_t lpn : job.lpnsToMove)
+                ftl.allocateWrite(lpn);
+            ftl.completeErase(job);
+        }
+    }
+    EXPECT_TRUE(gc_seen);
+    EXPECT_GT(ftl.erasesPerformed(), 0u);
+    EXPECT_EQ(ftl.validPages(), footprint);
+    // All planes recovered above (or at least to) a sane free level.
+    for (int c = 0; c < cfg.geometry.channels; ++c)
+        for (int d = 0; d < cfg.geometry.diesPerChannel; ++d)
+            for (int p = 0; p < cfg.geometry.planesPerDie; ++p)
+                EXPECT_GT(ftl.freeBlocksInPlane(c, d, p), 0);
+}
+
+TEST(Ftl, GcPrefersSparseVictims)
+{
+    SsdConfig cfg = tinyConfig();
+    cfg.gcFreeBlockThreshold = cfg.geometry.blocksPerPlane; // always GC
+    Ftl ftl(cfg, Rng(8));
+    const std::uint64_t footprint = 12000;
+    ftl.precondition(footprint, footprint);
+    // Invalidate a dense run of early LPNs: early-filled blocks become
+    // sparse victims.
+    for (std::uint64_t lpn = 0; lpn < 4000; ++lpn)
+        ftl.allocateWrite(lpn);
+    GcJob job;
+    ASSERT_TRUE(ftl.nextGcJob(job));
+    EXPECT_LT(job.lpnsToMove.size(),
+              static_cast<std::size_t>(cfg.geometry.pagesPerBlock))
+        << "victim should have invalid pages";
+}
+
+TEST(Ftl, ReadDisturbTriggersRelocation)
+{
+    SsdConfig cfg = tinyConfig();
+    cfg.readDisturbThreshold = 500;
+    Ftl ftl(cfg, Rng(10));
+    ftl.precondition(8192, 8192); // all hot
+
+    // Hammer one LPN until its block crosses the disturb threshold.
+    const ReadTranslation first = ftl.translateRead(123);
+    for (int i = 0; i < 600; ++i)
+        ftl.translateRead(123);
+
+    GcJob job;
+    ASSERT_TRUE(ftl.nextReadDisturbJob(job));
+    EXPECT_EQ(job.block, first.addr.block);
+    EXPECT_EQ(job.channel, first.addr.channel);
+    EXPECT_FALSE(job.lpnsToMove.empty());
+    // Relocate and erase; the block's counter resets with reuse.
+    for (std::uint64_t lpn : job.lpnsToMove)
+        ftl.allocateWrite(lpn);
+    ftl.completeErase(job);
+    EXPECT_EQ(ftl.validPages(), 8192u);
+    // The hammered LPN moved somewhere else.
+    EXPECT_FALSE(ftl.translateRead(123).addr == first.addr);
+}
+
+TEST(Ftl, ReadDisturbDisabledByZeroThreshold)
+{
+    SsdConfig cfg = tinyConfig();
+    cfg.readDisturbThreshold = 0;
+    Ftl ftl(cfg, Rng(11));
+    ftl.precondition(2048, 2048);
+    for (int i = 0; i < 5000; ++i)
+        ftl.translateRead(7);
+    GcJob job;
+    EXPECT_FALSE(ftl.nextReadDisturbJob(job));
+}
+
+TEST(Ftl, DisturbedBlockRberGrowsUntilRelocated)
+{
+    SsdConfig cfg = tinyConfig();
+    cfg.readDisturbThreshold = 100000;
+    Ftl ftl(cfg, Rng(12));
+    ftl.precondition(2048, 2048);
+    const double before = ftl.translateRead(50).rber;
+    for (int i = 0; i < 90000; ++i)
+        ftl.translateRead(50);
+    const double disturbed = ftl.translateRead(50).rber;
+    EXPECT_GT(disturbed, before);
+}
+
+TEST(Ftl, FootprintGuard)
+{
+    const SsdConfig cfg = tinyConfig();
+    Ftl ftl(cfg, Rng(9));
+    const std::uint64_t capacity = cfg.geometry.totalPages();
+    EXPECT_DEATH(ftl.precondition(capacity, capacity), "footprint");
+}
+
+} // namespace
+} // namespace ssd
+} // namespace rif

@@ -1,0 +1,398 @@
+/**
+ * @file
+ * Tests of the QC-LDPC substrate: construction invariants (girth-4-free
+ * shift selection), encoder correctness (valid codewords), syndrome
+ * properties, decoder behaviour across error weights and the capability
+ * measurement machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "ldpc/capability.h"
+#include "ldpc/channel.h"
+#include "ldpc/code.h"
+#include "ldpc/decoder.h"
+
+namespace rif {
+namespace ldpc {
+namespace {
+
+CodeParams
+smallParams(int t = 64)
+{
+    CodeParams p;
+    p.circulant = t;
+    return p;
+}
+
+TEST(CodeParams, DerivedSizes)
+{
+    const CodeParams p = paperCode();
+    EXPECT_EQ(p.blockRows, 4);
+    EXPECT_EQ(p.blockCols, 36);
+    EXPECT_EQ(p.circulant, 1024);
+    EXPECT_EQ(p.n(), 36864u);
+    EXPECT_EQ(p.k(), 32768u); // exactly 4 KiB payload
+    EXPECT_EQ(p.m(), 4096u);
+    EXPECT_EQ(p.dataBlocks(), 32);
+}
+
+TEST(QcLdpcCode, AdjacencySizesMatchStructure)
+{
+    const QcLdpcCode code(smallParams());
+    const auto &p = code.params();
+    // Row degree: 32 data circulants + 1 parity (block row 0) or
+    // + 2 parity (other rows).
+    const std::size_t expected =
+        static_cast<std::size_t>(p.circulant) *
+        (static_cast<std::size_t>(p.dataBlocks()) * p.blockRows +
+         (2 * p.blockRows - 1));
+    EXPECT_EQ(code.edgeCount(), expected);
+    EXPECT_EQ(code.checkOffsets().size(), p.m() + 1);
+}
+
+TEST(QcLdpcCode, ShiftsAreGirth4Free)
+{
+    const QcLdpcCode code(smallParams());
+    const auto &p = code.params();
+    const int t = p.circulant;
+    // For every row pair, all shift differences across data columns and
+    // the implicit 0 from the bidiagonal parity must be distinct.
+    for (int i1 = 0; i1 < p.blockRows; ++i1) {
+        for (int i2 = i1 + 1; i2 < p.blockRows; ++i2) {
+            std::set<int> diffs;
+            if (i2 == i1 + 1)
+                diffs.insert(0); // parity columns
+            for (int j = 0; j < p.dataBlocks(); ++j) {
+                const int d =
+                    ((code.shift(i1, j) - code.shift(i2, j)) % t + t) % t;
+                EXPECT_TRUE(diffs.insert(d).second)
+                    << "4-cycle between rows " << i1 << "," << i2;
+            }
+        }
+    }
+}
+
+class EncodeRoundTrip : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(EncodeRoundTrip, EncodedWordsSatisfyAllChecks)
+{
+    const QcLdpcCode code(smallParams(GetParam()));
+    Rng rng(100 + GetParam());
+    for (int trial = 0; trial < 5; ++trial) {
+        const HardWord data = randomData(code.params().k(), rng);
+        const HardWord word = code.encode(data);
+        ASSERT_EQ(word.size(), code.params().n());
+        // Systematic: data bits come first.
+        for (std::size_t i = 0; i < data.size(); ++i)
+            ASSERT_EQ(word[i], data[i]);
+        EXPECT_TRUE(code.isCodeword(word));
+        EXPECT_EQ(code.syndromeWeight(word), 0u);
+        EXPECT_EQ(code.prunedSyndromeWeight(word), 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(CirculantSizes, EncodeRoundTrip,
+                         ::testing::Values(64, 128, 256));
+
+TEST(QcLdpcCode, AllZeroDataEncodesToAllZero)
+{
+    const QcLdpcCode code(smallParams());
+    const HardWord word = code.encode(HardWord(code.params().k(), 0));
+    for (auto b : word)
+        EXPECT_EQ(b, 0);
+}
+
+TEST(QcLdpcCode, SingleBitErrorRaisesSyndrome)
+{
+    const QcLdpcCode code(smallParams());
+    Rng rng(7);
+    HardWord word = code.encode(randomData(code.params().k(), rng));
+    word[123] ^= 1;
+    // A data bit participates in one check per block row.
+    EXPECT_EQ(code.syndromeWeight(word),
+              static_cast<std::size_t>(code.params().blockRows));
+    EXPECT_FALSE(code.isCodeword(word));
+}
+
+TEST(QcLdpcCode, PrunedWeightIsSubsetOfFull)
+{
+    const QcLdpcCode code(smallParams());
+    Rng rng(8);
+    for (int trial = 0; trial < 10; ++trial) {
+        HardWord word = code.encode(randomData(code.params().k(), rng));
+        injectErrors(word, 0.01, rng);
+        EXPECT_LE(code.prunedSyndromeWeight(word),
+                  code.syndromeWeight(word));
+    }
+}
+
+TEST(QcLdpcCode, SyndromeWeightGrowsWithErrors)
+{
+    const QcLdpcCode code(smallParams(128));
+    Rng rng(9);
+    const HardWord clean = code.encode(randomData(code.params().k(), rng));
+    double prev = 0.0;
+    for (std::size_t errors : {8u, 32u, 128u, 512u}) {
+        double avg = 0.0;
+        for (int t = 0; t < 8; ++t) {
+            HardWord w = clean;
+            injectExactErrors(w, errors, rng);
+            avg += static_cast<double>(code.syndromeWeight(w));
+        }
+        avg /= 8.0;
+        EXPECT_GT(avg, prev);
+        prev = avg;
+    }
+}
+
+TEST(Channel, InjectErrorsMatchesRate)
+{
+    Rng rng(10);
+    HardWord w(100000, 0);
+    const std::size_t flips = injectErrors(w, 0.01, rng);
+    std::size_t ones = 0;
+    for (auto b : w)
+        ones += b;
+    EXPECT_EQ(ones, flips);
+    EXPECT_NEAR(static_cast<double>(flips), 1000.0, 150.0);
+}
+
+TEST(Channel, InjectZeroRateFlipsNothing)
+{
+    Rng rng(11);
+    HardWord w(1000, 0);
+    EXPECT_EQ(injectErrors(w, 0.0, rng), 0u);
+}
+
+TEST(Channel, InjectExactErrors)
+{
+    Rng rng(12);
+    HardWord w(5000, 0);
+    injectExactErrors(w, 37, rng);
+    std::size_t ones = 0;
+    for (auto b : w)
+        ones += b;
+    EXPECT_EQ(ones, 37u);
+}
+
+TEST(Channel, RandomDataIsBalanced)
+{
+    Rng rng(13);
+    const HardWord d = randomData(100000, rng);
+    std::size_t ones = 0;
+    for (auto b : d)
+        ones += b;
+    EXPECT_NEAR(static_cast<double>(ones), 50000.0, 1000.0);
+}
+
+TEST(MinSumDecoder, CleanWordDecodesInOneIteration)
+{
+    const QcLdpcCode code(smallParams());
+    const MinSumDecoder dec(code);
+    Rng rng(14);
+    const HardWord word = code.encode(randomData(code.params().k(), rng));
+    const DecodeResult res = dec.decode(word, 0.001);
+    EXPECT_TRUE(res.success);
+    EXPECT_EQ(res.iterations, 1);
+    EXPECT_EQ(res.word, word);
+}
+
+TEST(MinSumDecoder, CorrectsFewErrorsExactly)
+{
+    const QcLdpcCode code(smallParams());
+    const MinSumDecoder dec(code);
+    Rng rng(15);
+    for (int trial = 0; trial < 10; ++trial) {
+        const HardWord clean =
+            code.encode(randomData(code.params().k(), rng));
+        HardWord noisy = clean;
+        injectExactErrors(noisy, 5, rng);
+        const DecodeResult res = dec.decode(noisy, 0.003);
+        ASSERT_TRUE(res.success);
+        EXPECT_EQ(res.word, clean) << "decoded to a different codeword";
+    }
+}
+
+TEST(MinSumDecoder, FailsUnderOverwhelmingErrors)
+{
+    const QcLdpcCode code(smallParams());
+    const MinSumDecoder dec(code, 10);
+    Rng rng(16);
+    HardWord noisy = code.encode(randomData(code.params().k(), rng));
+    injectErrors(noisy, 0.20, rng);
+    const DecodeResult res = dec.decode(noisy, 0.20);
+    EXPECT_FALSE(res.success);
+    EXPECT_EQ(res.iterations, 10);
+}
+
+TEST(MinSumDecoder, IterationsGrowWithErrorRate)
+{
+    const QcLdpcCode code(smallParams(256));
+    const MinSumDecoder dec(code);
+    Rng rng(17);
+    auto avg_iters = [&](double rber) {
+        double sum = 0.0;
+        for (int t = 0; t < 6; ++t) {
+            HardWord w = code.encode(randomData(code.params().k(), rng));
+            injectErrors(w, rber, rng);
+            sum += dec.decode(w, rber).iterations;
+        }
+        return sum / 6.0;
+    };
+    EXPECT_LT(avg_iters(0.001), avg_iters(0.006));
+}
+
+TEST(LayeredMinSumDecoder, CleanWordDecodesImmediately)
+{
+    const QcLdpcCode code(smallParams());
+    const LayeredMinSumDecoder dec(code);
+    Rng rng(30);
+    const HardWord word = code.encode(randomData(code.params().k(), rng));
+    const DecodeResult res = dec.decode(word, 0.001);
+    EXPECT_TRUE(res.success);
+    EXPECT_EQ(res.iterations, 1);
+}
+
+TEST(LayeredMinSumDecoder, CorrectsModerateErrors)
+{
+    const QcLdpcCode code(smallParams());
+    const LayeredMinSumDecoder dec(code);
+    Rng rng(31);
+    for (int trial = 0; trial < 8; ++trial) {
+        const HardWord clean =
+            code.encode(randomData(code.params().k(), rng));
+        HardWord noisy = clean;
+        injectErrors(noisy, 0.004, rng);
+        const DecodeResult res = dec.decode(noisy, 0.004);
+        ASSERT_TRUE(res.success);
+        EXPECT_EQ(res.word, clean);
+    }
+}
+
+TEST(LayeredMinSumDecoder, ConvergesFasterThanFlooding)
+{
+    // The layered schedule propagates within an iteration: on average
+    // it needs fewer sweeps than flooding at moderate error rates.
+    const QcLdpcCode code(smallParams(128));
+    const MinSumDecoder flooding(code);
+    const LayeredMinSumDecoder layered(code);
+    Rng rng(32);
+    double flood_iters = 0.0, layer_iters = 0.0;
+    int both = 0;
+    for (int trial = 0; trial < 12; ++trial) {
+        HardWord w = code.encode(randomData(code.params().k(), rng));
+        injectErrors(w, 0.005, rng);
+        const DecodeResult f = flooding.decode(w, 0.005);
+        const DecodeResult l = layered.decode(w, 0.005);
+        if (f.success && l.success) {
+            flood_iters += f.iterations;
+            layer_iters += l.iterations;
+            ++both;
+        }
+    }
+    ASSERT_GT(both, 6);
+    EXPECT_LT(layer_iters, flood_iters);
+}
+
+TEST(LayeredMinSumDecoder, FailsGracefullyAtHugeErrorRates)
+{
+    const QcLdpcCode code(smallParams());
+    const LayeredMinSumDecoder dec(code, 8);
+    Rng rng(33);
+    HardWord w = code.encode(randomData(code.params().k(), rng));
+    injectErrors(w, 0.2, rng);
+    const DecodeResult res = dec.decode(w, 0.2);
+    EXPECT_FALSE(res.success);
+    EXPECT_EQ(res.iterations, 8);
+}
+
+TEST(BitFlipDecoder, CorrectsSparseErrors)
+{
+    const QcLdpcCode code(smallParams());
+    const BitFlipDecoder dec(code);
+    Rng rng(18);
+    const HardWord clean = code.encode(randomData(code.params().k(), rng));
+    HardWord noisy = clean;
+    injectExactErrors(noisy, 2, rng);
+    const DecodeResult res = dec.decode(noisy);
+    ASSERT_TRUE(res.success);
+    EXPECT_EQ(res.word, clean);
+}
+
+TEST(BitFlipDecoder, WeakerThanMinSum)
+{
+    const QcLdpcCode code(smallParams());
+    const MinSumDecoder ms(code);
+    const BitFlipDecoder bf(code);
+    Rng rng(19);
+    int ms_wins = 0, bf_wins = 0;
+    for (int t = 0; t < 10; ++t) {
+        HardWord w = code.encode(randomData(code.params().k(), rng));
+        injectErrors(w, 0.004, rng);
+        ms_wins += ms.decode(w, 0.004).success;
+        bf_wins += bf.decode(w).success;
+    }
+    EXPECT_GE(ms_wins, bf_wins);
+    EXPECT_EQ(ms_wins, 10);
+}
+
+TEST(Capability, FailureProbabilityIsMonotoneInRber)
+{
+    const QcLdpcCode code(smallParams());
+    const MinSumDecoder dec(code, 12);
+    CapabilitySweepConfig cfg;
+    cfg.rbers = {0.002, 0.01, 0.03};
+    cfg.trials = 12;
+    const auto pts = measureCapability(code, dec, cfg);
+    ASSERT_EQ(pts.size(), 3u);
+    EXPECT_LE(pts[0].failureProbability, pts[1].failureProbability);
+    EXPECT_LE(pts[1].failureProbability, pts[2].failureProbability);
+    EXPECT_LT(pts[0].avgSyndromeWeight, pts[2].avgSyndromeWeight);
+}
+
+TEST(Capability, EstimateFindsThresholdPoint)
+{
+    std::vector<CapabilityPoint> pts(3);
+    pts[0].rber = 0.004;
+    pts[0].failureProbability = 0.0;
+    pts[1].rber = 0.008;
+    pts[1].failureProbability = 0.2;
+    pts[2].rber = 0.012;
+    pts[2].failureProbability = 1.0;
+    EXPECT_DOUBLE_EQ(estimateCapability(pts, 0.1), 0.008);
+    EXPECT_DOUBLE_EQ(estimateCapability(pts, 0.5), 0.012);
+    EXPECT_DOUBLE_EQ(estimateCapability(pts, 2.0), 0.0);
+}
+
+TEST(Capability, SyndromeWeightInterpolates)
+{
+    std::vector<CapabilityPoint> pts(2);
+    pts[0].rber = 0.004;
+    pts[0].avgSyndromeWeight = 100.0;
+    pts[0].avgPrunedSyndromeWeight = 25.0;
+    pts[1].rber = 0.008;
+    pts[1].avgSyndromeWeight = 200.0;
+    pts[1].avgPrunedSyndromeWeight = 50.0;
+    EXPECT_DOUBLE_EQ(syndromeWeightAt(pts, 0.006, false), 150.0);
+    EXPECT_DOUBLE_EQ(syndromeWeightAt(pts, 0.006, true), 37.5);
+    EXPECT_DOUBLE_EQ(syndromeWeightAt(pts, 0.001, false), 100.0);
+    EXPECT_DOUBLE_EQ(syndromeWeightAt(pts, 0.02, false), 200.0);
+}
+
+TEST(Conversions, HardWordBitVecRoundTrip)
+{
+    Rng rng(20);
+    const HardWord w = randomData(777, rng);
+    const HardWord back = toHardWord(toBitVec(w));
+    EXPECT_EQ(back, w);
+}
+
+} // namespace
+} // namespace ldpc
+} // namespace rif

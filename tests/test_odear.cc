@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Tests of the ODEAR engine: the codeword rearrangement equivalence (the
+ * central hardware-enabling identity of §V-B), RP prediction behaviour
+ * and calibration, the RVS Swift-Read estimator, the accuracy
+ * experiments and the PPA/energy overhead model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ldpc/channel.h"
+#include "nand/vth_model.h"
+#include "odear/accuracy.h"
+#include "odear/datapath.h"
+#include "odear/overhead.h"
+#include "odear/rearrange.h"
+#include "odear/rp_module.h"
+#include "odear/rvs_module.h"
+
+namespace rif {
+namespace odear {
+namespace {
+
+ldpc::CodeParams
+smallParams(int t = 64)
+{
+    ldpc::CodeParams p;
+    p.circulant = t;
+    return p;
+}
+
+class RearrangeSizes : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RearrangeSizes, LayoutRoundTrips)
+{
+    const ldpc::QcLdpcCode code(smallParams(GetParam()));
+    Rng rng(1);
+    const ldpc::HardWord word =
+        code.encode(ldpc::randomData(code.params().k(), rng));
+    const CodewordRearranger rr(code);
+    const BitVec cw = ldpc::toBitVec(word);
+    const BitVec flash = rr.toFlashLayout(cw);
+    EXPECT_EQ(rr.toControllerLayout(flash), cw);
+    // Rearrangement permutes within segments: popcount preserved.
+    EXPECT_EQ(flash.popcount(), cw.popcount());
+}
+
+TEST_P(RearrangeSizes, OnDieWeightEqualsPrunedSyndromeWeight)
+{
+    // The key identity: XOR-of-rotated-segments + popcount computes
+    // exactly the first t syndromes of the original layout.
+    const ldpc::QcLdpcCode code(smallParams(GetParam()));
+    const CodewordRearranger rr(code);
+    Rng rng(2);
+    for (double rber : {0.0, 0.002, 0.01, 0.05}) {
+        ldpc::HardWord word =
+            code.encode(ldpc::randomData(code.params().k(), rng));
+        ldpc::injectErrors(word, rber, rng);
+        const BitVec flash = rr.toFlashLayout(ldpc::toBitVec(word));
+        EXPECT_EQ(rr.onDieSyndromeWeight(flash),
+                  code.prunedSyndromeWeight(word))
+            << "rber=" << rber;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(CirculantSizes, RearrangeSizes,
+                         ::testing::Values(64, 96, 128));
+
+TEST(Rearrange, CleanCodewordHasZeroOnDieWeight)
+{
+    const ldpc::QcLdpcCode code(smallParams());
+    const CodewordRearranger rr(code);
+    Rng rng(3);
+    const ldpc::HardWord word =
+        code.encode(ldpc::randomData(code.params().k(), rng));
+    EXPECT_EQ(rr.onDieSyndromeWeight(rr.toFlashLayout(ldpc::toBitVec(word))),
+              0u);
+}
+
+TEST(RpModule, PredictsCleanAndHeavilyCorruptedCorrectly)
+{
+    const ldpc::QcLdpcCode code(smallParams());
+    RpConfig cfg;
+    cfg.rhoS = RpModule::calibrateThreshold(code, cfg, 0.0085, 40, 77);
+    const RpModule rp(code, cfg);
+    const CodewordRearranger rr(code);
+    Rng rng(4);
+
+    const ldpc::HardWord clean =
+        code.encode(ldpc::randomData(code.params().k(), rng));
+    EXPECT_FALSE(rp.predictRetry(rr.toFlashLayout(ldpc::toBitVec(clean))));
+
+    ldpc::HardWord bad = clean;
+    ldpc::injectErrors(bad, 0.05, rng);
+    EXPECT_TRUE(rp.predictRetry(rr.toFlashLayout(ldpc::toBitVec(bad))));
+}
+
+TEST(RpModule, CalibratedThresholdScalesWithRber)
+{
+    const ldpc::QcLdpcCode code(smallParams());
+    RpConfig cfg;
+    const auto low =
+        RpModule::calibrateThreshold(code, cfg, 0.004, 30, 5);
+    const auto high =
+        RpModule::calibrateThreshold(code, cfg, 0.012, 30, 5);
+    EXPECT_GT(high, low);
+    EXPECT_GT(low, 0u);
+}
+
+TEST(RpModule, WithoutPruningUsesFullSyndrome)
+{
+    const ldpc::QcLdpcCode code(smallParams());
+    RpConfig pruned;
+    RpConfig full;
+    full.usePruning = false;
+    const RpModule rp_pruned(code, pruned);
+    const RpModule rp_full(code, full);
+    const CodewordRearranger rr(code);
+    Rng rng(6);
+    ldpc::HardWord word =
+        code.encode(ldpc::randomData(code.params().k(), rng));
+    ldpc::injectErrors(word, 0.01, rng);
+    const BitVec flash = rr.toFlashLayout(ldpc::toBitVec(word));
+    EXPECT_EQ(rp_full.computedWeight(flash), code.syndromeWeight(word));
+    EXPECT_EQ(rp_pruned.computedWeight(flash),
+              code.prunedSyndromeWeight(word));
+    EXPECT_GT(rp_full.computedWeight(flash),
+              rp_pruned.computedWeight(flash));
+}
+
+TEST(RpModule, PredictionLatencyMatchesPaper)
+{
+    const ldpc::QcLdpcCode code(smallParams());
+    const RpModule rp(code, RpConfig{});
+    // ~2.5 us for a 4-KiB chunk (paper §V, [43]).
+    const double us = ticksToUs(rp.predictionLatency(4096));
+    EXPECT_NEAR(us, 2.5, 0.3);
+    // Latency scales with the inspected chunk.
+    EXPECT_LT(rp.predictionLatency(1024), rp.predictionLatency(4096));
+}
+
+TEST(RpAccuracy, HighAwayFromCapabilityOnSmallCode)
+{
+    // The small code's capability differs from the paper's but the
+    // qualitative behaviour must hold: near-perfect prediction far from
+    // the threshold.
+    const ldpc::QcLdpcCode code(smallParams());
+    const ldpc::MinSumDecoder dec(code, 15);
+    RpConfig cfg;
+    cfg.rhoS = RpModule::calibrateThreshold(code, cfg, 0.009, 40, 9);
+    const RpModule rp(code, cfg);
+    AccuracySweepConfig sweep;
+    sweep.rbers = {0.001, 0.05};
+    sweep.trials = 30;
+    const auto pts = measureRpAccuracy(code, rp, dec, sweep);
+    ASSERT_EQ(pts.size(), 2u);
+    EXPECT_GT(pts[0].accuracy, 0.95); // clearly decodable
+    EXPECT_GT(pts[1].accuracy, 0.95); // clearly undecodable
+    EXPECT_LT(pts[0].decodeFailureRate, 0.05);
+    EXPECT_GT(pts[1].decodeFailureRate, 0.95);
+}
+
+TEST(RpAccuracy, AccuracyAboveCapabilityAverages)
+{
+    std::vector<AccuracyPoint> pts(3);
+    pts[0].rber = 0.004;
+    pts[0].accuracy = 0.5;
+    pts[1].rber = 0.010;
+    pts[1].accuracy = 0.98;
+    pts[2].rber = 0.020;
+    pts[2].accuracy = 1.0;
+    EXPECT_NEAR(accuracyAboveCapability(pts, 0.0085), 0.99, 1e-12);
+    EXPECT_EQ(accuracyAboveCapability(pts, 1.0), 0.0);
+}
+
+TEST(RpBehaviorModel, ProbabilitiesAreSharpAroundCapability)
+{
+    const RpBehaviorModel bm(0.0085, 36864.0, 1024.0 * 33.0);
+    EXPECT_LT(bm.failureProbability(0.004), 0.01);
+    EXPECT_GT(bm.failureProbability(0.013), 0.99);
+    EXPECT_NEAR(bm.failureProbability(0.0085), 0.5, 0.02);
+    EXPECT_NEAR(bm.retryPredictionProbability(0.0085), 0.5, 0.02);
+    // Monotone.
+    EXPECT_LT(bm.failureProbability(0.007), bm.failureProbability(0.009));
+}
+
+TEST(RpBehaviorModel, SampledOutcomesMatchProbabilities)
+{
+    const RpBehaviorModel bm(0.0085, 36864.0, 1024.0 * 33.0);
+    Rng rng(10);
+    for (double rber : {0.006, 0.0085, 0.011}) {
+        int fails = 0, preds = 0;
+        const int n = 20000;
+        for (int i = 0; i < n; ++i) {
+            const auto o = bm.sample(rber, rng);
+            fails += !o.decodable;
+            preds += o.rpPredictsRetry;
+        }
+        EXPECT_NEAR(fails / double(n), bm.failureProbability(rber), 0.02);
+        EXPECT_NEAR(preds / double(n),
+                    bm.retryPredictionProbability(rber), 0.02);
+    }
+}
+
+TEST(RpBehaviorModel, PredictionsCorrelateWithOutcomes)
+{
+    // Away from the capability the prediction must agree with the
+    // decoder outcome almost always (the paper's 98.7%).
+    const RpBehaviorModel bm(0.0085, 36864.0, 1024.0 * 33.0);
+    Rng rng(11);
+    int correct = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double rber = (i % 2) ? 0.005 : 0.013;
+        const auto o = bm.sample(rber, rng);
+        correct += (o.rpPredictsRetry == !o.decodable);
+    }
+    EXPECT_GT(correct / double(n), 0.97);
+}
+
+TEST(RvsModule, RecoversNearOptimalRber)
+{
+    const nand::VthModel vth;
+    const RvsModule rvs(vth);
+    Rng rng(12);
+    for (const nand::PageType t :
+         {nand::PageType::Lsb, nand::PageType::Csb, nand::PageType::Msb}) {
+        const auto sel = rvs.select(t, 1000.0, 20.0, rng);
+        const double stale = vth.pageRber(t, 1000.0, 20.0);
+        // Within 2x of the true optimum and far below the stale read.
+        EXPECT_LT(sel.predictedRber, 2.0 * sel.optimalRber + 1e-4);
+        EXPECT_LT(sel.predictedRber, stale / 2.0);
+        EXPECT_LT(sel.predictedRber, 0.0085)
+            << "re-read must land below the ECC capability";
+    }
+}
+
+TEST(RvsModule, FreshPageSelectionStaysNearDefault)
+{
+    const nand::VthModel vth;
+    const RvsModule rvs(vth);
+    Rng rng(13);
+    const auto sel = rvs.select(nand::PageType::Msb, 0.0, 0.0, rng);
+    for (int i : nand::msbThresholds())
+        EXPECT_NEAR(sel.vref[i], vth.defaultVref(i), 0.05);
+}
+
+TEST(RvsModule, NoisierCounterIsLessAccurate)
+{
+    const nand::VthModel vth;
+    const RvsModule fine(vth, 131072);
+    const RvsModule coarse(vth, 256);
+    Rng rng_a(14), rng_b(14);
+    double fine_err = 0.0, coarse_err = 0.0;
+    for (int i = 0; i < 20; ++i) {
+        const auto a = fine.select(nand::PageType::Csb, 500.0, 15.0, rng_a);
+        const auto b =
+            coarse.select(nand::PageType::Csb, 500.0, 15.0, rng_b);
+        fine_err += a.predictedRber - a.optimalRber;
+        coarse_err += b.predictedRber - b.optimalRber;
+    }
+    EXPECT_LT(fine_err, coarse_err);
+}
+
+TEST(RpDatapath, MatchesRearrangerSyndromeWeight)
+{
+    // The cycle-level pipeline must compute exactly the same weight as
+    // the algorithmic rearranger on every input.
+    const ldpc::QcLdpcCode code(smallParams(128));
+    const CodewordRearranger rr(code);
+    const RpDatapath dp(code, 30, 128, 100.0);
+    Rng rng(40);
+    for (double rber : {0.0, 0.003, 0.02}) {
+        ldpc::HardWord word =
+            code.encode(ldpc::randomData(code.params().k(), rng));
+        ldpc::injectErrors(word, rber, rng);
+        const BitVec flash = rr.toFlashLayout(ldpc::toBitVec(word));
+        const DatapathResult res = dp.run(flash);
+        EXPECT_EQ(res.syndromeWeight, rr.onDieSyndromeWeight(flash))
+            << "rber=" << rber;
+        EXPECT_EQ(res.predictRetry, res.syndromeWeight > 30);
+    }
+}
+
+TEST(RpDatapath, LatencyMatchesPaperTPred)
+{
+    // Full-size code: 33 segments x 8 words of 128 bits at 100 MHz is
+    // ~2.6 us — the paper's 2.5 us tPRED from first principles.
+    const ldpc::QcLdpcCode code(ldpc::paperCode());
+    const RpDatapath dp(code, 222);
+    EXPECT_EQ(dp.fetchCycles(), 33u * 8u);
+    const CodewordRearranger rr(code);
+    Rng rng(41);
+    const ldpc::HardWord word =
+        code.encode(ldpc::randomData(code.params().k(), rng));
+    const BitVec flash = rr.toFlashLayout(ldpc::toBitVec(word));
+    const DatapathResult res = dp.run(flash);
+    EXPECT_EQ(res.cycles, dp.fetchCycles() + 3);
+    EXPECT_NEAR(ticksToUs(res.latency), 2.5, 0.3);
+}
+
+TEST(RpDatapath, FasterClockLowersLatencyNotWeight)
+{
+    const ldpc::QcLdpcCode code(smallParams(128));
+    const CodewordRearranger rr(code);
+    const RpDatapath slow(code, 30, 128, 100.0);
+    const RpDatapath fast(code, 30, 128, 400.0);
+    Rng rng(42);
+    ldpc::HardWord word =
+        code.encode(ldpc::randomData(code.params().k(), rng));
+    ldpc::injectErrors(word, 0.01, rng);
+    const BitVec flash = rr.toFlashLayout(ldpc::toBitVec(word));
+    const auto a = slow.run(flash);
+    const auto b = fast.run(flash);
+    EXPECT_EQ(a.syndromeWeight, b.syndromeWeight);
+    EXPECT_GT(a.latency, b.latency);
+}
+
+TEST(OverheadModel, PaperConstants)
+{
+    const OverheadModel m;
+    // 0.012 mm^2 on a 101 mm^2 die: ~0.012% area.
+    EXPECT_NEAR(m.areaOverheadFraction(), 0.012 / 101.0, 1e-9);
+    // Break-even: 907 / 3.2 ~ 283 reads per avoided transfer.
+    EXPECT_NEAR(m.breakEvenReadsPerRetry(), 283.4, 0.5);
+}
+
+TEST(OverheadModel, EnergyAccounting)
+{
+    const OverheadModel m;
+    // 1000 reads, no retries: pure prediction cost.
+    EXPECT_NEAR(m.netEnergyNj(1000, 0), 3200.0, 1e-9);
+    // Frequent retries: large net savings.
+    EXPECT_LT(m.netEnergyNj(1000, 500), 0.0);
+}
+
+} // namespace
+} // namespace odear
+} // namespace rif

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests of the discrete-event kernel: time ordering, FIFO tie-breaking,
+ * reentrancy (events scheduling events) and the watchdog run bound.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ssd/sim.h"
+
+namespace rif {
+namespace ssd {
+namespace {
+
+TEST(Simulator, ExecutesInTimeOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(30, [&] { order.push_back(3); });
+    sim.schedule(10, [&] { order.push_back(1); });
+    sim.schedule(20, [&] { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.now(), 30u);
+}
+
+TEST(Simulator, SameTickIsFifo)
+{
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        sim.schedule(7, [&order, i] { order.push_back(i); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents)
+{
+    Simulator sim;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        if (fired < 10)
+            sim.schedule(5, chain);
+    };
+    sim.schedule(5, chain);
+    sim.run();
+    EXPECT_EQ(fired, 10);
+    EXPECT_EQ(sim.now(), 50u);
+}
+
+TEST(Simulator, ZeroDelayRunsAtCurrentTick)
+{
+    Simulator sim;
+    Tick seen = 1;
+    sim.schedule(100, [&] {
+        sim.schedule(0, [&] { seen = sim.now(); });
+    });
+    sim.run();
+    EXPECT_EQ(seen, 100u);
+}
+
+TEST(Simulator, RunBoundStopsEarly)
+{
+    Simulator sim;
+    int fired = 0;
+    std::function<void()> forever = [&] {
+        ++fired;
+        sim.schedule(1, forever);
+    };
+    sim.schedule(1, forever);
+    sim.run(100);
+    EXPECT_EQ(fired, 100);
+    EXPECT_EQ(sim.eventsExecuted(), 100u);
+    EXPECT_FALSE(sim.empty());
+}
+
+TEST(Simulator, ScheduleAtAbsoluteTime)
+{
+    Simulator sim;
+    Tick seen = 0;
+    sim.scheduleAt(42, [&] { seen = sim.now(); });
+    sim.run();
+    EXPECT_EQ(seen, 42u);
+}
+
+TEST(Simulator, EmptyRunIsANoop)
+{
+    Simulator sim;
+    EXPECT_EQ(sim.run(), 0u);
+    EXPECT_TRUE(sim.empty());
+}
+
+} // namespace
+} // namespace ssd
+} // namespace rif

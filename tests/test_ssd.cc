@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Integration tests of the full SSD model: conservation invariants,
+ * policy orderings the paper's evaluation depends on, channel usage
+ * accounting, garbage collection under write churn and determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ssd/ssd.h"
+#include "trace/trace.h"
+
+namespace rif {
+namespace ssd {
+namespace {
+
+SsdConfig
+smallConfig(PolicyKind p, double pe = 1000.0)
+{
+    SsdConfig cfg;
+    cfg.geometry.channels = 2;
+    cfg.geometry.diesPerChannel = 2;
+    cfg.geometry.blocksPerPlane = 64;
+    cfg.geometry.pagesPerBlock = 128;
+    cfg.policy = p;
+    cfg.peCycles = pe;
+    cfg.queueDepth = 16;
+    return cfg;
+}
+
+trace::WorkloadSpec
+smallWorkload(double read_ratio = 0.9, double cold_ratio = 0.8)
+{
+    trace::WorkloadSpec spec;
+    spec.name = "test";
+    spec.readRatio = read_ratio;
+    spec.coldReadRatio = cold_ratio;
+    spec.footprintPages = 8192;
+    return spec;
+}
+
+SsdStats
+runOne(const SsdConfig &cfg, const trace::WorkloadSpec &spec,
+       std::uint64_t requests = 1500, std::uint64_t seed = 3)
+{
+    trace::SyntheticWorkload gen(spec, requests, seed);
+    Ssd drive(cfg);
+    return drive.run(gen);
+}
+
+class EveryPolicySsd : public ::testing::TestWithParam<PolicyKind>
+{
+};
+
+TEST_P(EveryPolicySsd, CompletesAndConserves)
+{
+    const SsdConfig cfg = smallConfig(GetParam());
+    const trace::WorkloadSpec spec = smallWorkload();
+    const SsdStats st = runOne(cfg, spec);
+
+    EXPECT_EQ(st.hostRequests, 1500u);
+    EXPECT_GT(st.makespan, 0u);
+    EXPECT_GT(st.hostReadBytes, 0u);
+    EXPECT_GT(st.ioBandwidthMBps(), 0.0);
+    // Every host read/write retired: latencies recorded per request.
+    EXPECT_EQ(st.readLatencyUs.count() + st.writeLatencyUs.count(),
+              st.hostRequests);
+    // Bytes are page-granular.
+    EXPECT_EQ(st.hostReadBytes % cfg.geometry.pageBytes, 0u);
+    // Channel accounting covers the whole makespan on every channel.
+    ASSERT_EQ(st.channels.size(),
+              static_cast<std::size_t>(cfg.geometry.channels));
+    for (const auto &u : st.channels) {
+        EXPECT_EQ(u.total(), st.makespan);
+        double frac = 0.0;
+        for (int s = 0; s < kChannelStates; ++s)
+            frac += u.fraction(static_cast<ChannelState>(s));
+        EXPECT_NEAR(frac, 1.0, 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, EveryPolicySsd,
+    ::testing::Values(PolicyKind::Zero, PolicyKind::FixedSequence,
+                      PolicyKind::IdealOffChip, PolicyKind::Sentinel,
+                      PolicyKind::SwiftRead, PolicyKind::SwiftReadPlus,
+                      PolicyKind::RpController, PolicyKind::Rif),
+    [](const auto &info) {
+        std::string name = policyName(info.param);
+        for (auto &c : name) {
+            if (c == '+')
+                c = 'P';
+        }
+        std::erase_if(name, [](char c) { return !std::isalnum(c); });
+        return name;
+    });
+
+TEST(SsdIntegration, ZeroNeverRetriesRifAvoidsUncorTransfers)
+{
+    const trace::WorkloadSpec spec = smallWorkload();
+    const SsdStats zero = runOne(smallConfig(PolicyKind::Zero), spec);
+    EXPECT_EQ(zero.retriedReads, 0u);
+    EXPECT_EQ(zero.uncorTransfers, 0u);
+
+    const SsdStats rif = runOne(smallConfig(PolicyKind::Rif), spec);
+    EXPECT_GT(rif.retriedReads, 0u);
+    EXPECT_GT(rif.avoidedTransfers, 0u);
+    // Only RP misses (~1%) reach the channel uncorrected.
+    EXPECT_LT(static_cast<double>(rif.uncorTransfers),
+              0.1 * static_cast<double>(rif.retriedReads));
+    EXPECT_EQ(rif.rpPredictions, rif.pageReads);
+}
+
+TEST(SsdIntegration, PolicyBandwidthOrdering)
+{
+    // The paper's headline ordering at high wear: SSDzero >= RiF >
+    // RPSSD/SWR+ > SWR >= SENC.
+    const trace::WorkloadSpec spec = smallWorkload(0.95, 0.85);
+    auto bw = [&](PolicyKind p) {
+        return runOne(smallConfig(p, 2000.0), spec, 2500)
+            .ioBandwidthMBps();
+    };
+    const double zero = bw(PolicyKind::Zero);
+    const double rif = bw(PolicyKind::Rif);
+    const double swr = bw(PolicyKind::SwiftRead);
+    const double senc = bw(PolicyKind::Sentinel);
+    const double rpssd = bw(PolicyKind::RpController);
+
+    EXPECT_GE(zero * 1.02, rif); // RiF within a whisker of ideal
+    EXPECT_GT(rif, rpssd);
+    EXPECT_GT(rpssd, swr);
+    EXPECT_GE(swr * 1.02, senc);
+    EXPECT_GT(rif, 1.3 * senc); // a substantial win, as in Fig. 17
+}
+
+TEST(SsdIntegration, ConventionalRetryIsWorstOffChip)
+{
+    // The fixed-sequence baseline pays NRR > 1 full off-chip rounds and
+    // must trail the ideal NRR = 1 SSDone.
+    const trace::WorkloadSpec spec = smallWorkload(0.95, 0.85);
+    const SsdStats conv =
+        runOne(smallConfig(PolicyKind::FixedSequence, 2000.0), spec, 2000);
+    const SsdStats one =
+        runOne(smallConfig(PolicyKind::IdealOffChip, 2000.0), spec, 2000);
+    EXPECT_LT(conv.ioBandwidthMBps(), one.ioBandwidthMBps());
+    EXPECT_GT(conv.uncorTransfers, one.uncorTransfers);
+}
+
+TEST(SsdIntegration, WearIncreasesRetryRate)
+{
+    const trace::WorkloadSpec spec = smallWorkload();
+    const SsdStats low =
+        runOne(smallConfig(PolicyKind::IdealOffChip, 0.0), spec);
+    const SsdStats high =
+        runOne(smallConfig(PolicyKind::IdealOffChip, 2000.0), spec);
+    EXPECT_GT(high.retriedReads, low.retriedReads);
+    EXPECT_LT(high.ioBandwidthMBps(), low.ioBandwidthMBps());
+}
+
+TEST(SsdIntegration, ColdReadsDriveRetries)
+{
+    const SsdConfig cfg = smallConfig(PolicyKind::IdealOffChip);
+    const SsdStats hot = runOne(cfg, smallWorkload(0.9, 0.05));
+    const SsdStats cold = runOne(cfg, smallWorkload(0.9, 0.95));
+    EXPECT_GT(cold.retriedReads, 2 * std::max<std::uint64_t>(
+                                         hot.retriedReads, 1));
+}
+
+TEST(SsdIntegration, EccWaitAppearsOnlyWithFullDecodes)
+{
+    const trace::WorkloadSpec spec = smallWorkload(0.95, 0.9);
+    const SsdStats one =
+        runOne(smallConfig(PolicyKind::IdealOffChip, 2000.0), spec, 2500);
+    const SsdStats rif =
+        runOne(smallConfig(PolicyKind::Rif, 2000.0), spec, 2500);
+    EXPECT_GT(one.channelFraction(ChannelState::EccWait), 0.01);
+    EXPECT_GT(one.channelFraction(ChannelState::UncorXfer), 0.05);
+    EXPECT_LT(rif.channelFraction(ChannelState::EccWait), 0.005);
+    EXPECT_LT(rif.channelFraction(ChannelState::UncorXfer), 0.01);
+}
+
+TEST(SsdIntegration, TailLatencyImprovesUnderRif)
+{
+    const trace::WorkloadSpec spec = smallWorkload(0.95, 0.85);
+    const SsdStats senc =
+        runOne(smallConfig(PolicyKind::Sentinel, 2000.0), spec, 2500);
+    const SsdStats rif =
+        runOne(smallConfig(PolicyKind::Rif, 2000.0), spec, 2500);
+    EXPECT_LT(rif.readLatencyUs.percentile(99.0),
+              senc.readLatencyUs.percentile(99.0));
+}
+
+TEST(SsdIntegration, DeterministicForSeed)
+{
+    const SsdConfig cfg = smallConfig(PolicyKind::Rif);
+    const trace::WorkloadSpec spec = smallWorkload();
+    const SsdStats a = runOne(cfg, spec, 800, 9);
+    const SsdStats b = runOne(cfg, spec, 800, 9);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.hostReadBytes, b.hostReadBytes);
+    EXPECT_EQ(a.retriedReads, b.retriedReads);
+    EXPECT_EQ(a.uncorTransfers, b.uncorTransfers);
+}
+
+TEST(SsdIntegration, WriteChurnTriggersGc)
+{
+    SsdConfig cfg = smallConfig(PolicyKind::Rif);
+    cfg.geometry.blocksPerPlane = 24;
+    cfg.geometry.pagesPerBlock = 64;
+    cfg.gcFreeBlockThreshold = 4;
+    trace::WorkloadSpec spec = smallWorkload(0.05, 0.5); // write-heavy
+    spec.footprintPages = 12000; // ~76% of the shrunken capacity
+    const SsdStats st = runOne(cfg, spec, 9000, 21);
+    EXPECT_GT(st.blockErases, 0u) << "GC never ran under heavy churn";
+    EXPECT_GT(st.gcPageMoves, 0u);
+    EXPECT_GT(st.pageWrites, 0u);
+}
+
+TEST(SsdIntegration, ReadPriorityImprovesReadLatency)
+{
+    // Mixed workload: serving reads ahead of 400 us programs at the
+    // dies must cut read latency without breaking conservation.
+    trace::WorkloadSpec spec = smallWorkload(0.5, 0.5);
+    SsdConfig cfg = smallConfig(PolicyKind::Rif);
+    const SsdStats fifo = runOne(cfg, spec, 2000);
+    cfg.readPriority = true;
+    const SsdStats prio = runOne(cfg, spec, 2000);
+    EXPECT_LT(prio.readLatencyUs.percentile(95.0),
+              fifo.readLatencyUs.percentile(95.0));
+    EXPECT_EQ(prio.hostRequests, fifo.hostRequests);
+    EXPECT_EQ(prio.hostReadBytes, fifo.hostReadBytes);
+}
+
+TEST(SsdIntegration, WriteOnlyWorkloadCompletes)
+{
+    const SsdConfig cfg = smallConfig(PolicyKind::SwiftRead);
+    const trace::WorkloadSpec spec = smallWorkload(0.0, 0.5);
+    const SsdStats st = runOne(cfg, spec, 500);
+    EXPECT_EQ(st.hostReadBytes, 0u);
+    EXPECT_GT(st.hostWriteBytes, 0u);
+    EXPECT_EQ(st.writeLatencyUs.count(), 500u);
+}
+
+TEST(SsdIntegration, HigherQueueDepthDoesNotReduceBandwidth)
+{
+    trace::WorkloadSpec spec = smallWorkload(1.0, 0.5);
+    SsdConfig cfg = smallConfig(PolicyKind::Zero);
+    cfg.queueDepth = 1;
+    const double qd1 = runOne(cfg, spec).ioBandwidthMBps();
+    cfg.queueDepth = 32;
+    const double qd32 = runOne(cfg, spec).ioBandwidthMBps();
+    EXPECT_GT(qd32, qd1);
+}
+
+TEST(SsdIntegration, MultiQueueTenantsShareTheDrive)
+{
+    // Two tenants on disjoint partitions, each with its own closed
+    // loop: a cold-read-heavy tenant and an all-hot tenant.
+    SsdConfig cfg = smallConfig(PolicyKind::Sentinel, 1500.0);
+    cfg.queueDepth = 4; // low QD so queueing noise does not mask the
+                        // per-tenant retry penalty
+    trace::WorkloadSpec cold_spec = smallWorkload(1.0, 0.95);
+    cold_spec.footprintPages = 4096;
+    trace::WorkloadSpec hot_spec = smallWorkload(1.0, 0.02);
+    hot_spec.footprintPages = 4096;
+
+    trace::SyntheticWorkload cold_gen(cold_spec, 800, 5);
+    trace::SyntheticWorkload hot_gen(hot_spec, 800, 6);
+    trace::OffsetTrace hot_shifted(hot_gen, 4096);
+
+    Ssd drive(cfg);
+    const SsdStats st =
+        drive.runMultiQueue({&cold_gen, &hot_shifted});
+
+    EXPECT_EQ(st.hostRequests, 1600u);
+    ASSERT_EQ(st.queueReadLatencyUs.size(), 2u);
+    EXPECT_EQ(st.queueReadLatencyUs[0].count() +
+                  st.queueReadLatencyUs[1].count(),
+              st.readLatencyUs.count());
+    EXPECT_EQ(st.queueReadLatencyUs[0].count(), 800u);
+    EXPECT_EQ(st.queueReadLatencyUs[1].count(), 800u);
+    // The cold tenant's reads retry and therefore run slower.
+    EXPECT_GT(st.queueReadLatencyUs[0].mean(),
+              st.queueReadLatencyUs[1].mean());
+    EXPECT_GT(st.retriedReads, 0u);
+}
+
+TEST(SsdIntegration, MultiQueueMatchesSingleQueueWhenAlone)
+{
+    // One source through runMultiQueue must behave exactly like run().
+    const SsdConfig cfg = smallConfig(PolicyKind::Rif);
+    const trace::WorkloadSpec spec = smallWorkload();
+    trace::SyntheticWorkload a(spec, 500, 9), b(spec, 500, 9);
+    Ssd da(cfg), db(cfg);
+    const SsdStats sa = da.run(a);
+    const SsdStats sb = db.runMultiQueue({&b});
+    EXPECT_EQ(sa.makespan, sb.makespan);
+    EXPECT_EQ(sa.retriedReads, sb.retriedReads);
+}
+
+TEST(SsdIntegration, ReadHammerTriggersDisturbRelocation)
+{
+    SsdConfig cfg = smallConfig(PolicyKind::Rif, 0.0);
+    cfg.readDisturbThreshold = 300;
+    // A small footprint that fills whole blocks (16 planes x 128
+    // pages) so the hammered blocks are closed and relocatable.
+    trace::WorkloadSpec spec = smallWorkload(1.0, 0.0);
+    spec.footprintPages = 2048;
+    const SsdStats st = runOne(cfg, spec, 4000, 13);
+    EXPECT_GT(st.disturbBlockRelocations, 0u);
+    EXPECT_GT(st.gcPageMoves, 0u);
+    EXPECT_GT(st.blockErases, 0u);
+}
+
+TEST(SsdIntegration, VthModelRberSourceBehavesLikeParametric)
+{
+    // Swapping the RBER substrate keeps the qualitative behaviour:
+    // completion, retries driven by cold reads, wear sensitivity.
+    SsdConfig cfg = smallConfig(PolicyKind::IdealOffChip, 1000.0);
+    cfg.rberSource = RberSource::VthModel;
+    const trace::WorkloadSpec spec = smallWorkload(0.95, 0.85);
+    const SsdStats st = runOne(cfg, spec, 1200);
+    EXPECT_EQ(st.hostRequests, 1200u);
+    EXPECT_GT(st.retriedReads, 0u);
+
+    cfg.peCycles = 0.0;
+    const SsdStats fresh = runOne(cfg, spec, 1200);
+    EXPECT_LT(fresh.retriedReads, st.retriedReads);
+}
+
+TEST(SsdIntegration, WriteAmplificationAtLeastOne)
+{
+    SsdConfig cfg = smallConfig(PolicyKind::Rif);
+    cfg.geometry.blocksPerPlane = 24;
+    cfg.geometry.pagesPerBlock = 64;
+    trace::WorkloadSpec spec = smallWorkload(0.05, 0.5);
+    spec.footprintPages = 12000;
+    const SsdStats st = runOne(cfg, spec, 9000, 21);
+    const double waf = st.writeAmplification(cfg.geometry.pageBytes);
+    EXPECT_GE(waf, 1.0);
+    EXPECT_LT(waf, 4.0) << "GC relocation volume implausibly high";
+}
+
+TEST(ChannelUsage, TransitionAccounting)
+{
+    ChannelUsage u;
+    u.transition(ChannelState::CorXfer, 100);
+    u.transition(ChannelState::EccWait, 250);
+    u.transition(ChannelState::Idle, 300);
+    u.finish(400);
+    EXPECT_EQ(u.time(ChannelState::Idle), 200u); // [0,100) + [300,400)
+    EXPECT_EQ(u.time(ChannelState::CorXfer), 150u);
+    EXPECT_EQ(u.time(ChannelState::EccWait), 50u);
+    EXPECT_EQ(u.total(), 400u);
+    EXPECT_DOUBLE_EQ(u.fraction(ChannelState::CorXfer), 0.375);
+}
+
+} // namespace
+} // namespace ssd
+} // namespace rif

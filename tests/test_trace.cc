@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests of the workload substrate: the Table II specs, the synthetic
+ * generator's realized read/cold-read ratios, address-bound invariants,
+ * the CSV file parser and the in-memory source.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "trace/trace.h"
+
+namespace rif {
+namespace trace {
+namespace {
+
+TEST(Workloads, TableTwoSpecs)
+{
+    const auto all = paperWorkloads();
+    ASSERT_EQ(all.size(), 8u);
+    const WorkloadSpec ali124 = workloadByName("Ali124");
+    EXPECT_DOUBLE_EQ(ali124.readRatio, 0.96);
+    EXPECT_DOUBLE_EQ(ali124.coldReadRatio, 0.79);
+    const WorkloadSpec ali2 = workloadByName("Ali2");
+    EXPECT_DOUBLE_EQ(ali2.readRatio, 0.27);
+    EXPECT_DOUBLE_EQ(ali2.coldReadRatio, 0.50);
+    EXPECT_DEATH(workloadByName("nope"), "unknown workload");
+}
+
+class EveryWorkload : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(EveryWorkload, RealizedRatiosMatchSpec)
+{
+    const WorkloadSpec spec = workloadByName(GetParam());
+    SyntheticWorkload gen(spec, 30000, 42);
+    const std::uint64_t cold_start = gen.coldRegionStart();
+    const auto c = characterize(gen, cold_start);
+    EXPECT_EQ(c.requests, 30000u);
+    EXPECT_NEAR(c.readRatio(), spec.readRatio, 0.02);
+    EXPECT_NEAR(c.coldReadRatio(), spec.coldReadRatio, 0.02);
+}
+
+TEST_P(EveryWorkload, RequestsStayInsideFootprint)
+{
+    const WorkloadSpec spec = workloadByName(GetParam());
+    SyntheticWorkload gen(spec, 5000, 7);
+    IoRecord rec;
+    while (gen.next(rec)) {
+        EXPECT_GE(rec.pages, 1u);
+        EXPECT_LE(rec.pages, spec.maxPages);
+        EXPECT_LE(rec.lpn + rec.pages, spec.footprintPages);
+        if (!rec.isRead) {
+            // Writes never touch the cold region (its coldness is the
+            // definition of the cold-read ratio).
+            EXPECT_LT(rec.lpn + rec.pages, gen.coldRegionStart() + 1);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperWorkloads, EveryWorkload,
+                         ::testing::Values("Ali2", "Ali46", "Ali81",
+                                           "Ali121", "Ali124", "Ali295",
+                                           "Sys0", "Sys1"));
+
+TEST(SyntheticWorkload, DeterministicForSeed)
+{
+    const WorkloadSpec spec = workloadByName("Sys0");
+    SyntheticWorkload a(spec, 1000, 5), b(spec, 1000, 5);
+    IoRecord ra, rb;
+    while (a.next(ra)) {
+        ASSERT_TRUE(b.next(rb));
+        EXPECT_EQ(ra.isRead, rb.isRead);
+        EXPECT_EQ(ra.lpn, rb.lpn);
+        EXPECT_EQ(ra.pages, rb.pages);
+    }
+    EXPECT_FALSE(b.next(rb));
+}
+
+TEST(SyntheticWorkload, HotReadsAreSkewed)
+{
+    WorkloadSpec spec = workloadByName("Ali2");
+    spec.coldReadRatio = 0.0; // all reads hot
+    SyntheticWorkload gen(spec, 50000, 11);
+    IoRecord rec;
+    std::uint64_t top_decile = 0, reads = 0;
+    const std::uint64_t hot = gen.coldRegionStart();
+    while (gen.next(rec)) {
+        if (!rec.isRead)
+            continue;
+        ++reads;
+        top_decile += (rec.lpn < hot / 10);
+    }
+    // Zipf(0.9): the first decile of the hot space absorbs most hits.
+    EXPECT_GT(static_cast<double>(top_decile) / reads, 0.5);
+}
+
+TEST(FileTrace, ParsesAndReplays)
+{
+    const char *path = "rif_test_trace.csv";
+    {
+        std::ofstream out(path);
+        out << "# comment line\n";
+        out << "R,100,4\n";
+        out << "W,200,1\n";
+        out << "r,0,16\n";
+    }
+    FileTrace ft(path);
+    EXPECT_EQ(ft.footprintPages(), 201u);
+    IoRecord rec;
+    ASSERT_TRUE(ft.next(rec));
+    EXPECT_TRUE(rec.isRead);
+    EXPECT_EQ(rec.lpn, 100u);
+    EXPECT_EQ(rec.pages, 4u);
+    ASSERT_TRUE(ft.next(rec));
+    EXPECT_FALSE(rec.isRead);
+    ASSERT_TRUE(ft.next(rec));
+    EXPECT_EQ(rec.pages, 16u);
+    EXPECT_FALSE(ft.next(rec));
+    std::remove(path);
+}
+
+TEST(FileTrace, RejectsMissingFile)
+{
+    EXPECT_DEATH(FileTrace("/nonexistent/trace.csv"), "cannot open");
+}
+
+TEST(VectorTrace, ReplaysInOrder)
+{
+    VectorTrace vt({{true, 0, 2}, {false, 4, 1}}, 100, 50);
+    EXPECT_EQ(vt.footprintPages(), 100u);
+    EXPECT_EQ(vt.coldRegionStart(), 50u);
+    IoRecord rec;
+    ASSERT_TRUE(vt.next(rec));
+    EXPECT_TRUE(rec.isRead);
+    ASSERT_TRUE(vt.next(rec));
+    EXPECT_FALSE(rec.isRead);
+    EXPECT_FALSE(vt.next(rec));
+}
+
+TEST(OffsetTrace, ShiftsRequestsAndColdness)
+{
+    VectorTrace inner({{true, 0, 2}, {false, 4, 1}}, 100, 50);
+    OffsetTrace shifted(inner, 1000);
+    EXPECT_EQ(shifted.footprintPages(), 1100u);
+    EXPECT_EQ(shifted.coldRegionStart(), 1050u);
+    IoRecord rec;
+    ASSERT_TRUE(shifted.next(rec));
+    EXPECT_EQ(rec.lpn, 1000u);
+    ASSERT_TRUE(shifted.next(rec));
+    EXPECT_EQ(rec.lpn, 1004u);
+    // Coldness only answers inside the partition.
+    EXPECT_FALSE(shifted.isCold(10));    // below the partition
+    EXPECT_FALSE(shifted.isCold(1010));  // hot half of the partition
+    EXPECT_TRUE(shifted.isCold(1060));   // cold half
+    EXPECT_FALSE(shifted.isCold(1100));  // beyond the partition
+}
+
+TEST(Characteristics, EmptyIsSafe)
+{
+    TraceCharacteristics c;
+    EXPECT_EQ(c.readRatio(), 0.0);
+    EXPECT_EQ(c.coldReadRatio(), 0.0);
+}
+
+} // namespace
+} // namespace trace
+} // namespace rif
