@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_conventional"
+  "../bench/ablation_conventional.pdb"
+  "CMakeFiles/ablation_conventional.dir/ablation_conventional.cc.o"
+  "CMakeFiles/ablation_conventional.dir/ablation_conventional.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_conventional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

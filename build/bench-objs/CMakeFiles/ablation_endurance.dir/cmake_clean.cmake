@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_endurance"
+  "../bench/ablation_endurance.pdb"
+  "CMakeFiles/ablation_endurance.dir/ablation_endurance.cc.o"
+  "CMakeFiles/ablation_endurance.dir/ablation_endurance.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_endurance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

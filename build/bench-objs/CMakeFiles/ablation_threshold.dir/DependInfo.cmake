@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_threshold.cc" "bench-objs/CMakeFiles/ablation_threshold.dir/ablation_threshold.cc.o" "gcc" "bench-objs/CMakeFiles/ablation_threshold.dir/ablation_threshold.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rif_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/rif_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rif_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/odear/CMakeFiles/rif_odear.dir/DependInfo.cmake"
+  "/root/repo/build/src/ldpc/CMakeFiles/rif_ldpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/rif_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rif_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_tpred"
+  "../bench/ablation_tpred.pdb"
+  "CMakeFiles/ablation_tpred.dir/ablation_tpred.cc.o"
+  "CMakeFiles/ablation_tpred.dir/ablation_tpred.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tpred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

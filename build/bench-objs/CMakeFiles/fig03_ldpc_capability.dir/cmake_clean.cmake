@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_ldpc_capability"
+  "../bench/fig03_ldpc_capability.pdb"
+  "CMakeFiles/fig03_ldpc_capability.dir/fig03_ldpc_capability.cc.o"
+  "CMakeFiles/fig03_ldpc_capability.dir/fig03_ldpc_capability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_ldpc_capability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_retention"
+  "../bench/fig04_retention.pdb"
+  "CMakeFiles/fig04_retention.dir/fig04_retention.cc.o"
+  "CMakeFiles/fig04_retention.dir/fig04_retention.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_retention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

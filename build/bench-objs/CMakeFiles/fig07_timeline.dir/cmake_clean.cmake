@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_timeline"
+  "../bench/fig07_timeline.pdb"
+  "CMakeFiles/fig07_timeline.dir/fig07_timeline.cc.o"
+  "CMakeFiles/fig07_timeline.dir/fig07_timeline.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

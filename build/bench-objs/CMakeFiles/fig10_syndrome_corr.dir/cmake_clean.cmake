@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_syndrome_corr"
+  "../bench/fig10_syndrome_corr.pdb"
+  "CMakeFiles/fig10_syndrome_corr.dir/fig10_syndrome_corr.cc.o"
+  "CMakeFiles/fig10_syndrome_corr.dir/fig10_syndrome_corr.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_syndrome_corr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_14_rp_accuracy"
+  "../bench/fig11_14_rp_accuracy.pdb"
+  "CMakeFiles/fig11_14_rp_accuracy.dir/fig11_14_rp_accuracy.cc.o"
+  "CMakeFiles/fig11_14_rp_accuracy.dir/fig11_14_rp_accuracy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_14_rp_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_chunk_similarity"
+  "../bench/fig12_chunk_similarity.pdb"
+  "CMakeFiles/fig12_chunk_similarity.dir/fig12_chunk_similarity.cc.o"
+  "CMakeFiles/fig12_chunk_similarity.dir/fig12_chunk_similarity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_chunk_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

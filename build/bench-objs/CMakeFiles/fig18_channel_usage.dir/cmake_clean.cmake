@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig18_channel_usage"
+  "../bench/fig18_channel_usage.pdb"
+  "CMakeFiles/fig18_channel_usage.dir/fig18_channel_usage.cc.o"
+  "CMakeFiles/fig18_channel_usage.dir/fig18_channel_usage.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_channel_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_ldpc"
+  "../bench/micro_ldpc.pdb"
+  "CMakeFiles/micro_ldpc.dir/micro_ldpc.cc.o"
+  "CMakeFiles/micro_ldpc.dir/micro_ldpc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ldpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

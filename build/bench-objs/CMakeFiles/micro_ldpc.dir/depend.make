@@ -1,0 +1,2 @@
+# Empty dependencies file for micro_ldpc.
+# This may be replaced when dependencies are built.

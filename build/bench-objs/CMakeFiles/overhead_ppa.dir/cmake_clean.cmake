@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/overhead_ppa"
+  "../bench/overhead_ppa.pdb"
+  "CMakeFiles/overhead_ppa.dir/overhead_ppa.cc.o"
+  "CMakeFiles/overhead_ppa.dir/overhead_ppa.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_ppa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

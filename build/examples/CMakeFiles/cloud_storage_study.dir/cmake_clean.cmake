@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_storage_study.dir/cloud_storage_study.cpp.o"
+  "CMakeFiles/cloud_storage_study.dir/cloud_storage_study.cpp.o.d"
+  "cloud_storage_study"
+  "cloud_storage_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_storage_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

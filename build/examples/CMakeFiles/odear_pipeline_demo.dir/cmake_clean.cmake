@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odear_pipeline_demo.dir/odear_pipeline_demo.cpp.o"
+  "CMakeFiles/odear_pipeline_demo.dir/odear_pipeline_demo.cpp.o.d"
+  "odear_pipeline_demo"
+  "odear_pipeline_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odear_pipeline_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rif_common.dir/bitvec.cc.o"
+  "CMakeFiles/rif_common.dir/bitvec.cc.o.d"
+  "CMakeFiles/rif_common.dir/logging.cc.o"
+  "CMakeFiles/rif_common.dir/logging.cc.o.d"
+  "CMakeFiles/rif_common.dir/rng.cc.o"
+  "CMakeFiles/rif_common.dir/rng.cc.o.d"
+  "CMakeFiles/rif_common.dir/stats.cc.o"
+  "CMakeFiles/rif_common.dir/stats.cc.o.d"
+  "CMakeFiles/rif_common.dir/table.cc.o"
+  "CMakeFiles/rif_common.dir/table.cc.o.d"
+  "librif_common.a"
+  "librif_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rif_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rif_core.dir/experiment.cc.o"
+  "CMakeFiles/rif_core.dir/experiment.cc.o.d"
+  "librif_core.a"
+  "librif_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rif_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

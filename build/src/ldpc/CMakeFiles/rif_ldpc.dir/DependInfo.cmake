@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ldpc/capability.cc" "src/ldpc/CMakeFiles/rif_ldpc.dir/capability.cc.o" "gcc" "src/ldpc/CMakeFiles/rif_ldpc.dir/capability.cc.o.d"
+  "/root/repo/src/ldpc/channel.cc" "src/ldpc/CMakeFiles/rif_ldpc.dir/channel.cc.o" "gcc" "src/ldpc/CMakeFiles/rif_ldpc.dir/channel.cc.o.d"
+  "/root/repo/src/ldpc/code.cc" "src/ldpc/CMakeFiles/rif_ldpc.dir/code.cc.o" "gcc" "src/ldpc/CMakeFiles/rif_ldpc.dir/code.cc.o.d"
+  "/root/repo/src/ldpc/decoder.cc" "src/ldpc/CMakeFiles/rif_ldpc.dir/decoder.cc.o" "gcc" "src/ldpc/CMakeFiles/rif_ldpc.dir/decoder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rif_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

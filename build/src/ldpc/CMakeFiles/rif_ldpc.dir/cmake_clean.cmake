@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rif_ldpc.dir/capability.cc.o"
+  "CMakeFiles/rif_ldpc.dir/capability.cc.o.d"
+  "CMakeFiles/rif_ldpc.dir/channel.cc.o"
+  "CMakeFiles/rif_ldpc.dir/channel.cc.o.d"
+  "CMakeFiles/rif_ldpc.dir/code.cc.o"
+  "CMakeFiles/rif_ldpc.dir/code.cc.o.d"
+  "CMakeFiles/rif_ldpc.dir/decoder.cc.o"
+  "CMakeFiles/rif_ldpc.dir/decoder.cc.o.d"
+  "librif_ldpc.a"
+  "librif_ldpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rif_ldpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nand/characterization.cc" "src/nand/CMakeFiles/rif_nand.dir/characterization.cc.o" "gcc" "src/nand/CMakeFiles/rif_nand.dir/characterization.cc.o.d"
+  "/root/repo/src/nand/geometry.cc" "src/nand/CMakeFiles/rif_nand.dir/geometry.cc.o" "gcc" "src/nand/CMakeFiles/rif_nand.dir/geometry.cc.o.d"
+  "/root/repo/src/nand/randomizer.cc" "src/nand/CMakeFiles/rif_nand.dir/randomizer.cc.o" "gcc" "src/nand/CMakeFiles/rif_nand.dir/randomizer.cc.o.d"
+  "/root/repo/src/nand/rber_model.cc" "src/nand/CMakeFiles/rif_nand.dir/rber_model.cc.o" "gcc" "src/nand/CMakeFiles/rif_nand.dir/rber_model.cc.o.d"
+  "/root/repo/src/nand/vref_table.cc" "src/nand/CMakeFiles/rif_nand.dir/vref_table.cc.o" "gcc" "src/nand/CMakeFiles/rif_nand.dir/vref_table.cc.o.d"
+  "/root/repo/src/nand/vth_model.cc" "src/nand/CMakeFiles/rif_nand.dir/vth_model.cc.o" "gcc" "src/nand/CMakeFiles/rif_nand.dir/vth_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rif_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rif_nand.dir/characterization.cc.o"
+  "CMakeFiles/rif_nand.dir/characterization.cc.o.d"
+  "CMakeFiles/rif_nand.dir/geometry.cc.o"
+  "CMakeFiles/rif_nand.dir/geometry.cc.o.d"
+  "CMakeFiles/rif_nand.dir/randomizer.cc.o"
+  "CMakeFiles/rif_nand.dir/randomizer.cc.o.d"
+  "CMakeFiles/rif_nand.dir/rber_model.cc.o"
+  "CMakeFiles/rif_nand.dir/rber_model.cc.o.d"
+  "CMakeFiles/rif_nand.dir/vref_table.cc.o"
+  "CMakeFiles/rif_nand.dir/vref_table.cc.o.d"
+  "CMakeFiles/rif_nand.dir/vth_model.cc.o"
+  "CMakeFiles/rif_nand.dir/vth_model.cc.o.d"
+  "librif_nand.a"
+  "librif_nand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rif_nand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/odear/accuracy.cc" "src/odear/CMakeFiles/rif_odear.dir/accuracy.cc.o" "gcc" "src/odear/CMakeFiles/rif_odear.dir/accuracy.cc.o.d"
+  "/root/repo/src/odear/datapath.cc" "src/odear/CMakeFiles/rif_odear.dir/datapath.cc.o" "gcc" "src/odear/CMakeFiles/rif_odear.dir/datapath.cc.o.d"
+  "/root/repo/src/odear/engine.cc" "src/odear/CMakeFiles/rif_odear.dir/engine.cc.o" "gcc" "src/odear/CMakeFiles/rif_odear.dir/engine.cc.o.d"
+  "/root/repo/src/odear/overhead.cc" "src/odear/CMakeFiles/rif_odear.dir/overhead.cc.o" "gcc" "src/odear/CMakeFiles/rif_odear.dir/overhead.cc.o.d"
+  "/root/repo/src/odear/rearrange.cc" "src/odear/CMakeFiles/rif_odear.dir/rearrange.cc.o" "gcc" "src/odear/CMakeFiles/rif_odear.dir/rearrange.cc.o.d"
+  "/root/repo/src/odear/rp_module.cc" "src/odear/CMakeFiles/rif_odear.dir/rp_module.cc.o" "gcc" "src/odear/CMakeFiles/rif_odear.dir/rp_module.cc.o.d"
+  "/root/repo/src/odear/rvs_module.cc" "src/odear/CMakeFiles/rif_odear.dir/rvs_module.cc.o" "gcc" "src/odear/CMakeFiles/rif_odear.dir/rvs_module.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rif_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ldpc/CMakeFiles/rif_ldpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/rif_nand.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

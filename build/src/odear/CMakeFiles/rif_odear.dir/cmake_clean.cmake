@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rif_odear.dir/accuracy.cc.o"
+  "CMakeFiles/rif_odear.dir/accuracy.cc.o.d"
+  "CMakeFiles/rif_odear.dir/datapath.cc.o"
+  "CMakeFiles/rif_odear.dir/datapath.cc.o.d"
+  "CMakeFiles/rif_odear.dir/engine.cc.o"
+  "CMakeFiles/rif_odear.dir/engine.cc.o.d"
+  "CMakeFiles/rif_odear.dir/overhead.cc.o"
+  "CMakeFiles/rif_odear.dir/overhead.cc.o.d"
+  "CMakeFiles/rif_odear.dir/rearrange.cc.o"
+  "CMakeFiles/rif_odear.dir/rearrange.cc.o.d"
+  "CMakeFiles/rif_odear.dir/rp_module.cc.o"
+  "CMakeFiles/rif_odear.dir/rp_module.cc.o.d"
+  "CMakeFiles/rif_odear.dir/rvs_module.cc.o"
+  "CMakeFiles/rif_odear.dir/rvs_module.cc.o.d"
+  "librif_odear.a"
+  "librif_odear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rif_odear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librif_odear.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ssd/config.cc" "src/ssd/CMakeFiles/rif_ssd.dir/config.cc.o" "gcc" "src/ssd/CMakeFiles/rif_ssd.dir/config.cc.o.d"
+  "/root/repo/src/ssd/devices.cc" "src/ssd/CMakeFiles/rif_ssd.dir/devices.cc.o" "gcc" "src/ssd/CMakeFiles/rif_ssd.dir/devices.cc.o.d"
+  "/root/repo/src/ssd/ftl.cc" "src/ssd/CMakeFiles/rif_ssd.dir/ftl.cc.o" "gcc" "src/ssd/CMakeFiles/rif_ssd.dir/ftl.cc.o.d"
+  "/root/repo/src/ssd/policy.cc" "src/ssd/CMakeFiles/rif_ssd.dir/policy.cc.o" "gcc" "src/ssd/CMakeFiles/rif_ssd.dir/policy.cc.o.d"
+  "/root/repo/src/ssd/sim.cc" "src/ssd/CMakeFiles/rif_ssd.dir/sim.cc.o" "gcc" "src/ssd/CMakeFiles/rif_ssd.dir/sim.cc.o.d"
+  "/root/repo/src/ssd/ssd.cc" "src/ssd/CMakeFiles/rif_ssd.dir/ssd.cc.o" "gcc" "src/ssd/CMakeFiles/rif_ssd.dir/ssd.cc.o.d"
+  "/root/repo/src/ssd/stats.cc" "src/ssd/CMakeFiles/rif_ssd.dir/stats.cc.o" "gcc" "src/ssd/CMakeFiles/rif_ssd.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rif_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/rif_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/odear/CMakeFiles/rif_odear.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rif_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/ldpc/CMakeFiles/rif_ldpc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rif_ssd.dir/config.cc.o"
+  "CMakeFiles/rif_ssd.dir/config.cc.o.d"
+  "CMakeFiles/rif_ssd.dir/devices.cc.o"
+  "CMakeFiles/rif_ssd.dir/devices.cc.o.d"
+  "CMakeFiles/rif_ssd.dir/ftl.cc.o"
+  "CMakeFiles/rif_ssd.dir/ftl.cc.o.d"
+  "CMakeFiles/rif_ssd.dir/policy.cc.o"
+  "CMakeFiles/rif_ssd.dir/policy.cc.o.d"
+  "CMakeFiles/rif_ssd.dir/sim.cc.o"
+  "CMakeFiles/rif_ssd.dir/sim.cc.o.d"
+  "CMakeFiles/rif_ssd.dir/ssd.cc.o"
+  "CMakeFiles/rif_ssd.dir/ssd.cc.o.d"
+  "CMakeFiles/rif_ssd.dir/stats.cc.o"
+  "CMakeFiles/rif_ssd.dir/stats.cc.o.d"
+  "librif_ssd.a"
+  "librif_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rif_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rif_trace.dir/trace.cc.o"
+  "CMakeFiles/rif_trace.dir/trace.cc.o.d"
+  "librif_trace.a"
+  "librif_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rif_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

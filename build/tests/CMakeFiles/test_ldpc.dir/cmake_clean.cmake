@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ldpc.dir/test_ldpc.cc.o"
+  "CMakeFiles/test_ldpc.dir/test_ldpc.cc.o.d"
+  "test_ldpc"
+  "test_ldpc.pdb"
+  "test_ldpc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ldpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

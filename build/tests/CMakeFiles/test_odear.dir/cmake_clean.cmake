@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_odear.dir/test_odear.cc.o"
+  "CMakeFiles/test_odear.dir/test_odear.cc.o.d"
+  "test_odear"
+  "test_odear.pdb"
+  "test_odear[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_odear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
