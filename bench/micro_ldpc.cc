@@ -2,11 +2,15 @@
  * @file
  * Google-benchmark microbenchmarks of the LDPC substrate: encoding,
  * syndrome computation (full and pruned, i.e. the ODEAR datapath's
- * work), and min-sum decoding at easy/threshold/hopeless RBER.
+ * work), and min-sum decoding at easy/threshold/hopeless RBER. The
+ * Reference* variants time the retained per-edge kernels so the
+ * word-parallel speedup is measured in-tree, and BM_ParallelDecode
+ * times the thread-pool Monte-Carlo harness end to end.
  */
 
 #include <benchmark/benchmark.h>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "ldpc/channel.h"
 #include "ldpc/code.h"
@@ -40,6 +44,21 @@ BM_Encode(benchmark::State &state)
 BENCHMARK(BM_Encode);
 
 void
+BM_ReferenceEncode(benchmark::State &state)
+{
+    // The retired per-edge encoder, kept for equivalence testing.
+    const QcLdpcCode &code = theCode();
+    Rng rng(1);
+    const HardWord data = randomData(code.params().k(), rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(code.referenceEncode(data));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(code.params().k() / 8));
+}
+BENCHMARK(BM_ReferenceEncode);
+
+void
 BM_FullSyndromeWeight(benchmark::State &state)
 {
     const QcLdpcCode &code = theCode();
@@ -50,6 +69,18 @@ BM_FullSyndromeWeight(benchmark::State &state)
         benchmark::DoNotOptimize(code.syndromeWeight(word));
 }
 BENCHMARK(BM_FullSyndromeWeight);
+
+void
+BM_ReferenceSyndrome(benchmark::State &state)
+{
+    const QcLdpcCode &code = theCode();
+    Rng rng(2);
+    HardWord word = code.encode(randomData(code.params().k(), rng));
+    injectErrors(word, 0.005, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(code.referenceSyndrome(word));
+}
+BENCHMARK(BM_ReferenceSyndrome);
 
 void
 BM_PrunedSyndromeWeight(benchmark::State &state)
@@ -92,6 +123,55 @@ BM_MinSumDecode(benchmark::State &state)
 }
 // 0.002 (easy), 0.008 (near capability), 0.012 (fails at 20 iters).
 BENCHMARK(BM_MinSumDecode)->Arg(20)->Arg(80)->Arg(120);
+
+void
+BM_MinSumDecodeWorkspace(benchmark::State &state)
+{
+    // Caller-owned workspace: zero heap allocation in steady state.
+    const QcLdpcCode &code = theCode();
+    const MinSumDecoder dec(code, 20);
+    const double rber = static_cast<double>(state.range(0)) * 1e-4;
+    Rng rng(5);
+    HardWord word = code.encode(randomData(code.params().k(), rng));
+    injectErrors(word, rber, rng);
+    DecodeWorkspace ws;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dec.decode(word, rber, ws));
+}
+BENCHMARK(BM_MinSumDecodeWorkspace)->Arg(20)->Arg(80);
+
+void
+BM_ParallelDecode(benchmark::State &state)
+{
+    // End-to-end Monte-Carlo throughput of the thread-pool harness:
+    // 32 independent decodes per iteration, deterministic per-index
+    // streams, per-worker workspaces. Arg = thread count.
+    const QcLdpcCode &code = theCode();
+    const MinSumDecoder dec(code, 20);
+    const double rber = 0.006;
+    setGlobalThreadCount(static_cast<int>(state.range(0)));
+
+    constexpr std::size_t kBatch = 32;
+    Rng master(6);
+    std::vector<HardWord> words(kBatch);
+    for (auto &w : words) {
+        w = code.encode(randomData(code.params().k(), master));
+        injectErrors(w, rber, master);
+    }
+    std::vector<DecodeWorkspace> scratch(globalThreadCount());
+    std::vector<int> iters(kBatch, 0);
+    for (auto _ : state) {
+        parallelForWorker(kBatch, [&](std::size_t i, int worker) {
+            iters[i] = dec.decode(words[i], rber, scratch[worker]).iterations;
+        });
+        benchmark::DoNotOptimize(iters.data());
+    }
+    setGlobalThreadCount(0);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kBatch);
+}
+BENCHMARK(BM_ParallelDecode)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -1,10 +1,70 @@
 #include "common/bitvec.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/logging.h"
 
 namespace rif {
+
+namespace {
+
+/**
+ * XOR `len` bits of `src` starting at bit `spos` into `dst` starting at
+ * bit `dpos`. Word-parallel: each step produces up to one destination
+ * word. The ranges must not overlap between aliasing buffers.
+ */
+void
+xorBitsRaw(std::uint64_t *dst, std::size_t dpos, const std::uint64_t *src,
+           std::size_t spos, std::size_t len)
+{
+    // Whole-word fast path for mutually aligned ranges (the common case
+    // when the circulant dimension is a multiple of 64 and the shift is
+    // zero, e.g. parity segments and the rearranged on-die datapath).
+    if (((dpos | spos) & 63) == 0) {
+        std::size_t dw = dpos >> 6;
+        std::size_t sw = spos >> 6;
+        while (len >= 64) {
+            dst[dw++] ^= src[sw++];
+            len -= 64;
+        }
+        dpos = dw << 6;
+        spos = sw << 6;
+    }
+    while (len > 0) {
+        const std::size_t db = dpos & 63;
+        const std::size_t chunk = std::min<std::size_t>(64 - db, len);
+        const std::size_t sw = spos >> 6;
+        const std::size_t sb = spos & 63;
+        std::uint64_t bits = src[sw] >> sb;
+        if (sb != 0 && sb + chunk > 64)
+            bits |= src[sw + 1] << (64 - sb);
+        if (chunk < 64)
+            bits &= (std::uint64_t(1) << chunk) - 1;
+        dst[dpos >> 6] ^= bits << db;
+        dpos += chunk;
+        spos += chunk;
+        len -= chunk;
+    }
+}
+
+/** Zero `len` bits of `dst` starting at bit `dpos`. */
+void
+clearBitsRaw(std::uint64_t *dst, std::size_t dpos, std::size_t len)
+{
+    while (len > 0) {
+        const std::size_t db = dpos & 63;
+        const std::size_t chunk = std::min<std::size_t>(64 - db, len);
+        std::uint64_t mask = ~std::uint64_t(0);
+        if (chunk < 64)
+            mask = (std::uint64_t(1) << chunk) - 1;
+        dst[dpos >> 6] &= ~(mask << db);
+        dpos += chunk;
+        len -= chunk;
+    }
+}
+
+} // namespace
 
 BitVec::BitVec(std::size_t nbits)
     : nbits_(nbits), words_((nbits + 63) / 64, 0)
@@ -18,11 +78,29 @@ BitVec::clear()
 }
 
 void
+BitVec::reset(std::size_t nbits)
+{
+    nbits_ = nbits;
+    words_.assign((nbits + 63) / 64, 0);
+}
+
+void
 BitVec::xorWith(const BitVec &other)
 {
     RIF_ASSERT(nbits_ == other.nbits_);
     for (std::size_t i = 0; i < words_.size(); ++i)
         words_[i] ^= other.words_[i];
+}
+
+void
+BitVec::xorRange(std::size_t dst_start, const BitVec &src,
+                 std::size_t src_start, std::size_t len)
+{
+    RIF_ASSERT(dst_start + len <= nbits_);
+    RIF_ASSERT(src_start + len <= src.nbits_);
+    if (len == 0)
+        return;
+    xorBitsRaw(words_.data(), dst_start, src.words_.data(), src_start, len);
 }
 
 std::size_t
@@ -32,6 +110,15 @@ BitVec::popcount() const
     for (std::uint64_t w : words_)
         n += static_cast<std::size_t>(std::popcount(w));
     return n;
+}
+
+bool
+BitVec::isZero() const
+{
+    for (std::uint64_t w : words_)
+        if (w != 0)
+            return false;
+    return true;
 }
 
 BitVec
@@ -44,11 +131,8 @@ BitVec::rotl(std::size_t k) const
     // Bit i of the result is bit (i + k) mod n of the source: a left
     // rotation moves each source bit k positions toward index 0 in our
     // little-endian numbering, matching the paper's "rotate segment left".
-    for (std::size_t i = 0; i < nbits_; ++i) {
-        const std::size_t src = (i + k) % nbits_;
-        if (get(src))
-            out.set(i, true);
-    }
+    out.xorRange(0, *this, k, nbits_ - k);
+    out.xorRange(nbits_ - k, *this, 0, k);
     return out;
 }
 
@@ -66,18 +150,7 @@ BitVec::slice(std::size_t start, std::size_t len) const
 {
     RIF_ASSERT(start + len <= nbits_);
     BitVec out(len);
-    // Word-aligned fast path covers the common QC-LDPC segment case
-    // (segments are multiples of 64 bits).
-    if ((start & 63) == 0) {
-        const std::size_t w0 = start >> 6;
-        for (std::size_t w = 0; w < out.words_.size(); ++w)
-            out.words_[w] = words_[w0 + w];
-        out.trimTail();
-        return out;
-    }
-    for (std::size_t i = 0; i < len; ++i)
-        if (get(start + i))
-            out.set(i, true);
+    out.xorRange(0, *this, start, len);
     return out;
 }
 
@@ -85,14 +158,56 @@ void
 BitVec::insert(std::size_t start, const BitVec &other)
 {
     RIF_ASSERT(start + other.nbits_ <= nbits_);
-    if ((start & 63) == 0 && (other.nbits_ & 63) == 0) {
-        const std::size_t w0 = start >> 6;
-        for (std::size_t w = 0; w < other.words_.size(); ++w)
-            words_[w0 + w] = other.words_[w];
+    if (other.nbits_ == 0)
         return;
+    clearBitsRaw(words_.data(), start, other.nbits_);
+    xorBitsRaw(words_.data(), start, other.words_.data(), 0, other.nbits_);
+}
+
+void
+BitVec::assignFromBytes(const std::uint8_t *bytes, std::size_t n)
+{
+    nbits_ = n;
+    words_.resize((n + 63) / 64);
+    // Eight 0/1 bytes collapse to eight bits with one multiply: byte j's
+    // LSB lands on bit 56 + j of the product, so the top byte is the
+    // packed group. Each destination word is built whole, so no pre-zero
+    // pass is needed.
+    std::size_t i = 0;
+    for (std::size_t w = 0; i + 64 <= n; ++w, i += 64) {
+        std::uint64_t word = 0;
+        for (int g = 0; g < 8; ++g) {
+            std::uint64_t x;
+            std::memcpy(&x, bytes + i + static_cast<std::size_t>(g) * 8, 8);
+            x &= 0x0101010101010101ull;
+            word |= ((x * 0x0102040810204080ull) >> 56) << (g * 8);
+        }
+        words_[w] = word;
     }
-    for (std::size_t i = 0; i < other.nbits_; ++i)
-        set(start + i, other.get(i));
+    if (i < n) {
+        std::uint64_t word = 0;
+        for (std::size_t b = i; b < n; ++b)
+            word |= static_cast<std::uint64_t>(bytes[b] & 1) << (b - i);
+        words_[i >> 6] = word;
+    }
+}
+
+void
+BitVec::copyToBytes(std::uint8_t *out) const
+{
+    std::size_t i = 0;
+    // Reverse of assignFromBytes: replicate the 8-bit group across all
+    // byte lanes, mask bit j into lane j, then normalize lanes to 0/1.
+    for (; i + 8 <= nbits_; i += 8) {
+        const std::uint64_t group = (words_[i >> 6] >> (i & 63)) & 0xff;
+        const std::uint64_t sel =
+            (group * 0x0101010101010101ull) & 0x8040201008040201ull;
+        const std::uint64_t lanes =
+            ((sel + 0x7f7f7f7f7f7f7f7full) >> 7) & 0x0101010101010101ull;
+        std::memcpy(out + i, &lanes, 8);
+    }
+    for (; i < nbits_; ++i)
+        out[i] = get(i) ? 1 : 0;
 }
 
 bool

@@ -4,6 +4,11 @@
  * ODEAR datapaths need: bulk XOR, population count, and cyclic rotation of
  * the whole vector (used by the codeword-rearrangement scheme, which
  * rotates each QC-LDPC segment by its circulant shift coefficient).
+ *
+ * All bulk operations (xorRange, rotl, slice, insert, packing) run
+ * word-parallel: 64 bits per step regardless of alignment, so the
+ * circulant-rotation syndrome identity the paper's RP datapath exploits
+ * maps onto whole-word XOR + popcount on the host too.
  */
 
 #ifndef RIF_COMMON_BITVEC_H
@@ -55,11 +60,25 @@ class BitVec
     /** Set every bit to zero. */
     void clear();
 
+    /** Resize to nbits, zeroing all content (keeps capacity). */
+    void reset(std::size_t nbits);
+
     /** XOR another vector of identical length into this one. */
     void xorWith(const BitVec &other);
 
+    /**
+     * XOR bits [src_start, src_start + len) of `src` into bits
+     * [dst_start, dst_start + len) of this vector. Word-parallel for any
+     * alignment. `src` must not alias this vector.
+     */
+    void xorRange(std::size_t dst_start, const BitVec &src,
+                  std::size_t src_start, std::size_t len);
+
     /** Number of set bits. */
     std::size_t popcount() const;
+
+    /** True iff no bit is set. */
+    bool isZero() const;
 
     /** Cyclic left rotation of the whole vector by k bit positions. */
     BitVec rotl(std::size_t k) const;
@@ -72,6 +91,15 @@ class BitVec
 
     /** Overwrite bits [start, start+other.size()) with `other`. */
     void insert(std::size_t start, const BitVec &other);
+
+    /**
+     * Pack n bytes (least-significant bit of each byte) into this vector,
+     * resizing to n bits. Eight bytes per step.
+     */
+    void assignFromBytes(const std::uint8_t *bytes, std::size_t n);
+
+    /** Unpack into size() bytes of 0/1, eight bytes per step. */
+    void copyToBytes(std::uint8_t *out) const;
 
     /** Equality over all bits. */
     bool operator==(const BitVec &other) const;

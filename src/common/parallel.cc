@@ -1,0 +1,224 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace rif {
+
+namespace {
+
+/** True while this thread executes a parallelFor body. */
+thread_local bool t_inParallel = false;
+
+int
+defaultThreadCount()
+{
+    if (const char *env = std::getenv("RIF_THREADS")) {
+        const int n = std::atoi(env);
+        if (n > 0)
+            return std::min(n, 256);
+        warn("ignoring invalid RIF_THREADS value '", env, "'");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+/**
+ * Persistent worker pool. A parallelFor publishes one job (function +
+ * atomic index cursor); workers and the caller pull index chunks until
+ * the range drains. The pool spawns threadCount - 1 threads: the caller
+ * is always worker 0.
+ */
+class ThreadPool
+{
+  public:
+    explicit ThreadPool(int threads)
+        : threads_(threads)
+    {
+        RIF_ASSERT(threads >= 1);
+        for (int w = 1; w < threads_; ++w)
+            workers_.emplace_back([this, w] { workerLoop(w); });
+    }
+
+    ~ThreadPool()
+    {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        wake_.notify_all();
+        for (auto &t : workers_)
+            t.join();
+    }
+
+    int threadCount() const { return threads_; }
+
+    void
+    run(std::size_t n, const std::function<void(std::size_t, int)> &fn)
+    {
+        if (n == 0)
+            return;
+        // Nested parallelFor (a body that itself fans out) runs inline:
+        // the pool publishes one job at a time.
+        if (threads_ == 1 || n == 1 || t_inParallel) {
+            for (std::size_t i = 0; i < n; ++i)
+                fn(i, 0);
+            return;
+        }
+
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            job_ = &fn;
+            jobSize_ = n;
+            // Chunked index handout amortizes the atomic for cheap
+            // bodies while keeping tail imbalance small.
+            chunk_ = std::max<std::size_t>(
+                1, n / (static_cast<std::size_t>(threads_) * 8));
+            cursor_.store(0, std::memory_order_relaxed);
+            pending_ = threads_ - 1;
+            error_ = nullptr;
+            ++generation_;
+        }
+        wake_.notify_all();
+
+        drain(0);
+
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_.wait(lock, [this] { return pending_ == 0; });
+        job_ = nullptr;
+        if (error_)
+            std::rethrow_exception(error_);
+    }
+
+  private:
+    void
+    drain(int worker)
+    {
+        t_inParallel = true;
+        while (true) {
+            const std::size_t begin =
+                cursor_.fetch_add(chunk_, std::memory_order_relaxed);
+            if (begin >= jobSize_) {
+                t_inParallel = false;
+                return;
+            }
+            const std::size_t end = std::min(jobSize_, begin + chunk_);
+            try {
+                for (std::size_t i = begin; i < end; ++i)
+                    (*job_)(i, worker);
+            } catch (...) {
+                std::unique_lock<std::mutex> lock(mutex_);
+                if (!error_)
+                    error_ = std::current_exception();
+                // Swallow the rest of the chunk; the cursor keeps
+                // advancing so the job still drains.
+            }
+        }
+    }
+
+    void
+    workerLoop(int worker)
+    {
+        std::uint64_t seen = 0;
+        while (true) {
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                wake_.wait(lock, [&] {
+                    return stop_ || generation_ != seen;
+                });
+                if (stop_)
+                    return;
+                seen = generation_;
+            }
+            drain(worker);
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                if (--pending_ == 0)
+                    done_.notify_all();
+            }
+        }
+    }
+
+    const int threads_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    bool stop_ = false;
+    std::uint64_t generation_ = 0;
+    int pending_ = 0;
+    const std::function<void(std::size_t, int)> *job_ = nullptr;
+    std::size_t jobSize_ = 0;
+    std::size_t chunk_ = 1;
+    std::atomic<std::size_t> cursor_{0};
+    std::exception_ptr error_;
+};
+
+std::unique_ptr<ThreadPool> g_pool;
+std::mutex g_pool_mutex;
+
+ThreadPool &
+pool()
+{
+    std::unique_lock<std::mutex> lock(g_pool_mutex);
+    if (!g_pool)
+        g_pool = std::make_unique<ThreadPool>(defaultThreadCount());
+    return *g_pool;
+}
+
+} // namespace
+
+int
+globalThreadCount()
+{
+    return pool().threadCount();
+}
+
+void
+setGlobalThreadCount(int n)
+{
+    std::unique_lock<std::mutex> lock(g_pool_mutex);
+    g_pool.reset();
+    if (n > 0)
+        g_pool = std::make_unique<ThreadPool>(std::min(n, 256));
+}
+
+void
+parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn)
+{
+    pool().run(n, [&fn](std::size_t i, int) { fn(i); });
+}
+
+void
+parallelForWorker(std::size_t n,
+                  const std::function<void(std::size_t, int)> &fn)
+{
+    pool().run(n, fn);
+}
+
+std::vector<Rng>
+forkStreams(Rng &parent, std::size_t n)
+{
+    std::vector<Rng> streams;
+    streams.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        streams.push_back(parent.fork());
+    return streams;
+}
+
+std::vector<Rng>
+forkStreams(std::uint64_t seed, std::size_t n)
+{
+    Rng parent(seed);
+    return forkStreams(parent, n);
+}
+
+} // namespace rif

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fixed thread pool and deterministic parallel-for for the Monte-Carlo
+ * harnesses. Design rules that keep every sweep bit-identical at any
+ * thread count:
+ *
+ *  - parallelFor(n, fn) runs fn(i) for i in [0, n) in an unspecified
+ *    order; callers write results into per-index slots and reduce them
+ *    serially afterwards.
+ *  - Randomized work derives one Rng stream per index *before* the
+ *    parallel region (forkStreams), so stream i is the same no matter
+ *    which worker executes it.
+ *  - Per-worker scratch (decoder workspaces) is indexed by the worker id
+ *    passed to the parallelForWorker callback; scratch affects speed,
+ *    never results.
+ *
+ * The pool size defaults to the hardware concurrency and can be
+ * overridden with the RIF_THREADS environment variable or
+ * setGlobalThreadCount() (used by the determinism tests).
+ */
+
+#ifndef RIF_COMMON_PARALLEL_H
+#define RIF_COMMON_PARALLEL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace rif {
+
+/**
+ * Number of threads the global pool executes parallelFor bodies on
+ * (including the calling thread). Resolution order: explicit
+ * setGlobalThreadCount() override, then RIF_THREADS, then
+ * std::thread::hardware_concurrency().
+ */
+int globalThreadCount();
+
+/**
+ * Override the global pool size; n <= 0 resets to the RIF_THREADS /
+ * hardware default. Recreates the pool — must not be called while a
+ * parallelFor is running.
+ */
+void setGlobalThreadCount(int n);
+
+/**
+ * Run fn(i) for every i in [0, n) across the global pool and block until
+ * all complete. Bodies must be data-race free with each other; write
+ * outputs to per-index slots for determinism. Exceptions from bodies are
+ * rethrown (first one wins) after the loop drains.
+ */
+void parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn);
+
+/**
+ * parallelFor variant passing the executing worker id in
+ * [0, globalThreadCount()) so callers can index per-worker scratch
+ * (e.g. one DecodeWorkspace per worker). Worker 0 is the calling thread.
+ */
+void parallelForWorker(
+    std::size_t n, const std::function<void(std::size_t, int)> &fn);
+
+/**
+ * Fork n independent, deterministic Rng streams from a parent generator.
+ * Stream i depends only on the parent state and i — never on thread
+ * count or scheduling — so handing stream i to the body of parallelFor
+ * index i reproduces serial results exactly.
+ */
+std::vector<Rng> forkStreams(Rng &parent, std::size_t n);
+
+/** forkStreams from a fresh generator seeded with `seed`. */
+std::vector<Rng> forkStreams(std::uint64_t seed, std::size_t n);
+
+} // namespace rif
+
+#endif // RIF_COMMON_PARALLEL_H

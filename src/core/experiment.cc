@@ -2,6 +2,8 @@
 
 #include <memory>
 
+#include "common/parallel.h"
+
 namespace rif {
 
 Experiment::Experiment() = default;
@@ -82,13 +84,15 @@ Experiment::sweepPolicies(const std::string &workload_name,
                           const std::vector<ssd::PolicyKind> &policies,
                           const RunScale &scale) const
 {
-    std::vector<RunResult> out;
-    out.reserve(policies.size());
-    for (ssd::PolicyKind p : policies) {
+    // Each policy run is an independent simulation (own Ssd, own trace
+    // generator seeded only by `scale`), so runs execute in parallel with
+    // results landing in per-policy slots.
+    std::vector<RunResult> out(policies.size());
+    parallelFor(policies.size(), [&](std::size_t i) {
         Experiment e = *this;
-        e.withPolicy(p);
-        out.push_back(e.run(workload_name, scale));
-    }
+        e.withPolicy(policies[i]);
+        out[i] = e.run(workload_name, scale);
+    });
     return out;
 }
 

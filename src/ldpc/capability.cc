@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "ldpc/channel.h"
 
 namespace rif {
@@ -22,28 +23,49 @@ measureCapability(const QcLdpcCode &code, const MinSumDecoder &decoder,
                   const CapabilitySweepConfig &config)
 {
     RIF_ASSERT(config.trials > 0);
-    Rng rng(config.seed);
+    Rng master(config.seed);
     std::vector<CapabilityPoint> out;
     out.reserve(config.rbers.size());
+
+    /** Per-trial outcome slot: written by one index, reduced serially. */
+    struct Trial
+    {
+        bool failed = false;
+        int iterations = 0;
+        std::size_t syndromeWeight = 0;
+        std::size_t prunedWeight = 0;
+    };
+    const auto trials = static_cast<std::size_t>(config.trials);
+    std::vector<Trial> slots(trials);
+    std::vector<DecodeWorkspace> scratch(globalThreadCount());
 
     for (double rber : config.rbers) {
         CapabilityPoint pt;
         pt.rber = rber;
-        std::uint64_t failures = 0;
-        double iter_sum = 0.0;
-        double sw_sum = 0.0;
-        double psw_sum = 0.0;
-        for (int trial = 0; trial < config.trials; ++trial) {
+        // Stream i is forked before the parallel region, so results are
+        // bit-identical at any thread count.
+        std::vector<Rng> streams = forkStreams(master, trials);
+        parallelForWorker(trials, [&](std::size_t i, int worker) {
+            Rng &rng = streams[i];
             HardWord data = randomData(code.params().k(), rng);
             HardWord word = code.encode(data);
             injectErrors(word, rber, rng);
-            sw_sum += static_cast<double>(code.syndromeWeight(word));
-            psw_sum +=
-                static_cast<double>(code.prunedSyndromeWeight(word));
-            const DecodeResult res = decoder.decode(word, rber);
-            if (!res.success)
-                ++failures;
-            iter_sum += res.iterations;
+            Trial &s = slots[i];
+            s.syndromeWeight = code.syndromeWeight(word);
+            s.prunedWeight = code.prunedSyndromeWeight(word);
+            const DecodeResult res =
+                decoder.decode(word, rber, scratch[worker]);
+            s.failed = !res.success;
+            s.iterations = res.iterations;
+        });
+
+        std::uint64_t failures = 0;
+        double iter_sum = 0.0, sw_sum = 0.0, psw_sum = 0.0;
+        for (const Trial &s : slots) {
+            failures += s.failed;
+            iter_sum += s.iterations;
+            sw_sum += static_cast<double>(s.syndromeWeight);
+            psw_sum += static_cast<double>(s.prunedWeight);
         }
         const auto n = static_cast<double>(config.trials);
         pt.failureProbability = static_cast<double>(failures) / n;

@@ -9,6 +9,19 @@
 namespace rif {
 namespace ldpc {
 
+namespace {
+
+/** Thread-local pack buffer for the HardWord wrapper kernels. */
+BitVec &
+packedScratch(const HardWord &w)
+{
+    static thread_local BitVec packed;
+    packed.assignFromBytes(w.data(), w.size());
+    return packed;
+}
+
+} // namespace
+
 CodeParams
 paperCode()
 {
@@ -135,8 +148,75 @@ QcLdpcCode::buildAdjacency()
     chkStart_[params_.m()] = static_cast<std::uint32_t>(edgeVar_.size());
 }
 
+void
+QcLdpcCode::xorRowSyndrome(const BitVec &word, int i, BitVec &acc,
+                           std::size_t acc_offset) const
+{
+    const int d = params_.dataBlocks();
+    const auto t = static_cast<std::size_t>(params_.circulant);
+    const std::size_t k = params_.k();
+
+    // Check i*t + a covers data bit j*t + (a + C_ij) mod t: the circulant
+    // acting on segment j is a cyclic left rotation by C_ij, realized as
+    // two word-parallel XOR ranges (the rotation's wrap split).
+    for (int j = 0; j < d; ++j) {
+        const auto c = static_cast<std::size_t>(shift(i, j));
+        const std::size_t seg = static_cast<std::size_t>(j) * t;
+        acc.xorRange(acc_offset, word, seg + c, t - c);
+        if (c != 0)
+            acc.xorRange(acc_offset + t - c, word, seg, c);
+    }
+    // Parity block i (identity) and parity block i-1 (bidiagonal).
+    acc.xorRange(acc_offset, word, k + static_cast<std::size_t>(i) * t, t);
+    if (i > 0) {
+        acc.xorRange(acc_offset, word,
+                     k + static_cast<std::size_t>(i - 1) * t, t);
+    }
+}
+
+BitVec
+QcLdpcCode::encode(const BitVec &data) const
+{
+    RIF_ASSERT(data.size() == params_.k());
+    const int r = params_.blockRows;
+    const int d = params_.dataBlocks();
+    const auto t = static_cast<std::size_t>(params_.circulant);
+    const std::size_t k = params_.k();
+
+    BitVec word(params_.n());
+    word.xorRange(0, data, 0, k);
+
+    // Back-substitution through the bidiagonal parity part:
+    // p_0 = sd_0, p_i = sd_i ^ p_{i-1}, where sd_i is the XOR of the
+    // rotated data segments of block row i.
+    BitVec p(t);
+    for (int i = 0; i < r; ++i) {
+        for (int j = 0; j < d; ++j) {
+            const auto c = static_cast<std::size_t>(shift(i, j));
+            const std::size_t seg = static_cast<std::size_t>(j) * t;
+            p.xorRange(0, data, seg + c, t - c);
+            if (c != 0)
+                p.xorRange(t - c, data, seg, c);
+        }
+        word.xorRange(k + static_cast<std::size_t>(i) * t, p, 0, t);
+        // p now holds p_i; keep accumulating so the next row starts from
+        // sd_{i+1} ^ p_i.
+    }
+    return word;
+}
+
 HardWord
 QcLdpcCode::encode(const HardWord &data) const
+{
+    RIF_ASSERT(data.size() == params_.k());
+    const BitVec word = encode(packedScratch(data));
+    HardWord out(params_.n());
+    word.copyToBytes(out.data());
+    return out;
+}
+
+HardWord
+QcLdpcCode::referenceEncode(const HardWord &data) const
 {
     RIF_ASSERT(data.size() == params_.k());
     const int r = params_.blockRows;
@@ -172,8 +252,37 @@ QcLdpcCode::encode(const HardWord &data) const
     return word;
 }
 
+void
+QcLdpcCode::syndromeInto(const BitVec &word, BitVec &out) const
+{
+    RIF_ASSERT(word.size() == params_.n());
+    const auto t = static_cast<std::size_t>(params_.circulant);
+    out.reset(params_.m());
+    for (int i = 0; i < params_.blockRows; ++i)
+        xorRowSyndrome(word, i, out, static_cast<std::size_t>(i) * t);
+}
+
+BitVec
+QcLdpcCode::syndrome(const BitVec &word) const
+{
+    BitVec s;
+    syndromeInto(word, s);
+    return s;
+}
+
 HardWord
 QcLdpcCode::syndrome(const HardWord &word) const
+{
+    RIF_ASSERT(word.size() == params_.n());
+    static thread_local BitVec s;
+    syndromeInto(packedScratch(word), s);
+    HardWord out(params_.m());
+    s.copyToBytes(out.data());
+    return out;
+}
+
+HardWord
+QcLdpcCode::referenceSyndrome(const HardWord &word) const
 {
     RIF_ASSERT(word.size() == params_.n());
     HardWord s(params_.m(), 0);
@@ -187,54 +296,76 @@ QcLdpcCode::syndrome(const HardWord &word) const
 }
 
 std::size_t
+QcLdpcCode::syndromeWeight(const BitVec &word) const
+{
+    return syndrome(word).popcount();
+}
+
+std::size_t
 QcLdpcCode::syndromeWeight(const HardWord &word) const
 {
-    std::size_t w = 0;
-    for (std::size_t m = 0; m < params_.m(); ++m) {
-        std::uint8_t acc = 0;
-        for (std::uint32_t e = chkStart_[m]; e < chkStart_[m + 1]; ++e)
-            acc ^= word[edgeVar_[e]];
-        w += acc;
-    }
-    return w;
+    RIF_ASSERT(word.size() == params_.n());
+    return syndromeWeight(packedScratch(word));
+}
+
+std::size_t
+QcLdpcCode::prunedSyndromeWeight(const BitVec &word) const
+{
+    RIF_ASSERT(word.size() == params_.n());
+    static thread_local BitVec row;
+    row.reset(static_cast<std::size_t>(params_.circulant));
+    xorRowSyndrome(word, 0, row, 0);
+    return row.popcount();
 }
 
 std::size_t
 QcLdpcCode::prunedSyndromeWeight(const HardWord &word) const
 {
-    const std::size_t t = static_cast<std::size_t>(params_.circulant);
-    std::size_t w = 0;
-    for (std::size_t m = 0; m < t; ++m) {
-        std::uint8_t acc = 0;
-        for (std::uint32_t e = chkStart_[m]; e < chkStart_[m + 1]; ++e)
-            acc ^= word[edgeVar_[e]];
-        w += acc;
+    RIF_ASSERT(word.size() == params_.n());
+    return prunedSyndromeWeight(packedScratch(word));
+}
+
+bool
+QcLdpcCode::isCodeword(const BitVec &word, BitVec &row_scratch) const
+{
+    RIF_ASSERT(word.size() == params_.n());
+    const auto t = static_cast<std::size_t>(params_.circulant);
+    for (int i = 0; i < params_.blockRows; ++i) {
+        row_scratch.reset(t);
+        xorRowSyndrome(word, i, row_scratch, 0);
+        if (!row_scratch.isZero())
+            return false;
     }
-    return w;
+    return true;
+}
+
+bool
+QcLdpcCode::isCodeword(const BitVec &word) const
+{
+    BitVec row;
+    return isCodeword(word, row);
 }
 
 bool
 QcLdpcCode::isCodeword(const HardWord &word) const
 {
-    return syndromeWeight(word) == 0;
+    RIF_ASSERT(word.size() == params_.n());
+    return isCodeword(packedScratch(word));
 }
 
 BitVec
 toBitVec(const HardWord &w)
 {
-    BitVec v(w.size());
-    for (std::size_t i = 0; i < w.size(); ++i)
-        if (w[i])
-            v.set(i, true);
+    BitVec v;
+    v.assignFromBytes(w.data(), w.size());
     return v;
 }
 
 HardWord
 toHardWord(const BitVec &v)
 {
-    HardWord w(v.size(), 0);
-    for (std::size_t i = 0; i < v.size(); ++i)
-        w[i] = v.get(i) ? 1 : 0;
+    HardWord w(v.size());
+    v.copyToBytes(w.data());
     return w;
 }
 

@@ -6,6 +6,14 @@
  * columns form a lower-bidiagonal identity structure so encoding is
  * linear-time; the first c - r block columns are random circulants chosen
  * with a girth-4 avoidance check.
+ *
+ * All hot kernels (encode, syndrome, syndrome weights, isCodeword) are
+ * word-parallel: a circulant Q(C) applied to a t-bit segment is exactly a
+ * cyclic rotation by C, so block row i's syndrome is the XOR of rotated
+ * data segments plus the identity parity segments — the same identity the
+ * paper's on-die rearrangement datapath exploits, here evaluated 64 bits
+ * per operation over BitVec. The original per-edge implementations are
+ * kept as reference* methods for equivalence testing.
  */
 
 #ifndef RIF_LDPC_CODE_H
@@ -70,15 +78,27 @@ class QcLdpcCode
 
     /**
      * Encode k data bits into an n-bit codeword (data first, then r
-     * parity blocks computed by back-substitution).
+     * parity blocks computed by back-substitution). Word-parallel.
      */
     HardWord encode(const HardWord &data) const;
+
+    /** Word-parallel encode over packed bits. */
+    BitVec encode(const BitVec &data) const;
 
     /** Full syndrome (m bits) of an n-bit word. */
     HardWord syndrome(const HardWord &word) const;
 
+    /** Word-parallel full syndrome over packed bits. */
+    BitVec syndrome(const BitVec &word) const;
+
+    /** Word-parallel syndrome into a caller-owned buffer (no alloc). */
+    void syndromeInto(const BitVec &word, BitVec &out) const;
+
     /** Hamming weight of the full syndrome. */
     std::size_t syndromeWeight(const HardWord &word) const;
+
+    /** Word-parallel syndrome weight over packed bits. */
+    std::size_t syndromeWeight(const BitVec &word) const;
 
     /**
      * Weight of the first t syndromes only (block row 0) — the pruned
@@ -86,8 +106,31 @@ class QcLdpcCode
      */
     std::size_t prunedSyndromeWeight(const HardWord &word) const;
 
+    /** Word-parallel pruned weight over packed bits. */
+    std::size_t prunedSyndromeWeight(const BitVec &word) const;
+
     /** True iff the word satisfies every parity check. */
     bool isCodeword(const HardWord &word) const;
+
+    /**
+     * Word-parallel parity check with early exit: block rows are
+     * evaluated one at a time and the first non-zero row syndrome word
+     * aborts the scan.
+     */
+    bool isCodeword(const BitVec &word) const;
+
+    /**
+     * isCodeword with a caller-owned t-bit row accumulator so steady-
+     * state callers (decoder iteration loops) allocate nothing.
+     */
+    bool isCodeword(const BitVec &word, BitVec &row_scratch) const;
+
+    /**
+     * Per-edge reference implementations of the kernels above. Slow;
+     * retained for the word-parallel/per-edge equivalence tests.
+     */
+    HardWord referenceEncode(const HardWord &data) const;
+    HardWord referenceSyndrome(const HardWord &word) const;
 
     /** Variable indices participating in check m, sorted by check. */
     const std::vector<std::uint32_t> &checkAdjacency() const
@@ -108,6 +151,13 @@ class QcLdpcCode
     void chooseShifts();
     void buildAdjacency();
 
+    /**
+     * XOR block row i's syndrome (t bits) into `acc` at bit offset
+     * `acc_offset`: rotated data segments plus identity parity segments.
+     */
+    void xorRowSyndrome(const BitVec &word, int i, BitVec &acc,
+                        std::size_t acc_offset) const;
+
     CodeParams params_;
     /** shifts_[i * dataBlocks + j] for data block columns. */
     std::vector<int> shifts_;
@@ -115,7 +165,7 @@ class QcLdpcCode
     std::vector<std::uint32_t> chkStart_;
 };
 
-/** Convert between BitVec and HardWord representations. */
+/** Convert between BitVec and HardWord representations (word-parallel). */
 BitVec toBitVec(const HardWord &w);
 HardWord toHardWord(const BitVec &v);
 

@@ -43,7 +43,34 @@ buildVarAdjacency(const QcLdpcCode &code,
         var_edge[cursor[ev[e]]++] = static_cast<std::uint32_t>(e);
 }
 
+/** Per-thread scratch backing the workspace-less decode() overloads. */
+DecodeWorkspace &
+threadWorkspace()
+{
+    static thread_local DecodeWorkspace ws;
+    return ws;
+}
+
+/** Word-parallel parity check of ws.hard via ws.packed/ws.row. */
+bool
+hardIsCodeword(const QcLdpcCode &code, DecodeWorkspace &ws)
+{
+    ws.packed.assignFromBytes(ws.hard.data(), ws.hard.size());
+    return code.isCodeword(ws.packed, ws.row);
+}
+
 } // namespace
+
+float
+DecodeWorkspace::llrMagnitude(double channel_rber)
+{
+    if (channel_rber != cachedRber_) {
+        const double p = std::clamp(channel_rber, 1e-6, 0.49);
+        cachedRber_ = channel_rber;
+        cachedLlr_ = static_cast<float>(std::log((1.0 - p) / p));
+    }
+    return cachedLlr_;
+}
 
 MinSumDecoder::MinSumDecoder(const QcLdpcCode &code, int max_iterations,
                              float alpha)
@@ -56,6 +83,13 @@ MinSumDecoder::MinSumDecoder(const QcLdpcCode &code, int max_iterations,
 DecodeResult
 MinSumDecoder::decode(const HardWord &received, double channel_rber) const
 {
+    return decode(received, channel_rber, threadWorkspace());
+}
+
+DecodeResult
+MinSumDecoder::decode(const HardWord &received, double channel_rber,
+                      DecodeWorkspace &ws) const
+{
     const auto &params = code_.params();
     RIF_ASSERT(received.size() == params.n());
 
@@ -65,19 +99,18 @@ MinSumDecoder::decode(const HardWord &received, double channel_rber) const
     const auto &cs = code_.checkOffsets();
     const std::size_t edges = ev.size();
 
-    const double p = std::clamp(channel_rber, 1e-6, 0.49);
-    const float llr0 = static_cast<float>(std::log((1.0 - p) / p));
+    const float llr0 = ws.llrMagnitude(channel_rber);
 
-    std::vector<float> chan(n);
+    ws.chan.resize(n);
     for (std::size_t v = 0; v < n; ++v)
-        chan[v] = received[v] ? -llr0 : llr0;
+        ws.chan[v] = received[v] ? -llr0 : llr0;
 
-    std::vector<float> v2c(edges);
-    std::vector<float> c2v(edges, 0.0f);
+    ws.v2c.resize(edges);
+    ws.c2v.assign(edges, 0.0f);
     for (std::size_t e = 0; e < edges; ++e)
-        v2c[e] = chan[ev[e]];
+        ws.v2c[e] = ws.chan[ev[e]];
 
-    HardWord hard = received;
+    ws.hard = received;
     DecodeResult result;
 
     for (int iter = 1; iter <= maxIterations_; ++iter) {
@@ -89,7 +122,7 @@ MinSumDecoder::decode(const HardWord &received, double channel_rber) const
             std::uint32_t min_e = lo;
             int sign = 1;
             for (std::uint32_t e = lo; e < hi; ++e) {
-                const float v = v2c[e];
+                const float v = ws.v2c[e];
                 const float mag = std::fabs(v);
                 if (v < 0.0f)
                     sign = -sign;
@@ -104,28 +137,28 @@ MinSumDecoder::decode(const HardWord &received, double channel_rber) const
             for (std::uint32_t e = lo; e < hi; ++e) {
                 const float mag = (e == min_e) ? min2 : min1;
                 float s = static_cast<float>(sign);
-                if (v2c[e] < 0.0f)
+                if (ws.v2c[e] < 0.0f)
                     s = -s;
-                c2v[e] = alpha_ * s * mag;
+                ws.c2v[e] = alpha_ * s * mag;
             }
         }
 
         // Variable-node pass and hard decision.
         for (std::size_t v = 0; v < n; ++v) {
-            float total = chan[v];
+            float total = ws.chan[v];
             for (std::uint32_t i = varStart_[v]; i < varStart_[v + 1]; ++i)
-                total += c2v[varEdge_[i]];
+                total += ws.c2v[varEdge_[i]];
             for (std::uint32_t i = varStart_[v]; i < varStart_[v + 1]; ++i) {
                 const std::uint32_t e = varEdge_[i];
-                v2c[e] = total - c2v[e];
+                ws.v2c[e] = total - ws.c2v[e];
             }
-            hard[v] = total < 0.0f ? 1 : 0;
+            ws.hard[v] = total < 0.0f ? 1 : 0;
         }
 
         result.iterations = iter;
-        if (code_.isCodeword(hard)) {
+        if (hardIsCodeword(code_, ws)) {
             result.success = true;
-            result.word = std::move(hard);
+            result.word = ws.hard;
             return result;
         }
     }
@@ -145,6 +178,13 @@ DecodeResult
 LayeredMinSumDecoder::decode(const HardWord &received,
                              double channel_rber) const
 {
+    return decode(received, channel_rber, threadWorkspace());
+}
+
+DecodeResult
+LayeredMinSumDecoder::decode(const HardWord &received, double channel_rber,
+                             DecodeWorkspace &ws) const
+{
     const auto &params = code_.params();
     RIF_ASSERT(received.size() == params.n());
 
@@ -154,15 +194,14 @@ LayeredMinSumDecoder::decode(const HardWord &received,
     const auto &ev = code_.checkAdjacency();
     const auto &cs = code_.checkOffsets();
 
-    const double p = std::clamp(channel_rber, 1e-6, 0.49);
-    const float llr0 = static_cast<float>(std::log((1.0 - p) / p));
+    const float llr0 = ws.llrMagnitude(channel_rber);
 
-    std::vector<float> posterior(n);
+    ws.posterior.resize(n);
     for (std::size_t v = 0; v < n; ++v)
-        posterior[v] = received[v] ? -llr0 : llr0;
+        ws.posterior[v] = received[v] ? -llr0 : llr0;
 
-    std::vector<float> c2v(ev.size(), 0.0f);
-    HardWord hard = received;
+    ws.c2v.assign(ev.size(), 0.0f);
+    ws.hard = received;
     DecodeResult result;
 
     for (int iter = 1; iter <= maxIterations_; ++iter) {
@@ -176,7 +215,7 @@ LayeredMinSumDecoder::decode(const HardWord &received,
                 std::uint32_t min_e = lo;
                 int sign = 1;
                 for (std::uint32_t e = lo; e < hi; ++e) {
-                    const float v2c = posterior[ev[e]] - c2v[e];
+                    const float v2c = ws.posterior[ev[e]] - ws.c2v[e];
                     const float mag = std::fabs(v2c);
                     if (v2c < 0.0f)
                         sign = -sign;
@@ -189,24 +228,24 @@ LayeredMinSumDecoder::decode(const HardWord &received,
                     }
                 }
                 for (std::uint32_t e = lo; e < hi; ++e) {
-                    const float v2c = posterior[ev[e]] - c2v[e];
+                    const float v2c = ws.posterior[ev[e]] - ws.c2v[e];
                     const float mag = (e == min_e) ? min2 : min1;
                     float s = static_cast<float>(sign);
                     if (v2c < 0.0f)
                         s = -s;
                     const float updated = alpha_ * s * mag;
-                    posterior[ev[e]] += updated - c2v[e];
-                    c2v[e] = updated;
+                    ws.posterior[ev[e]] += updated - ws.c2v[e];
+                    ws.c2v[e] = updated;
                 }
             }
         }
 
         for (std::size_t v = 0; v < n; ++v)
-            hard[v] = posterior[v] < 0.0f ? 1 : 0;
+            ws.hard[v] = ws.posterior[v] < 0.0f ? 1 : 0;
         result.iterations = iter;
-        if (code_.isCodeword(hard)) {
+        if (hardIsCodeword(code_, ws)) {
             result.success = true;
-            result.word = std::move(hard);
+            result.word = ws.hard;
             return result;
         }
     }
@@ -225,27 +264,32 @@ BitFlipDecoder::BitFlipDecoder(const QcLdpcCode &code, int max_iterations)
 DecodeResult
 BitFlipDecoder::decode(const HardWord &received) const
 {
+    return decode(received, threadWorkspace());
+}
+
+DecodeResult
+BitFlipDecoder::decode(const HardWord &received, DecodeWorkspace &ws) const
+{
     const auto &params = code_.params();
     RIF_ASSERT(received.size() == params.n());
     const std::size_t n = params.n();
 
-    HardWord word = received;
+    ws.hard = received;
+    HardWord &word = ws.hard;
     DecodeResult result;
 
     for (int iter = 1; iter <= maxIterations_; ++iter) {
-        HardWord synd = code_.syndrome(word);
+        // Word-parallel syndrome, unpacked once for per-check lookups.
+        ws.packed.assignFromBytes(word.data(), word.size());
+        code_.syndromeInto(ws.packed, ws.row);
+        ws.synd.resize(params.m());
+        ws.row.copyToBytes(ws.synd.data());
+        const HardWord &synd = ws.synd;
         result.iterations = iter;
 
-        bool any_unsat = false;
-        for (std::uint8_t s : synd) {
-            if (s) {
-                any_unsat = true;
-                break;
-            }
-        }
-        if (!any_unsat) {
+        if (ws.row.isZero()) {
             result.success = true;
-            result.word = std::move(word);
+            result.word = word;
             return result;
         }
 
@@ -277,9 +321,10 @@ BitFlipDecoder::decode(const HardWord &received) const
         }
     }
 
-    if (code_.isCodeword(word)) {
+    ws.packed.assignFromBytes(word.data(), word.size());
+    if (code_.isCodeword(ws.packed, ws.row)) {
         result.success = true;
-        result.word = std::move(word);
+        result.word = word;
     }
     return result;
 }

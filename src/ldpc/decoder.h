@@ -5,6 +5,13 @@
  * Fig. 3) and a Gallager-B bit-flip decoder (a fast, weaker reference).
  * Both report iteration counts so the simulator's variable tECC model can
  * be derived from measured decoding behaviour.
+ *
+ * Every decoder accepts an optional caller-owned DecodeWorkspace so the
+ * hot Monte-Carlo loops perform zero heap allocation in steady state; the
+ * workspace also caches the channel-LLR magnitude per distinct RBER. The
+ * convenience overloads without a workspace use one thread_local scratch
+ * per thread, so they are both allocation-free in steady state and safe
+ * under the parallel harness.
  */
 
 #ifndef RIF_LDPC_DECODER_H
@@ -25,6 +32,31 @@ struct DecodeResult
     int iterations = 0;    ///< iterations actually executed
     /** Corrected word (valid only when success). */
     HardWord word;
+};
+
+/**
+ * Reusable decoder scratch. One per thread (or per caller); buffers grow
+ * to the largest code decoded through them and are then reused, so
+ * steady-state decode() calls allocate only the corrected word of
+ * successful results.
+ */
+struct DecodeWorkspace
+{
+    /** Channel-LLR magnitude for `channel_rber`, cached per value. */
+    float llrMagnitude(double channel_rber);
+
+    std::vector<float> chan;      ///< per-variable channel LLR
+    std::vector<float> v2c;       ///< variable-to-check messages
+    std::vector<float> c2v;       ///< check-to-variable messages
+    std::vector<float> posterior; ///< layered-schedule posteriors
+    HardWord hard;                ///< current hard decision
+    HardWord synd;                ///< unpacked syndrome (bit-flip)
+    BitVec packed;                ///< packed hard decision
+    BitVec row;                   ///< per-block-row syndrome accumulator
+
+  private:
+    double cachedRber_ = -1.0;
+    float cachedLlr_ = 0.0f;
 };
 
 /**
@@ -51,6 +83,10 @@ class MinSumDecoder
      */
     DecodeResult decode(const HardWord &received,
                         double channel_rber = 0.0085) const;
+
+    /** Decode with caller-owned scratch (zero steady-state allocation). */
+    DecodeResult decode(const HardWord &received, double channel_rber,
+                        DecodeWorkspace &ws) const;
 
     int maxIterations() const { return maxIterations_; }
 
@@ -84,6 +120,10 @@ class LayeredMinSumDecoder
     DecodeResult decode(const HardWord &received,
                         double channel_rber = 0.0085) const;
 
+    /** Decode with caller-owned scratch (zero steady-state allocation). */
+    DecodeResult decode(const HardWord &received, double channel_rber,
+                        DecodeWorkspace &ws) const;
+
     int maxIterations() const { return maxIterations_; }
 
   private:
@@ -103,6 +143,9 @@ class BitFlipDecoder
     explicit BitFlipDecoder(const QcLdpcCode &code, int max_iterations = 50);
 
     DecodeResult decode(const HardWord &received) const;
+
+    /** Decode with caller-owned scratch (zero steady-state allocation). */
+    DecodeResult decode(const HardWord &received, DecodeWorkspace &ws) const;
 
   private:
     const QcLdpcCode &code_;

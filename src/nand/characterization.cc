@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 
 namespace rif {
 namespace nand {
@@ -26,16 +27,16 @@ BlockPopulation::BlockPopulation(const RberModel &model,
 std::vector<double>
 BlockPopulation::retentionThresholds(double pe) const
 {
-    std::vector<double> out;
-    out.reserve(factors_.size());
-    for (double f : factors_) {
+    // Pure per-factor computation (no RNG): trivially parallel.
+    std::vector<double> out(factors_.size());
+    parallelFor(factors_.size(), [&](std::size_t i) {
         double sum = 0.0;
         for (int t = 0; t < kPageTypes; ++t) {
             sum += model_.retentionUntilCapability(
-                pe, static_cast<PageType>(t), f);
+                pe, static_cast<PageType>(t), factors_[i]);
         }
-        out.push_back(sum / kPageTypes);
-    }
+        out[i] = sum / kPageTypes;
+    });
     return out;
 }
 
@@ -66,24 +67,34 @@ measureChunkSimilarity(double page_rber, std::uint64_t page_bytes,
 
     ChunkSimilarity out;
     out.chunkBytes = chunk_bytes;
-    double spread_sum = 0.0;
 
-    for (int p = 0; p < pages; ++p) {
+    // One pre-forked RNG stream per page keeps the spreads independent of
+    // the thread count (and of the caller's stream position afterwards,
+    // which advances by exactly `pages` forks).
+    const auto npages = static_cast<std::size_t>(std::max(pages, 0));
+    std::vector<Rng> streams = forkStreams(rng, npages);
+    std::vector<double> spreads(npages, 0.0);
+    parallelFor(npages, [&](std::size_t p) {
+        Rng &page_rng = streams[p];
         double rmax = 0.0, rmin = 1.0;
         for (std::uint64_t c = 0; c < chunks; ++c) {
             // Systematic per-chunk factor (process similarity keeps it
             // tight) plus binomial sampling noise, approximated by a
             // Gaussian at these error counts (hundreds per chunk).
-            const double factor = rng.lognormal(0.0, chunk_sigma);
+            const double factor = page_rng.lognormal(0.0, chunk_sigma);
             const double mean_errors = page_rber * factor * chunk_bits;
             const double noisy = std::max(
                 0.0,
-                rng.gaussian(mean_errors, std::sqrt(mean_errors)));
+                page_rng.gaussian(mean_errors, std::sqrt(mean_errors)));
             const double chunk_rber = noisy / chunk_bits;
             rmax = std::max(rmax, chunk_rber);
             rmin = std::min(rmin, chunk_rber);
         }
-        const double spread = rmax > 0.0 ? (rmax - rmin) / rmax : 0.0;
+        spreads[p] = rmax > 0.0 ? (rmax - rmin) / rmax : 0.0;
+    });
+
+    double spread_sum = 0.0;
+    for (double spread : spreads) {
         out.maxSpread = std::max(out.maxSpread, spread);
         spread_sum += spread;
     }

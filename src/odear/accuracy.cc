@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "ldpc/channel.h"
 
 namespace rif {
@@ -19,32 +20,49 @@ measureRpAccuracy(const ldpc::QcLdpcCode &code, const RpModule &rp,
     }
     RIF_ASSERT(config.trials > 0);
 
-    CodewordRearranger rearranger(code);
-    Rng rng(config.seed);
+    const CodewordRearranger &rearranger = rp.rearranger();
+    Rng master(config.seed);
     std::vector<AccuracyPoint> out;
     out.reserve(config.rbers.size());
+
+    /** Per-trial outcome: filled in parallel, reduced serially. */
+    struct Trial
+    {
+        bool predictedRetry = false;
+        bool decodable = false;
+    };
+    const auto trials = static_cast<std::size_t>(config.trials);
+    std::vector<Trial> slots(trials);
+    std::vector<ldpc::DecodeWorkspace> scratch(globalThreadCount());
 
     for (double rber : config.rbers) {
         AccuracyPoint pt;
         pt.rber = rber;
-        int correct = 0, false_retry = 0, miss = 0;
-        int decodable_n = 0, undecodable_n = 0;
-        for (int trial = 0; trial < config.trials; ++trial) {
+        // Per-trial RNG streams forked serially so counters are identical
+        // at any thread count.
+        std::vector<Rng> streams = forkStreams(master, trials);
+        parallelForWorker(trials, [&](std::size_t i, int worker) {
+            Rng &rng = streams[i];
             ldpc::HardWord data = ldpc::randomData(code.params().k(), rng);
             ldpc::HardWord word = code.encode(data);
             ldpc::injectErrors(word, rber, rng);
             const BitVec flash =
                 rearranger.toFlashLayout(ldpc::toBitVec(word));
-            const bool predicted_retry = rp.predictRetry(flash);
-            const bool decodable = decoder.decode(word, rber).success;
+            slots[i].predictedRetry = rp.predictRetry(flash);
+            slots[i].decodable =
+                decoder.decode(word, rber, scratch[worker]).success;
+        });
 
-            if (decodable)
+        int correct = 0, false_retry = 0, miss = 0;
+        int decodable_n = 0, undecodable_n = 0;
+        for (const Trial &s : slots) {
+            if (s.decodable)
                 ++decodable_n;
             else
                 ++undecodable_n;
-            if (predicted_retry != decodable) {
+            if (s.predictedRetry != s.decodable) {
                 ++correct; // prediction matches the decoder outcome
-            } else if (predicted_retry) {
+            } else if (s.predictedRetry) {
                 ++false_retry; // decodable but flagged for retry
             } else {
                 ++miss; // undecodable but transferred off-chip

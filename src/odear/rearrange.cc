@@ -10,6 +10,23 @@ CodewordRearranger::CodewordRearranger(const ldpc::QcLdpcCode &code)
 {
 }
 
+namespace {
+
+/**
+ * Copy segment j of `in` into segment j of the zeroed `out`, cyclically
+ * rotated left by k: two word-parallel XOR ranges, no temporaries.
+ */
+void
+rotateSegmentInto(BitVec &out, const BitVec &in, std::size_t seg,
+                  std::size_t t, std::size_t k)
+{
+    out.xorRange(seg, in, seg + k, t - k);
+    if (k != 0)
+        out.xorRange(seg + t - k, in, seg, k);
+}
+
+} // namespace
+
 BitVec
 CodewordRearranger::toFlashLayout(const BitVec &codeword) const
 {
@@ -20,13 +37,13 @@ CodewordRearranger::toFlashLayout(const BitVec &codeword) const
 
     BitVec out(p.n());
     for (int j = 0; j < p.blockCols; ++j) {
-        BitVec seg = codeword.slice(static_cast<std::size_t>(j) * t, t);
         // Data segments rotate by their block-row-0 shift; the first
         // parity segment is already an identity (shift 0) and the
         // remaining parity segments do not participate in block row 0.
-        if (j < d)
-            seg = seg.rotl(static_cast<std::size_t>(code_.shift(0, j)));
-        out.insert(static_cast<std::size_t>(j) * t, seg);
+        const std::size_t k =
+            j < d ? static_cast<std::size_t>(code_.shift(0, j)) : 0;
+        rotateSegmentInto(out, codeword, static_cast<std::size_t>(j) * t,
+                          t, k);
     }
     return out;
 }
@@ -41,10 +58,11 @@ CodewordRearranger::toControllerLayout(const BitVec &flash_word) const
 
     BitVec out(p.n());
     for (int j = 0; j < p.blockCols; ++j) {
-        BitVec seg = flash_word.slice(static_cast<std::size_t>(j) * t, t);
-        if (j < d)
-            seg = seg.rotr(static_cast<std::size_t>(code_.shift(0, j)));
-        out.insert(static_cast<std::size_t>(j) * t, seg);
+        // Inverse rotation: rotr(k) == rotl(t - k).
+        const auto c =
+            j < d ? static_cast<std::size_t>(code_.shift(0, j)) : 0;
+        rotateSegmentInto(out, flash_word, static_cast<std::size_t>(j) * t,
+                          t, c == 0 ? 0 : t - c);
     }
     return out;
 }
@@ -59,9 +77,10 @@ CodewordRearranger::onDieSyndromeWeight(const BitVec &flash_word) const
 
     // XOR of the d data segments plus the first parity segment — the
     // hardware datapath of Fig. 16 (segment reg -> XOR -> weight counter).
-    BitVec acc(t);
+    static thread_local BitVec acc;
+    acc.reset(t);
     for (int j = 0; j <= d; ++j)
-        acc.xorWith(flash_word.slice(static_cast<std::size_t>(j) * t, t));
+        acc.xorRange(0, flash_word, static_cast<std::size_t>(j) * t, t);
     return acc.popcount();
 }
 

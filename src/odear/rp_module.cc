@@ -1,6 +1,7 @@
 #include "odear/rp_module.h"
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "ldpc/channel.h"
 
@@ -21,7 +22,7 @@ RpModule::computedWeight(const BitVec &flash_codeword) const
     // evaluate every block row; model that as restoring and computing
     // the full syndrome.
     const BitVec restored = rearranger_.toControllerLayout(flash_codeword);
-    return code_.syndromeWeight(ldpc::toHardWord(restored));
+    return code_.syndromeWeight(restored);
 }
 
 bool
@@ -58,16 +59,23 @@ RpModule::calibrateThreshold(const ldpc::QcLdpcCode &code,
 {
     RIF_ASSERT(trials > 0);
     RpModule rp(code, config);
-    CodewordRearranger rearranger(code);
-    Rng rng(seed);
-    std::size_t sum = 0;
-    for (int i = 0; i < trials; ++i) {
+    // Reuse the module's own layout transform rather than constructing a
+    // second (identical) rearranger.
+    const CodewordRearranger &rearranger = rp.rearranger();
+    std::vector<Rng> streams =
+        forkStreams(seed, static_cast<std::size_t>(trials));
+    std::vector<std::size_t> weights(static_cast<std::size_t>(trials), 0);
+    parallelFor(static_cast<std::size_t>(trials), [&](std::size_t i) {
+        Rng &rng = streams[i];
         ldpc::HardWord data = ldpc::randomData(code.params().k(), rng);
         ldpc::HardWord word = code.encode(data);
         ldpc::injectErrors(word, capability_rber, rng);
         const BitVec flash = rearranger.toFlashLayout(ldpc::toBitVec(word));
-        sum += rp.computedWeight(flash);
-    }
+        weights[i] = rp.computedWeight(flash);
+    });
+    std::size_t sum = 0;
+    for (std::size_t w : weights)
+        sum += w;
     return sum / static_cast<std::size_t>(trials);
 }
 

@@ -56,6 +56,9 @@ class RpModule
 
     const RpConfig &config() const { return config_; }
 
+    /** The module's own layout transform (shared with callers). */
+    const CodewordRearranger &rearranger() const { return rearranger_; }
+
     /**
      * Predict whether an off-chip LDPC engine could decode the sensed
      * codeword (given in flash layout when rearrangement is in use).

@@ -361,6 +361,145 @@ TEST(BitVec, ClearZeroes)
     EXPECT_EQ(v.popcount(), 0u);
 }
 
+TEST(BitVec, RotlZeroAndFullSizeAreIdentity)
+{
+    Rng rng(67);
+    for (std::size_t n : {std::size_t(7), std::size_t(64), std::size_t(65),
+                          std::size_t(96), std::size_t(1024)}) {
+        BitVec v(n);
+        for (std::size_t i = 0; i < n; ++i)
+            v.set(i, rng.chance(0.5));
+        EXPECT_EQ(v.rotl(0), v) << "n=" << n;
+        EXPECT_EQ(v.rotl(n), v) << "n=" << n;
+        EXPECT_EQ(v.rotr(0), v) << "n=" << n;
+        EXPECT_EQ(v.rotr(n), v) << "n=" << n;
+    }
+}
+
+TEST(BitVec, RotlBeyondSizeWraps)
+{
+    Rng rng(71);
+    for (std::size_t n : {std::size_t(7), std::size_t(64), std::size_t(96),
+                          std::size_t(130)}) {
+        BitVec v(n);
+        for (std::size_t i = 0; i < n; ++i)
+            v.set(i, rng.chance(0.5));
+        for (std::size_t k : {std::size_t(1), n / 2, n - 1}) {
+            EXPECT_EQ(v.rotl(n + k), v.rotl(k)) << "n=" << n << " k=" << k;
+            EXPECT_EQ(v.rotl(5 * n + k), v.rotl(k))
+                << "n=" << n << " k=" << k;
+        }
+    }
+}
+
+TEST(BitVec, RotlMatchesBitwiseReference)
+{
+    // Word-parallel rotation vs. a naive per-bit reference across
+    // non-word-aligned lengths and every shift.
+    Rng rng(73);
+    for (std::size_t n : {std::size_t(1), std::size_t(63), std::size_t(64),
+                          std::size_t(65), std::size_t(96),
+                          std::size_t(127), std::size_t(129)}) {
+        BitVec v(n);
+        for (std::size_t i = 0; i < n; ++i)
+            v.set(i, rng.chance(0.5));
+        for (std::size_t k = 0; k <= n; ++k) {
+            const BitVec r = v.rotl(k);
+            for (std::size_t i = 0; i < n; ++i)
+                ASSERT_EQ(r.get(i), v.get((i + k) % n))
+                    << "n=" << n << " k=" << k << " i=" << i;
+        }
+    }
+}
+
+TEST(BitVec, XorRangeMatchesBitwiseReference)
+{
+    Rng rng(79);
+    for (int rep = 0; rep < 200; ++rep) {
+        const std::size_t dn = 1 + rng.below(300);
+        const std::size_t sn = 1 + rng.below(300);
+        BitVec dst(dn), src(sn);
+        for (std::size_t i = 0; i < dn; ++i)
+            dst.set(i, rng.chance(0.5));
+        for (std::size_t i = 0; i < sn; ++i)
+            src.set(i, rng.chance(0.5));
+        const std::size_t len = rng.below(std::min(dn, sn) + 1);
+        const std::size_t ds = rng.below(dn - len + 1);
+        const std::size_t ss = rng.below(sn - len + 1);
+
+        BitVec ref = dst;
+        for (std::size_t i = 0; i < len; ++i)
+            ref.set(ds + i, ref.get(ds + i) ^ src.get(ss + i));
+
+        dst.xorRange(ds, src, ss, len);
+        ASSERT_EQ(dst, ref) << "dn=" << dn << " sn=" << sn << " len=" << len
+                            << " ds=" << ds << " ss=" << ss;
+    }
+}
+
+TEST(BitVec, SliceInsertNonAlignedLengths)
+{
+    Rng rng(83);
+    BitVec v(333);
+    for (std::size_t i = 0; i < 333; ++i)
+        v.set(i, rng.chance(0.5));
+    // Full-vector slice, empty slice, and a straddling odd-length slice.
+    EXPECT_EQ(v.slice(0, 333), v);
+    EXPECT_EQ(v.slice(100, 0).size(), 0u);
+    const BitVec s = v.slice(61, 131);
+    for (std::size_t i = 0; i < 131; ++i)
+        ASSERT_EQ(s.get(i), v.get(61 + i));
+    BitVec w(333);
+    w.insert(61, s);
+    for (std::size_t i = 0; i < 131; ++i)
+        ASSERT_EQ(w.get(61 + i), v.get(61 + i));
+    EXPECT_EQ(w.popcount(), s.popcount());
+}
+
+TEST(BitVec, ByteRoundTripOddLengths)
+{
+    Rng rng(89);
+    for (std::size_t n : {std::size_t(1), std::size_t(7), std::size_t(8),
+                          std::size_t(9), std::size_t(63), std::size_t(64),
+                          std::size_t(65), std::size_t(200)}) {
+        std::vector<std::uint8_t> bytes(n);
+        for (auto &b : bytes)
+            b = rng.chance(0.5) ? 1 : 0;
+        BitVec v;
+        v.assignFromBytes(bytes.data(), n);
+        ASSERT_EQ(v.size(), n);
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_EQ(v.get(i), bytes[i] != 0) << "n=" << n << " i=" << i;
+        std::vector<std::uint8_t> back(n, 0xcc);
+        v.copyToBytes(back.data());
+        ASSERT_EQ(back, bytes) << "n=" << n;
+    }
+}
+
+TEST(BitVec, ResetResizesAndZeroes)
+{
+    BitVec v(100);
+    v.set(99, true);
+    v.reset(65);
+    EXPECT_EQ(v.size(), 65u);
+    EXPECT_TRUE(v.isZero());
+    v.set(64, true);
+    EXPECT_EQ(v.popcount(), 1u);
+    v.reset(200);
+    EXPECT_EQ(v.size(), 200u);
+    EXPECT_TRUE(v.isZero());
+}
+
+TEST(BitVec, IsZeroIgnoresNothingSetsEverything)
+{
+    BitVec v(70);
+    EXPECT_TRUE(v.isZero());
+    v.set(69, true);
+    EXPECT_FALSE(v.isZero());
+    v.set(69, false);
+    EXPECT_TRUE(v.isZero());
+}
+
 TEST(Table, AlignedOutputContainsCells)
 {
     Table t("demo");

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 #include "common/rng.h"
@@ -391,6 +392,103 @@ TEST(Conversions, HardWordBitVecRoundTrip)
     const HardWord w = randomData(777, rng);
     const HardWord back = toHardWord(toBitVec(w));
     EXPECT_EQ(back, w);
+}
+
+class WordParallelEquivalence : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(WordParallelEquivalence, EncodeMatchesReference)
+{
+    const QcLdpcCode code(smallParams(GetParam()));
+    Rng rng(500 + GetParam());
+    for (int trial = 0; trial < 5; ++trial) {
+        const HardWord data = randomData(code.params().k(), rng);
+        EXPECT_EQ(code.encode(data), code.referenceEncode(data));
+    }
+}
+
+TEST_P(WordParallelEquivalence, SyndromeMatchesReference)
+{
+    const QcLdpcCode code(smallParams(GetParam()));
+    Rng rng(600 + GetParam());
+    for (int trial = 0; trial < 5; ++trial) {
+        HardWord word = code.encode(randomData(code.params().k(), rng));
+        injectErrors(word, 0.01, rng);
+        const HardWord ref = code.referenceSyndrome(word);
+        EXPECT_EQ(code.syndrome(word), ref);
+
+        std::size_t ref_weight = 0, ref_pruned = 0;
+        const auto t = static_cast<std::size_t>(code.params().circulant);
+        for (std::size_t m = 0; m < ref.size(); ++m) {
+            ref_weight += ref[m];
+            if (m < t)
+                ref_pruned += ref[m];
+        }
+        EXPECT_EQ(code.syndromeWeight(word), ref_weight);
+        EXPECT_EQ(code.prunedSyndromeWeight(word), ref_pruned);
+        EXPECT_EQ(code.isCodeword(word), ref_weight == 0);
+    }
+}
+
+// t = 96 exercises non-word-aligned segment boundaries in every kernel.
+INSTANTIATE_TEST_SUITE_P(CirculantSizes, WordParallelEquivalence,
+                         ::testing::Values(64, 96, 128));
+
+TEST(WordParallelEquivalence, BitVecAndHardWordKernelsAgree)
+{
+    const QcLdpcCode code(smallParams(96));
+    Rng rng(700);
+    const HardWord data = randomData(code.params().k(), rng);
+    EXPECT_EQ(toHardWord(code.encode(toBitVec(data))), code.encode(data));
+
+    HardWord word = code.encode(data);
+    injectErrors(word, 0.02, rng);
+    const BitVec packed = toBitVec(word);
+    EXPECT_EQ(toHardWord(code.syndrome(packed)), code.syndrome(word));
+    EXPECT_EQ(code.syndromeWeight(packed), code.syndromeWeight(word));
+    EXPECT_EQ(code.prunedSyndromeWeight(packed),
+              code.prunedSyndromeWeight(word));
+    EXPECT_EQ(code.isCodeword(packed), code.isCodeword(word));
+}
+
+TEST(DecodeWorkspaceTest, WorkspaceDecodeMatchesDefault)
+{
+    const QcLdpcCode code(smallParams());
+    const MinSumDecoder ms(code);
+    const LayeredMinSumDecoder layered(code);
+    const BitFlipDecoder bf(code);
+    Rng rng(800);
+    DecodeWorkspace ws;
+    for (int trial = 0; trial < 5; ++trial) {
+        HardWord w = code.encode(randomData(code.params().k(), rng));
+        injectErrors(w, 0.004, rng);
+        const DecodeResult a = ms.decode(w, 0.004);
+        const DecodeResult b = ms.decode(w, 0.004, ws);
+        EXPECT_EQ(a.success, b.success);
+        EXPECT_EQ(a.iterations, b.iterations);
+        EXPECT_EQ(a.word, b.word);
+
+        const DecodeResult la = layered.decode(w, 0.004);
+        const DecodeResult lb = layered.decode(w, 0.004, ws);
+        EXPECT_EQ(la.success, lb.success);
+        EXPECT_EQ(la.iterations, lb.iterations);
+
+        const DecodeResult fa = bf.decode(w);
+        const DecodeResult fb = bf.decode(w, ws);
+        EXPECT_EQ(fa.success, fb.success);
+        EXPECT_EQ(fa.iterations, fb.iterations);
+    }
+}
+
+TEST(DecodeWorkspaceTest, LlrMagnitudeCachesPerRber)
+{
+    DecodeWorkspace ws;
+    const float a = ws.llrMagnitude(0.01);
+    EXPECT_EQ(ws.llrMagnitude(0.01), a);
+    const float b = ws.llrMagnitude(0.02);
+    EXPECT_NE(a, b);
+    EXPECT_NEAR(a, std::log(0.99 / 0.01), 1e-5);
 }
 
 } // namespace
