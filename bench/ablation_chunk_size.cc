@@ -33,7 +33,8 @@ main(int argc, char **argv)
             "(Ali124 @ 2K P/E)");
     t.setHeader({"chunk", "tPRED(us)", "missed_pred", "false_retries",
                  "bandwidth(MB/s)"});
-    for (std::uint64_t chunk : {4096ull, 2048ull, 1024ull}) {
+    const std::vector<std::uint64_t> chunks{4096, 2048, 1024};
+    auto makeExperiment = [&](std::uint64_t chunk) {
         Experiment e;
         e.withPolicy(PolicyKind::Rif).withPeCycles(2000.0);
         // Observation noise scales with the bits the RP samples.
@@ -41,9 +42,17 @@ main(int argc, char **argv)
             static_cast<double>(chunk) * 8.0 * (1024.0 * 33.0) /
             (4096.0 * 8.0);
         e.config().timing.tPred = rp.predictionLatency(chunk);
-        const auto r = e.run("Ali124", rs);
-        t.addRow({std::to_string(chunk / 1024) + " KiB",
-                  Table::num(ticksToUs(e.config().timing.tPred), 2),
+        return e;
+    };
+    const auto results = parallelRuns(chunks.size(), [&](std::size_t i) {
+        return makeExperiment(chunks[i]).run("Ali124", rs);
+    });
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+        const auto &r = results[i];
+        const Tick t_pred =
+            makeExperiment(chunks[i]).config().timing.tPred;
+        t.addRow({std::to_string(chunks[i] / 1024) + " KiB",
+                  Table::num(ticksToUs(t_pred), 2),
                   Table::num(r.stats.missedPredictions),
                   Table::num(r.stats.falseInDieRetries),
                   Table::num(r.bandwidthMBps(), 0)});

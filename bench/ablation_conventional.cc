@@ -30,28 +30,39 @@ main(int argc, char **argv)
     t.setHeader({"config", "bandwidth(MB/s)", "uncor_xfers/retried",
                  "read p99(us)"});
 
-    auto run = [&](PolicyKind p, double step_factor,
-                   const std::string &label) {
+    struct Point
+    {
+        PolicyKind policy;
+        double stepFactor;
+        const char *label;
+    };
+    const std::vector<Point> points{
+        {PolicyKind::FixedSequence, 0.50, "CONV coarse steps (0.50)"},
+        {PolicyKind::FixedSequence, 0.65, "CONV default steps (0.65)"},
+        {PolicyKind::FixedSequence, 0.80, "CONV fine steps (0.80)"},
+        {PolicyKind::IdealOffChip, 0.65, "SSDone (ideal NRR=1)"},
+        {PolicyKind::Sentinel, 0.65, "SENC"},
+        {PolicyKind::Rif, 0.65, "RiFSSD"},
+    };
+
+    const auto results = parallelRuns(points.size(), [&](std::size_t i) {
         Experiment e;
-        e.withPolicy(p).withPeCycles(2000.0);
-        e.config().seqStepFactor = step_factor;
-        const auto r = e.run("Ali124", rs);
+        e.withPolicy(points[i].policy).withPeCycles(2000.0);
+        e.config().seqStepFactor = points[i].stepFactor;
+        return e.run("Ali124", rs);
+    });
+
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const auto &r = results[i];
         const double per_retry =
             r.stats.retriedReads
                 ? static_cast<double>(r.stats.uncorTransfers) /
                       static_cast<double>(r.stats.retriedReads)
                 : 0.0;
-        t.addRow({label, Table::num(r.bandwidthMBps(), 0),
+        t.addRow({points[i].label, Table::num(r.bandwidthMBps(), 0),
                   Table::num(per_retry, 2),
                   Table::num(r.stats.readLatencyUs.percentile(99), 0)});
-    };
-
-    run(PolicyKind::FixedSequence, 0.50, "CONV coarse steps (0.50)");
-    run(PolicyKind::FixedSequence, 0.65, "CONV default steps (0.65)");
-    run(PolicyKind::FixedSequence, 0.80, "CONV fine steps (0.80)");
-    run(PolicyKind::IdealOffChip, 0.65, "SSDone (ideal NRR=1)");
-    run(PolicyKind::Sentinel, 0.65, "SENC");
-    run(PolicyKind::Rif, 0.65, "RiFSSD");
+    }
 
     t.print(std::cout);
     std::cout <<

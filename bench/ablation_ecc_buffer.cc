@@ -29,21 +29,33 @@ main(int argc, char **argv)
     Table t("SSDone and RiFSSD vs ECC buffer depth (Ali124 @ 2K P/E)");
     t.setHeader({"policy", "buffer(pages)", "bandwidth(MB/s)", "ECCWAIT",
                  "UNCOR"});
-    for (PolicyKind p : {PolicyKind::IdealOffChip, PolicyKind::Rif}) {
-        for (int depth : {1, 2, 4, 8}) {
-            Experiment e;
-            e.withPolicy(p).withPeCycles(2000.0);
-            e.config().eccBufferPages = depth;
-            const auto r = e.run("Ali124", rs);
-            t.addRow({policyName(p), Table::num(std::uint64_t(depth)),
-                      Table::num(r.bandwidthMBps(), 0),
-                      Table::num(r.stats.channelFraction(
-                                     ChannelState::EccWait),
-                                 2),
-                      Table::num(r.stats.channelFraction(
-                                     ChannelState::UncorXfer),
-                                 2)});
-        }
+    struct Point
+    {
+        PolicyKind policy;
+        int depth;
+    };
+    std::vector<Point> points;
+    for (PolicyKind p : {PolicyKind::IdealOffChip, PolicyKind::Rif})
+        for (int depth : {1, 2, 4, 8})
+            points.push_back({p, depth});
+
+    const auto results = parallelRuns(points.size(), [&](std::size_t i) {
+        Experiment e;
+        e.withPolicy(points[i].policy).withPeCycles(2000.0);
+        e.config().eccBufferPages = points[i].depth;
+        return e.run("Ali124", rs);
+    });
+
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const auto &r = results[i];
+        t.addRow({policyName(points[i].policy),
+                  Table::num(std::uint64_t(points[i].depth)),
+                  Table::num(r.bandwidthMBps(), 0),
+                  Table::num(
+                      r.stats.channelFraction(ChannelState::EccWait), 2),
+                  Table::num(
+                      r.stats.channelFraction(ChannelState::UncorXfer),
+                      2)});
     }
     t.print(std::cout);
     std::cout <<

@@ -39,13 +39,30 @@ main(int argc, char **argv)
         head.push_back(Table::num(pe, 0));
     t.setHeader(head);
 
+    // Flatten the policy x pe grid into one parallel job list; each job
+    // builds its own Experiment so the sweep threads deterministically.
+    struct Point
+    {
+        PolicyKind policy;
+        double pe;
+    };
+    std::vector<Point> points;
+    for (PolicyKind p : policies)
+        for (double pe : pes)
+            points.push_back({p, pe});
+
+    const auto results = parallelRuns(points.size(), [&](std::size_t i) {
+        Experiment e;
+        e.withPolicy(points[i].policy).withPeCycles(points[i].pe);
+        return e.run("Sys0", rs);
+    });
+
+    std::size_t at = 0;
     for (PolicyKind p : policies) {
         std::vector<std::string> row{policyName(p)};
         for (double pe : pes) {
-            Experiment e;
-            e.withPolicy(p).withPeCycles(pe);
-            row.push_back(Table::num(e.run("Sys0", rs).bandwidthMBps(),
-                                     0));
+            (void)pe;
+            row.push_back(Table::num(results[at++].bandwidthMBps(), 0));
         }
         t.addRow(row);
     }

@@ -27,15 +27,32 @@ main(int argc, char **argv)
 
     Table t("Bandwidth (MB/s) and read p99 (us) vs QD, Ali124 @ 1K P/E");
     t.setHeader({"QD", "SSDzero", "SENC", "RiFSSD", "RiF p99(us)"});
-    for (int qd : {1, 2, 4, 8, 16, 32, 64, 128}) {
+    const std::vector<int> depths{1, 2, 4, 8, 16, 32, 64, 128};
+    const PolicyKind policies[] = {PolicyKind::Zero,
+                                   PolicyKind::Sentinel, PolicyKind::Rif};
+    struct Point
+    {
+        int qd;
+        PolicyKind policy;
+    };
+    std::vector<Point> points;
+    for (int qd : depths)
+        for (PolicyKind p : policies)
+            points.push_back({qd, p});
+
+    const auto results = parallelRuns(points.size(), [&](std::size_t i) {
+        Experiment e;
+        e.withPolicy(points[i].policy).withPeCycles(1000.0);
+        e.config().queueDepth = points[i].qd;
+        return e.run("Ali124", rs);
+    });
+
+    std::size_t at = 0;
+    for (int qd : depths) {
         std::vector<std::string> row{Table::num(std::uint64_t(qd))};
         double rif_p99 = 0.0;
-        for (PolicyKind p : {PolicyKind::Zero, PolicyKind::Sentinel,
-                             PolicyKind::Rif}) {
-            Experiment e;
-            e.withPolicy(p).withPeCycles(1000.0);
-            e.config().queueDepth = qd;
-            const auto r = e.run("Ali124", rs);
+        for (PolicyKind p : policies) {
+            const auto &r = results[at++];
             row.push_back(Table::num(r.bandwidthMBps(), 0));
             if (p == PolicyKind::Rif)
                 rif_p99 = r.stats.readLatencyUs.percentile(99.0);

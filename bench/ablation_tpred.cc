@@ -25,20 +25,31 @@ main(int argc, char **argv)
     RunScale rs;
     rs.requests = bench::scaled(5000, scale);
 
-    Experiment senc;
-    senc.withPolicy(PolicyKind::Sentinel).withPeCycles(2000.0);
-    const double senc_bw = senc.run("Ali124", rs).bandwidthMBps();
+    // Run the SENC baseline and every tPRED point concurrently; job 0
+    // is the baseline, jobs 1..n the sweep.
+    const std::vector<double> tpreds{0.0, 1.0, 2.5, 5.0,
+                                     10.0, 20.0, 40.0};
+    const auto results =
+        parallelRuns(tpreds.size() + 1, [&](std::size_t i) {
+            Experiment e;
+            if (i == 0) {
+                e.withPolicy(PolicyKind::Sentinel).withPeCycles(2000.0);
+            } else {
+                e.withPolicy(PolicyKind::Rif).withPeCycles(2000.0);
+                e.config().timing.tPred = usToTicks(tpreds[i - 1]);
+            }
+            return e.run("Ali124", rs);
+        });
+    const double senc_bw = results[0].bandwidthMBps();
 
     Table t("RiFSSD bandwidth vs tPRED (Ali124 @ 2K P/E; SENC = " +
             Table::num(senc_bw, 0) + " MB/s)");
     t.setHeader({"tPRED(us)", "bandwidth(MB/s)", "vs SENC",
                  "read p99(us)"});
-    for (double tp : {0.0, 1.0, 2.5, 5.0, 10.0, 20.0, 40.0}) {
-        Experiment e;
-        e.withPolicy(PolicyKind::Rif).withPeCycles(2000.0);
-        e.config().timing.tPred = usToTicks(tp);
-        const auto r = e.run("Ali124", rs);
-        t.addRow({Table::num(tp, 1), Table::num(r.bandwidthMBps(), 0),
+    for (std::size_t i = 0; i < tpreds.size(); ++i) {
+        const auto &r = results[i + 1];
+        t.addRow({Table::num(tpreds[i], 1),
+                  Table::num(r.bandwidthMBps(), 0),
                   Table::num(r.bandwidthMBps() / senc_bw, 2) + "x",
                   Table::num(r.stats.readLatencyUs.percentile(99), 0)});
     }

@@ -32,7 +32,30 @@ main(int argc, char **argv)
     const std::vector<PolicyKind> policies(std::begin(kAllPolicies),
                                            std::end(kAllPolicies));
     const double pes[] = {0.0, 1000.0, 2000.0};
+    const auto workloads = trace::paperWorkloads();
 
+    // Flatten the pe x workload x policy cube into one job list so all
+    // simulations run concurrently; each job builds its own Experiment,
+    // so the results are identical at any RIF_THREADS.
+    struct Point
+    {
+        double pe;
+        std::string workload;
+        PolicyKind policy;
+    };
+    std::vector<Point> points;
+    for (double pe : pes)
+        for (const auto &spec : workloads)
+            for (PolicyKind p : policies)
+                points.push_back({pe, spec.name, p});
+
+    const auto results = parallelRuns(points.size(), [&](std::size_t i) {
+        Experiment e;
+        e.withPolicy(points[i].policy).withPeCycles(points[i].pe);
+        return e.run(points[i].workload, rs);
+    });
+
+    std::size_t at = 0;
     for (double pe : pes) {
         Table t("Fig. 17 @ " + Table::num(pe, 0) +
                 " P/E cycles: bandwidth normalized to SENC");
@@ -44,19 +67,17 @@ main(int argc, char **argv)
 
         std::map<PolicyKind, double> geomean;
         int n = 0;
-        for (const auto &spec : trace::paperWorkloads()) {
-            Experiment e;
-            e.withPeCycles(pe);
-            const auto results =
-                e.sweepPolicies(spec.name, policies, rs);
+        for (const auto &spec : workloads) {
+            const RunResult *first = &results[at];
+            at += policies.size();
             double senc_bw = 0.0;
-            for (const auto &r : results)
-                if (r.policy == PolicyKind::Sentinel)
-                    senc_bw = r.bandwidthMBps();
+            for (std::size_t j = 0; j < policies.size(); ++j)
+                if (first[j].policy == PolicyKind::Sentinel)
+                    senc_bw = first[j].bandwidthMBps();
             std::vector<std::string> row{spec.name};
-            for (const auto &r : results) {
-                const double norm = r.bandwidthMBps() / senc_bw;
-                geomean[r.policy] += std::log(norm);
+            for (std::size_t j = 0; j < policies.size(); ++j) {
+                const double norm = first[j].bandwidthMBps() / senc_bw;
+                geomean[first[j].policy] += std::log(norm);
                 row.push_back(Table::num(norm, 2));
             }
             row.push_back(Table::num(senc_bw, 0));

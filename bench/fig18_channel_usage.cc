@@ -31,17 +31,36 @@ main(int argc, char **argv)
         PolicyKind::SwiftReadPlus, PolicyKind::RpController,
         PolicyKind::Rif};
     const double pes[] = {0.0, 1000.0, 2000.0};
+    const char *workloads[] = {"Ali121", "Ali124"};
 
-    for (const char *w : {"Ali121", "Ali124"}) {
+    // One job per (workload, pe, policy) point; each builds its own
+    // Experiment so the sweep threads deterministically.
+    struct Point
+    {
+        const char *workload;
+        double pe;
+        PolicyKind policy;
+    };
+    std::vector<Point> points;
+    for (const char *w : workloads)
+        for (double pe : pes)
+            for (PolicyKind p : policies)
+                points.push_back({w, pe, p});
+
+    const auto results = parallelRuns(points.size(), [&](std::size_t i) {
+        Experiment e;
+        e.withPolicy(points[i].policy).withPeCycles(points[i].pe);
+        return e.run(points[i].workload, rs);
+    });
+
+    std::size_t at = 0;
+    for (const char *w : workloads) {
         Table t(std::string("Fig. 18: channel usage ratio, ") + w);
         t.setHeader({"P/E", "policy", "IDLE", "COR", "UNCOR", "ECCWAIT",
                      "WRITE"});
         for (double pe : pes) {
             for (PolicyKind p : policies) {
-                Experiment e;
-                e.withPolicy(p).withPeCycles(pe);
-                const auto r = e.run(w, rs);
-                const auto &st = r.stats;
+                const auto &st = results[at++].stats;
                 t.addRow({Table::num(pe, 0), policyName(p),
                           Table::num(
                               st.channelFraction(ChannelState::Idle), 2),

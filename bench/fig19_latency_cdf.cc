@@ -31,6 +31,25 @@ main(int argc, char **argv)
         PolicyKind::Rif, PolicyKind::Zero};
     const double pes[] = {0.0, 1000.0, 2000.0};
 
+    // One job per (pe, policy) point, all on Ali124; each builds its
+    // own Experiment so the sweep threads deterministically.
+    struct Point
+    {
+        double pe;
+        PolicyKind policy;
+    };
+    std::vector<Point> points;
+    for (double pe : pes)
+        for (PolicyKind p : policies)
+            points.push_back({pe, p});
+
+    const auto results = parallelRuns(points.size(), [&](std::size_t i) {
+        Experiment e;
+        e.withPolicy(points[i].policy).withPeCycles(points[i].pe);
+        return e.run("Ali124", rs);
+    });
+
+    std::size_t at = 0;
     for (double pe : pes) {
         Table t("Fig. 19 @ " + Table::num(pe, 0) +
                 " P/E: read latency percentiles (us)");
@@ -39,10 +58,7 @@ main(int argc, char **argv)
         double senc_tail = 0.0;
         std::vector<std::pair<const char *, double>> tails;
         for (PolicyKind p : policies) {
-            Experiment e;
-            e.withPolicy(p).withPeCycles(pe);
-            const auto r = e.run("Ali124", rs);
-            const auto &lat = r.stats.readLatencyUs;
+            const auto &lat = results[at++].stats.readLatencyUs;
             const double tail = lat.percentile(99.99);
             if (p == PolicyKind::Sentinel)
                 senc_tail = tail;

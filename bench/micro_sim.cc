@@ -1,13 +1,16 @@
 /**
  * @file
  * Google-benchmark microbenchmarks of the simulation substrate: event
- * queue throughput, read-script planning, and end-to-end simulated
- * requests per second of the full SSD model.
+ * queue throughput (calendar queue vs the PR-1 binary-heap reference),
+ * read-script planning (pooled in-place vs allocating), and end-to-end
+ * simulated requests per second of the full SSD model.
  */
 
 #include <benchmark/benchmark.h>
 
+#include "common/pool.h"
 #include "core/experiment.h"
+#include "ssd/devices.h"
 #include "ssd/policy.h"
 #include "ssd/sim.h"
 
@@ -16,22 +19,91 @@ namespace {
 using namespace rif;
 using namespace rif::ssd;
 
-void
-BM_EventQueue(benchmark::State &state)
+/**
+ * Drive either kernel through the same workload: `n` events with a
+ * pseudo-random spread of delays, each firing one nop. `Mix` selects the
+ * delay pattern:
+ *  - Uniform: delays spread over ~1000 ticks (dense same-window load);
+ *  - SsdMix:  the delay population a real replay produces (zero-delay
+ *    batch pokes, DMA/decode in the tens of microseconds, programs and
+ *    erases hundreds of microseconds out).
+ */
+enum class Mix
 {
+    Uniform,
+    SsdMix,
+};
+
+inline Tick
+delayFor(Mix mix, int i)
+{
+    const std::uint32_t h = static_cast<std::uint32_t>(i) * 2654435761u;
+    if (mix == Mix::Uniform)
+        return h % 1000;
+    switch (h % 8) {
+      case 0:
+      case 1:
+        return 0; // batch-formation pokes
+      case 2:
+      case 3:
+        return 13000 + h % 3000; // DMA / decode
+      case 4:
+      case 5:
+        return 7000 + h % 7000; // sense
+      case 6:
+        return 400000 + h % 50000; // program
+      default:
+        return 3500000 + h % 100000; // erase
+    }
+}
+
+template <typename Kernel>
+void
+BM_QueueKernel(benchmark::State &state)
+{
+    const Mix mix = static_cast<Mix>(state.range(0));
+    constexpr int kEvents = 20000;
+    // One long-lived kernel, reused across iterations (schedule() is
+    // relative to now(), so a drained simulator keeps working): this
+    // measures steady-state throughput, the regime a trace replay
+    // spends all its time in, rather than construction cost.
+    Kernel sim;
+    int fired = 0;
     for (auto _ : state) {
-        Simulator sim;
-        int fired = 0;
-        for (int i = 0; i < 10000; ++i)
-            sim.schedule(static_cast<Tick>((i * 7919) % 1000),
-                         [&fired] { ++fired; });
+        // Half the events up front, half rescheduled from inside
+        // events — the shape of a discrete-event simulation.
+        for (int i = 0; i < kEvents / 2; ++i) {
+            sim.schedule(delayFor(mix, i), [&sim, &fired, mix, i] {
+                ++fired;
+                sim.schedule(delayFor(mix, i + kEvents / 2),
+                             [&fired] { ++fired; });
+            });
+        }
         sim.run();
         benchmark::DoNotOptimize(fired);
     }
     state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations()) * 10000);
+        static_cast<std::int64_t>(state.iterations()) * kEvents);
+    state.SetLabel(mix == Mix::Uniform ? "uniform" : "ssd-mix");
 }
-BENCHMARK(BM_EventQueue);
+
+void
+BM_EventQueue(benchmark::State &state)
+{
+    BM_QueueKernel<Simulator>(state);
+}
+BENCHMARK(BM_EventQueue)
+    ->Arg(static_cast<int>(Mix::Uniform))
+    ->Arg(static_cast<int>(Mix::SsdMix));
+
+void
+BM_ReferenceEventQueue(benchmark::State &state)
+{
+    BM_QueueKernel<ReferenceSimulator>(state);
+}
+BENCHMARK(BM_ReferenceEventQueue)
+    ->Arg(static_cast<int>(Mix::Uniform))
+    ->Arg(static_cast<int>(Mix::SsdMix));
 
 void
 BM_PlanRead(benchmark::State &state)
@@ -48,6 +120,48 @@ BM_PlanRead(benchmark::State &state)
 BENCHMARK(BM_PlanRead)
     ->Arg(static_cast<int>(PolicyKind::Sentinel))
     ->Arg(static_cast<int>(PolicyKind::Rif));
+
+/** Heap-allocating PageOp + planRead per page — the PR-1 read path. */
+void
+BM_PageOpMalloc(benchmark::State &state)
+{
+    SsdConfig cfg;
+    cfg.policy = PolicyKind::Rif;
+    const auto bm = makeBehaviorModel(cfg);
+    Rng rng(1);
+    for (auto _ : state) {
+        auto *op = new PageOp;
+        op->type = PageOp::Type::Read;
+        op->script = planRead(cfg, bm, 0.009, rng);
+        benchmark::DoNotOptimize(op);
+        delete op;
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PageOpMalloc);
+
+/** Pooled PageOp + planReadInto — the zero-alloc steady-state path. */
+void
+BM_PageOpPooled(benchmark::State &state)
+{
+    SsdConfig cfg;
+    cfg.policy = PolicyKind::Rif;
+    const auto bm = makeBehaviorModel(cfg);
+    Rng rng(1);
+    ObjectPool<PageOp> pool;
+    for (auto _ : state) {
+        PageOp *op = pool.acquire();
+        op->type = PageOp::Type::Read;
+        op->phase = 0;
+        planReadInto(cfg, bm, 0.009, rng, op->script);
+        benchmark::DoNotOptimize(op);
+        pool.release(op);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PageOpPooled);
 
 void
 BM_FullSsdRun(benchmark::State &state)

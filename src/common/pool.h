@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Free-list object pool for the hot per-operation records of the SSD
+ * model (PageOp, HostRequest). Objects are constructed once, recycled
+ * through a free list, and destroyed only when the pool dies, so any
+ * internal capacity they grow (e.g. a ReadScript's phase vector) is
+ * retained across reuses: steady-state replay acquires and releases
+ * without touching the heap. Recycled objects keep the state their
+ * previous user left — callers reset the fields they rely on.
+ */
+
+#ifndef RIF_COMMON_POOL_H
+#define RIF_COMMON_POOL_H
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace rif {
+
+template <typename T>
+class ObjectPool
+{
+  public:
+    ObjectPool() = default;
+    ObjectPool(const ObjectPool &) = delete;
+    ObjectPool &operator=(const ObjectPool &) = delete;
+
+    /**
+     * A recycled or freshly constructed object. Addresses are stable
+     * for the pool's lifetime (the slab is a deque).
+     */
+    T *
+    acquire()
+    {
+        if (!free_.empty()) {
+            T *obj = free_.back();
+            free_.pop_back();
+            return obj;
+        }
+        slab_.emplace_back();
+        return &slab_.back();
+    }
+
+    /** Return an object to the free list. Must come from this pool. */
+    void
+    release(T *obj)
+    {
+        free_.push_back(obj);
+    }
+
+    /** Objects ever constructed (steady state: stops growing). */
+    std::size_t allocated() const { return slab_.size(); }
+
+    /** Objects currently on the free list. */
+    std::size_t available() const { return free_.size(); }
+
+    /** Objects currently held by callers. */
+    std::size_t inUse() const { return slab_.size() - free_.size(); }
+
+  private:
+    std::deque<T> slab_;
+    std::vector<T *> free_;
+};
+
+} // namespace rif
+
+#endif // RIF_COMMON_POOL_H

@@ -1,5 +1,9 @@
 #include "common/rng.h"
 
+#include <map>
+#include <mutex>
+#include <utility>
+
 #include "common/logging.h"
 
 namespace rif {
@@ -17,12 +21,6 @@ splitmix64(std::uint64_t &x)
     return z ^ (z >> 31);
 }
 
-std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
 } // namespace
 
 Rng::Rng(std::uint64_t seed)
@@ -33,35 +31,6 @@ Rng::Rng(std::uint64_t seed)
     // Guard against the all-zero state, which is a fixed point.
     if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
         s_[0] = 1;
-}
-
-std::uint64_t
-Rng::next()
-{
-    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-    const std::uint64_t t = s_[1] << 17;
-
-    s_[2] ^= s_[0];
-    s_[3] ^= s_[1];
-    s_[1] ^= s_[2];
-    s_[0] ^= s_[3];
-    s_[2] ^= t;
-    s_[3] = rotl(s_[3], 45);
-
-    return result;
-}
-
-double
-Rng::uniform()
-{
-    // 53 high bits -> double in [0, 1).
-    return (next() >> 11) * (1.0 / 9007199254740992.0);
-}
-
-double
-Rng::uniform(double lo, double hi)
-{
-    return lo + (hi - lo) * uniform();
 }
 
 std::uint64_t
@@ -83,12 +52,6 @@ Rng::range(std::int64_t lo, std::int64_t hi)
     RIF_ASSERT(lo <= hi);
     return lo + static_cast<std::int64_t>(
         below(static_cast<std::uint64_t>(hi - lo) + 1));
-}
-
-bool
-Rng::chance(double p)
-{
-    return uniform() < p;
 }
 
 double
@@ -137,6 +100,37 @@ Rng::fork()
     return Rng(next() ^ 0xd1b54a32d192ed03ull);
 }
 
+namespace {
+
+/**
+ * zeta(n, theta) = sum 1/(i+1)^theta: an exact O(n) sum over a
+ * million-page hot set. Every sweep point constructs its own workload
+ * generator with the same (n, theta), so cache the sum — the cached
+ * value is the bit-identical result of the first (sequential)
+ * computation, keeping every trace stream unchanged.
+ */
+double
+zetaSum(std::uint64_t n, double theta)
+{
+    static std::mutex mutex;
+    static std::map<std::pair<std::uint64_t, double>, double> cache;
+    const auto key = std::make_pair(n, theta);
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        const auto it = cache.find(key);
+        if (it != cache.end())
+            return it->second;
+    }
+    double zeta = 0.0;
+    for (std::uint64_t i = 0; i < n; ++i)
+        zeta += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    std::lock_guard<std::mutex> lock(mutex);
+    cache.emplace(key, zeta);
+    return zeta;
+}
+
+} // namespace
+
 ZipfSampler::ZipfSampler(std::uint64_t n, double theta)
     : n_(n), theta_(theta)
 {
@@ -146,9 +140,7 @@ ZipfSampler::ZipfSampler(std::uint64_t n, double theta)
     double zeta2 = 0.0;
     for (std::uint64_t i = 0; i < 2 && i < n; ++i)
         zeta2 += 1.0 / std::pow(static_cast<double>(i + 1), theta);
-    zetaN_ = 0.0;
-    for (std::uint64_t i = 0; i < n; ++i)
-        zetaN_ += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    zetaN_ = zetaSum(n, theta);
     alpha_ = 1.0 / (1.0 - theta_);
     eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta_)) /
            (1.0 - zeta2 / zetaN_);

@@ -25,14 +25,41 @@ class Rng
     /** Construct from a 64-bit seed via splitmix64 state expansion. */
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
 
-    /** Next raw 64-bit value. */
-    std::uint64_t next();
+    /**
+     * Next raw 64-bit value. Inline: this is the innermost call of
+     * every stochastic component (trace generation, read planning,
+     * preconditioning).
+     */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+
+        return result;
+    }
 
     /** Uniform double in [0, 1). */
-    double uniform();
+    double
+    uniform()
+    {
+        // 53 high bits -> double in [0, 1).
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
 
     /** Uniform double in [lo, hi). */
-    double uniform(double lo, double hi);
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
 
     /** Uniform integer in [0, n) (n > 0). */
     std::uint64_t below(std::uint64_t n);
@@ -41,7 +68,7 @@ class Rng
     std::int64_t range(std::int64_t lo, std::int64_t hi);
 
     /** Bernoulli trial with success probability p. */
-    bool chance(double p);
+    bool chance(double p) { return uniform() < p; }
 
     /** Standard normal via Box-Muller (cached second value). */
     double gaussian();
@@ -59,6 +86,12 @@ class Rng
     Rng fork();
 
   private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     std::uint64_t s_[4];
     double cachedGaussian_ = 0.0;
     bool hasCachedGaussian_ = false;

@@ -96,6 +96,15 @@ Experiment::sweepPolicies(const std::string &workload_name,
     return out;
 }
 
+std::vector<RunResult>
+parallelRuns(std::size_t n,
+             const std::function<RunResult(std::size_t)> &job)
+{
+    std::vector<RunResult> out(n);
+    parallelFor(n, [&](std::size_t i) { out[i] = job(i); });
+    return out;
+}
+
 const char *
 versionString()
 {

@@ -10,6 +10,7 @@
 #ifndef RIF_CORE_EXPERIMENT_H
 #define RIF_CORE_EXPERIMENT_H
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -82,6 +83,16 @@ class Experiment
   private:
     ssd::SsdConfig config_;
 };
+
+/**
+ * Run `n` independent simulation points in parallel and collect their
+ * results in index order. `job(i)` must be self-contained — build its
+ * own Experiment / Ssd / trace from `i` alone — so the output is
+ * bit-identical for any RIF_THREADS setting. This is the harness behind
+ * the threaded figure and ablation sweeps.
+ */
+std::vector<RunResult> parallelRuns(
+    std::size_t n, const std::function<RunResult(std::size_t)> &job);
 
 /** Library version string. */
 const char *versionString();

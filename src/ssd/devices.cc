@@ -57,7 +57,8 @@ DieModel::tryStart()
         }
     }
     const int max_planes = config_.geometry.planesPerDie;
-    std::vector<PageOp *> batch;
+    std::vector<PageOp *> &batch = batch_;
+    batch.clear();
     std::uint32_t plane_mask = 0;
 
     if (batch_type == PageOp::Type::Erase) {
@@ -128,8 +129,7 @@ ChannelModel::ChannelModel(Simulator &sim, const SsdConfig &config,
 }
 
 void
-ChannelModel::setDieLookup(
-    std::function<DieModel &(const nand::PhysAddr &)> f)
+ChannelModel::setDieLookup(DieLookup f)
 {
     dieLookup_ = std::move(f);
 }
@@ -211,7 +211,7 @@ EccEngine::EccEngine(Simulator &sim, const SsdConfig &config)
 }
 
 void
-EccEngine::setDieLookup(std::function<DieModel &(const nand::PhysAddr &)> f)
+EccEngine::setDieLookup(DieLookup f)
 {
     dieLookup_ = std::move(f);
 }
@@ -274,7 +274,7 @@ HostLink::HostLink(Simulator &sim, double gbps)
 }
 
 void
-HostLink::transfer(std::uint64_t bytes, std::function<void()> done)
+HostLink::transfer(std::uint64_t bytes, InlineFunction<void()> done)
 {
     Job job;
     job.duration = static_cast<Tick>(
@@ -292,11 +292,12 @@ HostLink::tryStart()
     Job job = std::move(queue_.front());
     queue_.pop_front();
     busy_ = true;
-    sim_.schedule(job.duration, [this, done = std::move(job.done)] {
-        busy_ = false;
-        done();
-        tryStart();
-    });
+    sim_.schedule(job.duration,
+                  [this, done = std::move(job.done)]() mutable {
+                      busy_ = false;
+                      done();
+                      tryStart();
+                  });
 }
 
 } // namespace ssd

@@ -11,8 +11,9 @@
 #define RIF_SSD_DEVICES_H
 
 #include <deque>
-#include <functional>
+#include <vector>
 
+#include "common/inline_function.h"
 #include "nand/geometry.h"
 #include "ssd/config.h"
 #include "ssd/policy.h"
@@ -25,6 +26,13 @@ namespace ssd {
 class ChannelModel;
 class EccEngine;
 class DieModel;
+
+/**
+ * Die-routing callback: channels and the ECC engine forward an op to
+ * the die owning its physical address. An inline callable (not
+ * std::function) so per-phase forwarding never allocates.
+ */
+using DieLookup = InlineFunction<DieModel &(const nand::PhysAddr &), 16>;
 
 /** One page-granularity operation in flight. */
 struct PageOp
@@ -47,7 +55,7 @@ struct PageOp
     Tick dieTicks = 0;
 
     /** Invoked exactly once when the operation retires. */
-    std::function<void(PageOp *)> onComplete;
+    InlineFunction<void(PageOp *)> onComplete;
 
     /** Current phase accessor (reads only). */
     const ReadPhase &currentPhase() const { return script.phases[phase]; }
@@ -87,6 +95,8 @@ class DieModel
     ChannelModel &channel_;
     EccEngine &ecc_;
     std::deque<PageOp *> queue_;
+    /** Scratch for batch formation, reused across tryStart calls. */
+    std::vector<PageOp *> batch_;
     bool busy_ = false;
 };
 
@@ -108,7 +118,7 @@ class ChannelModel
     void poke();
 
     /** Writes continue to a die after their inbound transfer. */
-    void setDieLookup(std::function<DieModel &(const nand::PhysAddr &)> f);
+    void setDieLookup(DieLookup f);
 
     bool idle() const { return !busy_; }
 
@@ -119,7 +129,7 @@ class ChannelModel
     const SsdConfig &config_;
     EccEngine &ecc_;
     ChannelUsage &usage_;
-    std::function<DieModel &(const nand::PhysAddr &)> dieLookup_;
+    DieLookup dieLookup_;
     std::deque<PageOp *> queue_;
     bool busy_ = false;
 };
@@ -148,7 +158,7 @@ class EccEngine
     void accept(PageOp *op);
 
     /** Reads continue to a die after a failed decode. */
-    void setDieLookup(std::function<DieModel &(const nand::PhysAddr &)> f);
+    void setDieLookup(DieLookup f);
 
     int held() const { return held_; }
 
@@ -158,7 +168,7 @@ class EccEngine
     Simulator &sim_;
     const SsdConfig &config_;
     ChannelModel *channel_ = nullptr;
-    std::function<DieModel &(const nand::PhysAddr &)> dieLookup_;
+    DieLookup dieLookup_;
     std::deque<PageOp *> queue_;
     int held_ = 0;
     bool busy_ = false;
@@ -171,7 +181,7 @@ class HostLink
     HostLink(Simulator &sim, double gbps);
 
     /** Transfer `bytes` and invoke `done` on completion. */
-    void transfer(std::uint64_t bytes, std::function<void()> done);
+    void transfer(std::uint64_t bytes, InlineFunction<void()> done);
 
   private:
     void tryStart();
@@ -179,7 +189,7 @@ class HostLink
     struct Job
     {
         Tick duration;
-        std::function<void()> done;
+        InlineFunction<void()> done;
     };
 
     Simulator &sim_;

@@ -121,9 +121,8 @@ Ftl::precondition(std::uint64_t footprint_pages, std::uint64_t cold_start)
     });
 }
 
-void
-Ftl::precondition(std::uint64_t footprint_pages,
-                  const std::function<bool(std::uint64_t)> &is_cold)
+std::uint64_t
+Ftl::installMappings(std::uint64_t footprint_pages)
 {
     const auto &g = config_.geometry;
     RIF_ASSERT(mapping_.empty(), "precondition must run once");
@@ -138,16 +137,72 @@ Ftl::precondition(std::uint64_t footprint_pages,
     const std::size_t nplanes = g.totalPlanes();
     const std::uint64_t filled = static_cast<std::uint64_t>(
         static_cast<double>(footprint_pages) * config_.preconditionFill);
-    for (std::uint64_t lpn = 0; lpn < filled; ++lpn) {
-        const std::size_t pi = lpn % nplanes;
-        const nand::PhysAddr a = allocateInPlane(pi, lpn);
-        mapping_[lpn] = encodePpn(a);
-        const bool cold = is_cold(lpn);
-        retentionDays_[lpn] = static_cast<float>(
-            cold ? rng_.uniform(config_.coldAgeMinDays,
-                                config_.refreshDays)
-                 : rng_.uniform(0.0, config_.hotAgeDays));
+
+    // Channel-striped layout: LPN l lives in plane l % nplanes as that
+    // plane's (l / nplanes)-th page. Phase A opens whole blocks
+    // plane-major (block-granular metadata only); phase B installs the
+    // page mappings in LPN order so the mapping_ writes are sequential
+    // rather than striding one cache line per store. The resulting FTL
+    // state is identical to the historical per-page allocateInPlane
+    // loop.
+    const std::uint64_t ppb =
+        static_cast<std::uint64_t>(g.pagesPerBlock);
+    const std::uint64_t max_per_plane =
+        (filled + nplanes - 1) / nplanes;
+    const std::uint64_t nseq = (max_per_plane + ppb - 1) / ppb;
+    // Per (open-order, plane) cell: the block's base PPN and its
+    // reverse-map array, read sequentially by phase B's inner loop.
+    std::vector<Ppn> bases(nseq * nplanes, 0);
+    std::vector<std::uint32_t *> reverse(nseq * nplanes, nullptr);
+
+    for (std::size_t pi = 0; pi < nplanes; ++pi) {
+        const std::uint64_t count =
+            pi < filled ? (filled - pi - 1) / nplanes + 1 : 0;
+        auto &plane = planes_[pi];
+        std::uint64_t k = 0;
+        std::uint64_t seq = 0;
+        while (k < count) {
+            RIF_ASSERT(!plane.freeBlocks.empty(),
+                       "plane out of free blocks: GC fell behind");
+            const int block = plane.freeBlocks.back();
+            plane.freeBlocks.pop_back();
+            auto &meta = blocks_[blockIndex(pi, block)];
+            const std::uint64_t run =
+                std::min<std::uint64_t>(ppb, count - k);
+            meta.free = false;
+            meta.readCount = 0;
+            meta.writeCursor = static_cast<std::uint16_t>(run);
+            meta.validCount = static_cast<std::uint16_t>(run);
+            std::fill(meta.valid.begin(), meta.valid.end(), false);
+            std::fill_n(meta.valid.begin(),
+                        static_cast<std::ptrdiff_t>(run), true);
+            const std::uint64_t base_idx = blockIndex(pi, block) * ppb;
+            RIF_ASSERT(base_idx + run <= kInvalidPpn);
+            bases[seq * nplanes + pi] = static_cast<Ppn>(base_idx);
+            reverse[seq * nplanes + pi] = meta.lpnOf.data();
+            plane.activeBlock = run == ppb ? -1 : block;
+            k += run;
+            ++seq;
+        }
     }
+
+    // Phase B: LPN (seq * ppb + page) * nplanes + pi — advance lpn
+    // linearly and index the phase-A tables row by row.
+    std::uint64_t lpn = 0;
+    for (std::uint64_t seq = 0; seq < nseq && lpn < filled; ++seq) {
+        const Ppn *base_row = &bases[seq * nplanes];
+        std::uint32_t *const *rev_row = &reverse[seq * nplanes];
+        for (std::uint64_t page = 0; page < ppb && lpn < filled;
+             ++page) {
+            for (std::size_t pi = 0; pi < nplanes && lpn < filled;
+                 ++pi, ++lpn) {
+                rev_row[pi][page] = static_cast<std::uint32_t>(lpn);
+                mapping_[lpn] =
+                    base_row[pi] + static_cast<Ppn>(page);
+            }
+        }
+    }
+    return filled;
 }
 
 ReadTranslation

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <type_traits>
 #include <vector>
 
 #include "common/rng.h"
@@ -62,10 +63,29 @@ class Ftl
     /**
      * Predicate form for composite (multi-tenant) layouts: `is_cold`
      * decides per LPN whether the page carries refresh-window-aged
-     * data.
+     * data. Templated so the (per-page) predicate call inlines; the
+     * mapping installation itself runs through a bulk plane-major pass
+     * (see installMappings).
      */
-    void precondition(std::uint64_t footprint_pages,
-                      const std::function<bool(std::uint64_t)> &is_cold);
+    template <typename ColdPredicate,
+              typename = std::enable_if_t<std::is_invocable_r_v<
+                  bool, ColdPredicate, std::uint64_t>>>
+    void
+    precondition(std::uint64_t footprint_pages,
+                 const ColdPredicate &is_cold)
+    {
+        const std::uint64_t filled = installMappings(footprint_pages);
+        // Retention ages draw in LPN order — the exact draw sequence of
+        // the historical interleaved loop, so seeds reproduce runs
+        // bit-for-bit across the bulk-pass rewrite.
+        for (std::uint64_t lpn = 0; lpn < filled; ++lpn) {
+            retentionDays_[lpn] = static_cast<float>(
+                is_cold(lpn)
+                    ? rng_.uniform(config_.coldAgeMinDays,
+                                   config_.refreshDays)
+                    : rng_.uniform(0.0, config_.hotAgeDays));
+        }
+    }
 
     std::uint64_t footprintPages() const { return mapping_.size(); }
 
@@ -135,6 +155,13 @@ class Ftl
 
     std::size_t planeIndex(int channel, int die, int plane) const;
     std::size_t blockIndex(std::size_t plane_idx, int block) const;
+    /**
+     * Bulk preconditioning pass: size the mapping and install the
+     * channel-striped initial layout plane-major (whole blocks at a
+     * time), producing exactly the state the per-page allocateInPlane
+     * loop used to build. Returns the number of pages filled.
+     */
+    std::uint64_t installMappings(std::uint64_t footprint_pages);
     Ppn encodePpn(const nand::PhysAddr &a) const;
     nand::PhysAddr decodePpn(Ppn p) const;
     /** Allocate the next page in a plane (opens a new block if needed). */

@@ -95,13 +95,24 @@ planRead(const SsdConfig &cfg, const odear::RpBehaviorModel &behavior,
          double rber, Rng &rng)
 {
     ReadScript s;
+    planReadInto(cfg, behavior, rber, rng, s);
+    return s;
+}
+
+void
+planReadInto(const SsdConfig &cfg,
+             const odear::RpBehaviorModel &behavior, double rber,
+             Rng &rng, ReadScript &s)
+{
+    s.phases.clear();
+    s.stats = ReadPlanStats{};
     const auto &t = cfg.timing;
 
     // SSDzero never retries by definition; cap its decode latency at the
     // successful-decode range.
     if (cfg.policy == PolicyKind::Zero) {
         planClean(cfg, std::min(rber, cfg.rber.capability), s);
-        return s;
+        return;
     }
 
     double effective_rber = rber;
@@ -249,7 +260,6 @@ planRead(const SsdConfig &cfg, const odear::RpBehaviorModel &behavior,
       case PolicyKind::Zero:
         panic("handled above");
     }
-    return s;
 }
 
 } // namespace ssd

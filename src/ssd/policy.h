@@ -78,6 +78,15 @@ ReadScript planRead(const SsdConfig &config,
                     const odear::RpBehaviorModel &behavior, double rber,
                     Rng &rng);
 
+/**
+ * planRead into a caller-owned script, clearing it first. The phase
+ * vector's capacity is reused, so planning into a pooled PageOp's
+ * script performs no heap allocation in steady state.
+ */
+void planReadInto(const SsdConfig &config,
+                  const odear::RpBehaviorModel &behavior, double rber,
+                  Rng &rng, ReadScript &out);
+
 /** Build the behaviour model implied by a configuration. */
 odear::RpBehaviorModel makeBehaviorModel(const SsdConfig &config);
 

@@ -1,9 +1,19 @@
 #include "ssd/sim.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace rif {
 namespace ssd {
+
+Simulator::Simulator()
+    : l0_(kL0Slots),
+      l1_(kL1Slots),
+      l0Bits_(kL0Slots / 64, 0),
+      l1Bits_(kL1Slots / 64, 0)
+{
+}
 
 void
 Simulator::schedule(Tick delay, Action action)
@@ -15,7 +25,155 @@ void
 Simulator::scheduleAt(Tick when, Action action)
 {
     RIF_ASSERT(when >= now_, "event scheduled in the past");
-    queue_.push(Event{when, nextSeq_++, std::move(action)});
+    const std::uint64_t seq = nextSeq_++;
+    ++size_;
+    if (when < l0Base_ + Tick(kL0Slots)) {
+        // Hot path: construct directly in the destination slot (one
+        // action move instead of two through pushL0).
+        const std::size_t slot =
+            static_cast<std::size_t>(when - l0Base_);
+        l0_[slot].emplace_back(when, seq, std::move(action));
+        l0Bits_[slot >> 6] |= std::uint64_t(1) << (slot & 63);
+        ++l0Count_;
+        if (slot < l0Cursor_)
+            l0Cursor_ = slot;
+    } else if (when < l1Base_ + kL1Span) {
+        pushL1(Event{when, seq, std::move(action)});
+    } else {
+        overflow_.push_back(Event{when, seq, std::move(action)});
+        std::push_heap(overflow_.begin(), overflow_.end(), Later{});
+    }
+}
+
+void
+Simulator::pushL0(Event ev)
+{
+    const std::size_t slot =
+        static_cast<std::size_t>(ev.when - l0Base_);
+    l0_[slot].push_back(std::move(ev));
+    l0Bits_[slot >> 6] |= std::uint64_t(1) << (slot & 63);
+    ++l0Count_;
+    // Scheduling at now() from outside run() can land exactly on the
+    // just-drained slot, behind the scan cursor; pull it back so the
+    // next scan sees the event.
+    if (slot < l0Cursor_)
+        l0Cursor_ = slot;
+}
+
+void
+Simulator::pushL1(Event ev)
+{
+    const std::size_t slot =
+        static_cast<std::size_t>((ev.when - l1Base_) >> kL0Bits);
+    l1_[slot].push_back(std::move(ev));
+    l1Bits_[slot >> 6] |= std::uint64_t(1) << (slot & 63);
+    ++l1Count_;
+    if (slot < l1Cursor_)
+        l1Cursor_ = slot;
+}
+
+std::size_t
+Simulator::findSetBit(const std::vector<std::uint64_t> &bits,
+                      std::size_t from, std::size_t limit)
+{
+    if (from >= limit)
+        return kNoSlot;
+    std::size_t word = from >> 6;
+    std::uint64_t cur = bits[word] & (~std::uint64_t(0) << (from & 63));
+    const std::size_t words = (limit + 63) >> 6;
+    while (true) {
+        if (cur != 0) {
+            const std::size_t slot =
+                (word << 6) +
+                static_cast<std::size_t>(__builtin_ctzll(cur));
+            return slot < limit ? slot : kNoSlot;
+        }
+        if (++word >= words)
+            return kNoSlot;
+        cur = bits[word];
+    }
+}
+
+void
+Simulator::refillL0()
+{
+    RIF_ASSERT(l0Count_ == 0);
+    while (true) {
+        if (l1Count_ > 0) {
+            const std::size_t slot =
+                findSetBit(l1Bits_, l1Cursor_, kL1Slots);
+            // Pending L1 events always lie at or ahead of the cursor:
+            // slots behind it were cascaded and nothing schedules into
+            // the past.
+            RIF_ASSERT(slot != kNoSlot);
+            l0Base_ = l1Base_ + Tick(slot) * kL1SlotTicks;
+            l0Cursor_ = 0;
+            l1Cursor_ = slot + 1;
+            l1Bits_[slot >> 6] &=
+                ~(std::uint64_t(1) << (slot & 63));
+            auto &bucket = l1_[slot];
+            l1Count_ -= bucket.size();
+            // Cascade: scatter to exact-tick slots. Bucket order is
+            // (when, seq)-consistent per tick (see scheduleAt /
+            // overflow migration), so per-slot FIFO is preserved.
+            for (auto &ev : bucket)
+                pushL0(std::move(ev));
+            bucket.clear();
+            return;
+        }
+        if (!overflow_.empty()) {
+            // Advance the L1 window to the lap of the earliest far
+            // event and migrate everything inside the new window.
+            // Heap pops come in (when, seq) order, so same-tick events
+            // land in their L1 bucket in FIFO order.
+            const Tick w = overflow_.front().when;
+            l1Base_ = (w / kL1Span) * kL1Span;
+            l1Cursor_ = 0;
+            const Tick l1_end = l1Base_ + kL1Span;
+            while (!overflow_.empty() &&
+                   overflow_.front().when < l1_end) {
+                std::pop_heap(overflow_.begin(), overflow_.end(),
+                              Later{});
+                Event ev = std::move(overflow_.back());
+                overflow_.pop_back();
+                pushL1(std::move(ev));
+            }
+            continue;
+        }
+        panic("refillL0 with no pending events");
+    }
+}
+
+void
+Simulator::drainSlot(std::size_t slot, std::uint64_t &budget)
+{
+    auto &bucket = l0_[slot];
+    // Every event in an L0 bucket carries the slot's tick, so the
+    // clock and the executed/pending counters move once per slot, and
+    // only the action leaves the bucket per event.
+    now_ = l0Base_ + Tick(slot);
+    std::size_t idx = 0;
+    // Index-based iteration: an action may append same-tick events to
+    // this bucket (zero-delay scheduling), possibly reallocating it.
+    while (idx < bucket.size() && budget > 0) {
+        Action act = std::move(bucket[idx].action);
+        ++idx;
+        --budget;
+        act();
+    }
+    executed_ += idx;
+    size_ -= idx;
+    l0Count_ -= idx;
+    if (idx >= bucket.size()) {
+        bucket.clear();
+        l0Bits_[slot >> 6] &= ~(std::uint64_t(1) << (slot & 63));
+        l0Cursor_ = slot + 1;
+    } else {
+        // Watchdog budget ran out mid-slot: keep the unexecuted tail.
+        bucket.erase(bucket.begin(),
+                     bucket.begin() + static_cast<std::ptrdiff_t>(idx));
+        l0Cursor_ = slot;
+    }
 }
 
 Tick
@@ -26,6 +184,46 @@ Simulator::run()
 
 Tick
 Simulator::run(std::uint64_t max_events)
+{
+    std::uint64_t budget = max_events;
+    while (size_ > 0 && budget > 0) {
+        if (l0Count_ == 0) {
+            refillL0();
+            continue;
+        }
+        const std::size_t slot =
+            findSetBit(l0Bits_, l0Cursor_, kL0Slots);
+        if (slot == kNoSlot) {
+            // L0 window exhausted but events remain further out.
+            refillL0();
+            continue;
+        }
+        drainSlot(slot, budget);
+    }
+    return now_;
+}
+
+void
+ReferenceSimulator::schedule(Tick delay, Action action)
+{
+    scheduleAt(now_ + delay, std::move(action));
+}
+
+void
+ReferenceSimulator::scheduleAt(Tick when, Action action)
+{
+    RIF_ASSERT(when >= now_, "event scheduled in the past");
+    queue_.push(Event{when, nextSeq_++, std::move(action)});
+}
+
+Tick
+ReferenceSimulator::run()
+{
+    return run(~std::uint64_t(0));
+}
+
+Tick
+ReferenceSimulator::run(std::uint64_t max_events)
 {
     std::uint64_t budget = max_events;
     while (!queue_.empty() && budget-- > 0) {

@@ -115,7 +115,7 @@ Ssd::issueNextRequest(int queue)
 void
 Ssd::startRequest(const trace::IoRecord &rec, int queue)
 {
-    auto *req = new HostRequest;
+    HostRequest *req = hostReqPool_.acquire();
     req->isRead = rec.isRead;
     req->pagesRemaining = static_cast<int>(rec.pages);
     req->bytes = static_cast<std::uint64_t>(rec.pages) *
@@ -135,13 +135,24 @@ Ssd::startRequest(const trace::IoRecord &rec, int queue)
 }
 
 PageOp *
-Ssd::newReadOp(std::uint64_t lpn, std::function<void(PageOp *)> done)
+Ssd::acquireOp(PageOp::Type type)
+{
+    PageOp *op = pageOpPool_.acquire();
+    op->type = type;
+    op->phase = 0;
+    op->dieTicks = 0;
+    return op;
+}
+
+PageOp *
+Ssd::newReadOp(std::uint64_t lpn, InlineFunction<void(PageOp *)> done)
 {
     const ReadTranslation tr = ftl_->translateRead(lpn);
-    auto *op = new PageOp;
-    op->type = PageOp::Type::Read;
+    PageOp *op = acquireOp(PageOp::Type::Read);
     op->addr = tr.addr;
-    op->script = planRead(config_, behavior_, tr.rber, rng_);
+    // Plan in place: a recycled op's phase vector keeps its capacity,
+    // so steady-state planning allocates nothing.
+    planReadInto(config_, behavior_, tr.rber, rng_, op->script);
     op->onComplete = std::move(done);
     applyPlanStats(op->script.stats);
     ++stats_.pageReads;
@@ -167,7 +178,7 @@ Ssd::dispatchReadPages(HostRequest *req, std::uint64_t lpn,
 {
     for (std::uint32_t i = 0; i < pages; ++i) {
         PageOp *op = newReadOp(lpn + i, [this, req](PageOp *done_op) {
-            delete done_op;
+            freeOp(done_op);
             if (--req->pagesRemaining == 0) {
                 // All pages decoded; stream the data to the host.
                 hostLink_->transfer(req->bytes,
@@ -192,12 +203,11 @@ Ssd::dispatchWritePages(HostRequest *req, std::uint64_t lpn,
         return;
     }
     for (std::uint32_t i = 0; i < pages; ++i) {
-        auto *op = new PageOp;
-        op->type = PageOp::Type::Write;
+        PageOp *op = acquireOp(PageOp::Type::Write);
         op->addr = ftl_->allocateWrite(lpn + i);
         op->dieTicks = config_.timing.tProg;
         op->onComplete = [this, req](PageOp *done_op) {
-            delete done_op;
+            freeOp(done_op);
             ++stats_.pageWrites;
             if (--req->pagesRemaining == 0)
                 finishRequest(req);
@@ -222,7 +232,7 @@ Ssd::finishRequest(HostRequest *req)
         stats_.writeLatencyUs.add(latency_us);
     }
     const int queue = req->queue;
-    delete req;
+    hostReqPool_.release(req);
     --queues_[static_cast<std::size_t>(queue)].outstanding;
     issueNextRequest(queue);
 }
@@ -269,8 +279,7 @@ Ssd::runGcJob(const GcJob &job)
     auto finish_moves = [this, moves_left, job_copy] {
         if (--(*moves_left) > 0)
             return;
-        auto *erase_op = new PageOp;
-        erase_op->type = PageOp::Type::Erase;
+        PageOp *erase_op = acquireOp(PageOp::Type::Erase);
         erase_op->addr.channel = job_copy->channel;
         erase_op->addr.die = job_copy->die;
         erase_op->addr.plane = job_copy->plane;
@@ -278,7 +287,7 @@ Ssd::runGcJob(const GcJob &job)
         erase_op->dieTicks = config_.timing.tErase;
         erase_op->onComplete = [this, job_copy,
                                 moves_left](PageOp *done_op) {
-            delete done_op;
+            freeOp(done_op);
             ftl_->completeErase(*job_copy);
             ++stats_.blockErases;
             delete job_copy;
@@ -299,15 +308,14 @@ Ssd::runGcJob(const GcJob &job)
     for (std::uint64_t lpn : job.lpnsToMove) {
         PageOp *read_op =
             newReadOp(lpn, [this, lpn, finish_moves](PageOp *done_op) {
-                delete done_op;
+                freeOp(done_op);
                 ++stats_.gcPageMoves;
-                auto *write_op = new PageOp;
-                write_op->type = PageOp::Type::Write;
+                PageOp *write_op = acquireOp(PageOp::Type::Write);
                 write_op->addr = ftl_->allocateWrite(lpn);
                 write_op->dieTicks = config_.timing.tProg;
                 write_op->onComplete = [this,
                                         finish_moves](PageOp *w) {
-                    delete w;
+                    freeOp(w);
                     ++stats_.pageWrites;
                     finish_moves();
                 };

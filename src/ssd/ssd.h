@@ -8,9 +8,12 @@
 #ifndef RIF_SSD_SSD_H
 #define RIF_SSD_SSD_H
 
+#include <deque>
 #include <memory>
 #include <vector>
 
+#include "common/inline_function.h"
+#include "common/pool.h"
 #include "odear/accuracy.h"
 #include "ssd/devices.h"
 #include "ssd/ftl.h"
@@ -59,6 +62,21 @@ class Ssd
     /** The event kernel (exposed for timeline studies). */
     Simulator &simulator() { return sim_; }
 
+    /**
+     * Pool instrumentation (allocation-free steady state): objects ever
+     * constructed by the PageOp / HostRequest pools. Bounded by the
+     * in-flight maximum (queue depth x request size + GC), not by the
+     * trace length — asserted by the zero-steady-state-allocation test.
+     */
+    std::size_t pageOpPoolAllocated() const
+    {
+        return pageOpPool_.allocated();
+    }
+    std::size_t hostRequestPoolAllocated() const
+    {
+        return hostReqPool_.allocated();
+    }
+
   private:
     struct HostRequest
     {
@@ -87,8 +105,11 @@ class Ssd
     void maybeStartGc();
     void drainStalledWrites();
     void runGcJob(const GcJob &job);
+    /** Pooled op with all per-use fields reset; release with freeOp. */
+    PageOp *acquireOp(PageOp::Type type);
+    void freeOp(PageOp *op) { pageOpPool_.release(op); }
     PageOp *newReadOp(std::uint64_t lpn,
-                      std::function<void(PageOp *)> done);
+                      InlineFunction<void(PageOp *)> done);
     void applyPlanStats(const ReadPlanStats &ps);
 
     SsdConfig config_;
@@ -106,7 +127,16 @@ class Ssd
     std::vector<QueueState> queues_;
     int gcJobsInFlight_ = 0;
     /** Host writes parked while GC reclaims free blocks. */
-    std::deque<std::function<void()>> stalledWrites_;
+    std::deque<InlineFunction<void()>> stalledWrites_;
+
+    /**
+     * Free-list pools for the per-operation records. Steady-state
+     * replay acquires and releases without heap allocation; pooled
+     * PageOps additionally retain their script vector's capacity, so
+     * planReadInto never allocates either.
+     */
+    ObjectPool<PageOp> pageOpPool_;
+    ObjectPool<HostRequest> hostReqPool_;
 
     SsdStats stats_;
 };

@@ -95,6 +95,15 @@ class SyntheticWorkload : public TraceSource
     bool next(IoRecord &out) override;
     std::uint64_t footprintPages() const override;
     std::uint64_t coldRegionStart() const override;
+    /**
+     * Same boundary test as the base-class default, answered from the
+     * cached members: preconditioning consults this once per logical
+     * page, so the two extra virtual hops matter.
+     */
+    bool isCold(std::uint64_t lpn) const override
+    {
+        return lpn >= hotPages_ && lpn < spec_.footprintPages;
+    }
 
     const WorkloadSpec &spec() const { return spec_; }
 

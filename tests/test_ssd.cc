@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "ssd/ssd.h"
 #include "trace/trace.h"
 
@@ -339,6 +341,34 @@ TEST(SsdIntegration, WriteAmplificationAtLeastOne)
     const double waf = st.writeAmplification(cfg.geometry.pageBytes);
     EXPECT_GE(waf, 1.0);
     EXPECT_LT(waf, 4.0) << "GC relocation volume implausibly high";
+}
+
+TEST(SsdIntegration, SteadyStateReadPathDoesNotGrowPools)
+{
+    // Pool sizes track the high-water mark of concurrent operations
+    // (queue depth for host requests; queue depth x request size plus
+    // GC bursts for page ops), not the trace length: quadrupling the
+    // request count must not allocate per-read. A 1200-request run
+    // retires ~10k page reads, so per-read allocation would add
+    // thousands of objects; a deeper momentary GC/queue coincidence
+    // adds at most a handful.
+    const SsdConfig cfg = smallConfig(PolicyKind::Rif);
+    const trace::WorkloadSpec spec = smallWorkload();
+    auto poolSizes = [&](std::uint64_t requests) {
+        trace::SyntheticWorkload gen(spec, requests, 11);
+        Ssd drive(cfg);
+        drive.run(gen);
+        return std::make_pair(drive.pageOpPoolAllocated(),
+                              drive.hostRequestPoolAllocated());
+    };
+    const auto warm = poolSizes(300);
+    const auto longrun = poolSizes(1200);
+    EXPECT_GT(warm.first, 0u);
+    // Host-request records: exactly the submission queue depth.
+    EXPECT_EQ(warm.second, static_cast<std::size_t>(cfg.queueDepth));
+    EXPECT_EQ(longrun.second, warm.second);
+    // Page ops: bounded by concurrency, not by reads retired.
+    EXPECT_LT(longrun.first, warm.first + 32);
 }
 
 TEST(ChannelUsage, TransitionAccounting)
