@@ -1,75 +1,17 @@
 /**
  * @file
- * Extension bench — the conventional fixed-VREF-sequence retry baseline
- * of §II-B2: how much of the off-chip penalty comes from NRR > 1 (what
- * Sentinel/Swift-Read fix) versus from the one unavoidable failed
- * off-chip round (what only RiF fixes). Sweeps the VREF step quality.
+ * Thin legacy shim: this experiment now lives in
+ * bench/scenarios/ablation_conventional.cc as a registered scenario; the historical
+ * per-figure binary forwards to it (same output, same
+ * `[scale|--quick]` argument). Prefer `rif run ablation_conventional`.
  */
 
-#include <iostream>
-
 #include "bench_util.h"
-#include "common/table.h"
-#include "core/experiment.h"
+#include "core/scenario.h"
 
 int
 main(int argc, char **argv)
 {
-    using namespace rif;
-    using namespace rif::ssd;
-
-    const double scale = bench::scaleArg(argc, argv);
-    bench::header("Conventional fixed-sequence retry baseline",
-                  "extension of §II-B2 / Eq. (1): tREAD amplified "
-                  "(1 + NRR) times");
-
-    RunScale rs;
-    rs.requests = bench::scaled(5000, scale);
-
-    Table t("Conventional retry vs modern solutions (Ali124 @ 2K P/E)");
-    t.setHeader({"config", "bandwidth(MB/s)", "uncor_xfers/retried",
-                 "read p99(us)"});
-
-    struct Point
-    {
-        PolicyKind policy;
-        double stepFactor;
-        const char *label;
-    };
-    const std::vector<Point> points{
-        {PolicyKind::FixedSequence, 0.50, "CONV coarse steps (0.50)"},
-        {PolicyKind::FixedSequence, 0.65, "CONV default steps (0.65)"},
-        {PolicyKind::FixedSequence, 0.80, "CONV fine steps (0.80)"},
-        {PolicyKind::IdealOffChip, 0.65, "SSDone (ideal NRR=1)"},
-        {PolicyKind::Sentinel, 0.65, "SENC"},
-        {PolicyKind::Rif, 0.65, "RiFSSD"},
-    };
-
-    const auto results = parallelRuns(points.size(), [&](std::size_t i) {
-        Experiment e;
-        e.withPolicy(points[i].policy).withPeCycles(2000.0);
-        e.config().seqStepFactor = points[i].stepFactor;
-        return e.run("Ali124", rs);
-    });
-
-    for (std::size_t i = 0; i < points.size(); ++i) {
-        const auto &r = results[i];
-        const double per_retry =
-            r.stats.retriedReads
-                ? static_cast<double>(r.stats.uncorTransfers) /
-                      static_cast<double>(r.stats.retriedReads)
-                : 0.0;
-        t.addRow({points[i].label, Table::num(r.bandwidthMBps(), 0),
-                  Table::num(per_retry, 2),
-                  Table::num(r.stats.readLatencyUs.percentile(99), 0)});
-    }
-
-    t.print(std::cout);
-    std::cout <<
-        "\nuncor_xfers/retried approximates NRR: finer VREF steps mean "
-        "more failed\noff-chip rounds per retry. NRR-reduction (SSDone) "
-        "recovers most of the\nconventional loss, but the residual gap "
-        "to RiF is the first failed round\nthat no off-chip scheme can "
-        "avoid — the paper's core argument.\n";
-    return 0;
+    return rif::core::runScenarioShim(
+        "ablation_conventional", rif::bench::scaleArg(argc, argv));
 }

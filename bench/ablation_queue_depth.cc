@@ -1,69 +1,17 @@
 /**
  * @file
- * Ablation — host queue depth: how much outstanding parallelism each
- * retry architecture needs to saturate, and where the retry overhead
- * moves from latency into lost bandwidth. QD sweeps are the standard
- * first figure of any SSD evaluation.
+ * Thin legacy shim: this experiment now lives in
+ * bench/scenarios/ablation_queue_depth.cc as a registered scenario; the historical
+ * per-figure binary forwards to it (same output, same
+ * `[scale|--quick]` argument). Prefer `rif run ablation_queue_depth`.
  */
 
-#include <iostream>
-
 #include "bench_util.h"
-#include "common/table.h"
-#include "core/experiment.h"
+#include "core/scenario.h"
 
 int
 main(int argc, char **argv)
 {
-    using namespace rif;
-    using namespace rif::ssd;
-
-    const double scale = bench::scaleArg(argc, argv);
-    bench::header("Ablation: host queue-depth sweep",
-                  "saturation behaviour underlying Figs. 6/17");
-
-    RunScale rs;
-    rs.requests = bench::scaled(4000, scale);
-
-    Table t("Bandwidth (MB/s) and read p99 (us) vs QD, Ali124 @ 1K P/E");
-    t.setHeader({"QD", "SSDzero", "SENC", "RiFSSD", "RiF p99(us)"});
-    const std::vector<int> depths{1, 2, 4, 8, 16, 32, 64, 128};
-    const PolicyKind policies[] = {PolicyKind::Zero,
-                                   PolicyKind::Sentinel, PolicyKind::Rif};
-    struct Point
-    {
-        int qd;
-        PolicyKind policy;
-    };
-    std::vector<Point> points;
-    for (int qd : depths)
-        for (PolicyKind p : policies)
-            points.push_back({qd, p});
-
-    const auto results = parallelRuns(points.size(), [&](std::size_t i) {
-        Experiment e;
-        e.withPolicy(points[i].policy).withPeCycles(1000.0);
-        e.config().queueDepth = points[i].qd;
-        return e.run("Ali124", rs);
-    });
-
-    std::size_t at = 0;
-    for (int qd : depths) {
-        std::vector<std::string> row{Table::num(std::uint64_t(qd))};
-        double rif_p99 = 0.0;
-        for (PolicyKind p : policies) {
-            const auto &r = results[at++];
-            row.push_back(Table::num(r.bandwidthMBps(), 0));
-            if (p == PolicyKind::Rif)
-                rif_p99 = r.stats.readLatencyUs.percentile(99.0);
-        }
-        row.push_back(Table::num(rif_p99, 0));
-        t.addRow(row);
-    }
-    t.print(std::cout);
-    std::cout <<
-        "\nAll architectures need deep queues to fill 32 dies; the "
-        "off-chip retry\npenalty persists at every depth, so it is a "
-        "true bandwidth loss rather\nthan a parallelism artifact.\n";
-    return 0;
+    return rif::core::runScenarioShim(
+        "ablation_queue_depth", rif::bench::scaleArg(argc, argv));
 }

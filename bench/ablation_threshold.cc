@@ -1,70 +1,17 @@
 /**
  * @file
- * Ablation (DESIGN.md §6.3) — sensitivity of the RP predictor to the
- * correctability threshold rho_s: sweeping the threshold around its
- * calibrated value trades false in-die retries (threshold too low)
- * against missed uncorrectable pages (too high).
+ * Thin legacy shim: this experiment now lives in
+ * bench/scenarios/ablation_threshold.cc as a registered scenario; the historical
+ * per-figure binary forwards to it (same output, same
+ * `[scale|--quick]` argument). Prefer `rif run ablation_threshold`.
  */
 
-#include <iostream>
-
 #include "bench_util.h"
-#include "common/rng.h"
-#include "common/table.h"
-#include "ldpc/channel.h"
-#include "odear/accuracy.h"
+#include "core/scenario.h"
 
 int
 main(int argc, char **argv)
 {
-    using namespace rif;
-    using namespace rif::odear;
-
-    const double scale = bench::scaleArg(argc, argv);
-    bench::header("Ablation: RP threshold rho_s sensitivity",
-                  "design choice of §IV-B (rho_s from Fig. 10)");
-
-    const ldpc::QcLdpcCode code(ldpc::paperCode());
-    const ldpc::MinSumDecoder decoder(code, 20);
-    const double capability = 0.0085;
-
-    RpConfig base;
-    const std::size_t calibrated = RpModule::calibrateThreshold(
-        code, base, capability, bench::scaled(40, scale), 31);
-
-    Table t("rho_s sweep: misprediction split at mixed RBERs "
-            "(0.006 / 0.0085 / 0.011)");
-    t.setHeader({"rho_s", "rel_to_calibrated", "accuracy%",
-                 "false_retry%", "miss%"});
-    for (double rel : {0.7, 0.85, 1.0, 1.15, 1.3}) {
-        RpConfig cfg = base;
-        cfg.rhoS = static_cast<std::size_t>(
-            static_cast<double>(calibrated) * rel);
-        const RpModule rp(code, cfg);
-        AccuracySweepConfig sweep;
-        sweep.rbers = {0.006, 0.0085, 0.011};
-        sweep.trials = bench::scaled(40, scale);
-        sweep.seed = 11;
-        const auto pts = measureRpAccuracy(code, rp, decoder, sweep);
-        double acc = 0.0, fr = 0.0, miss = 0.0;
-        for (const auto &p : pts) {
-            acc += p.accuracy;
-            fr += p.falseRetryRate;
-            miss += p.missRate;
-        }
-        acc /= pts.size();
-        fr /= pts.size();
-        miss /= pts.size();
-        t.addRow({Table::num(static_cast<std::uint64_t>(cfg.rhoS)),
-                  Table::num(rel, 2), Table::num(100.0 * acc, 1),
-                  Table::num(100.0 * fr, 1),
-                  Table::num(100.0 * miss, 1)});
-    }
-    t.print(std::cout);
-    std::cout <<
-        "\nThe calibrated rho_s (average syndrome weight at the "
-        "capability) balances\nthe two error types; RiF tolerates "
-        "low-side errors cheaply (false in-die\nretries cost only die "
-        "time), so slightly aggressive thresholds are safe.\n";
-    return 0;
+    return rif::core::runScenarioShim(
+        "ablation_threshold", rif::bench::scaleArg(argc, argv));
 }

@@ -1,63 +1,17 @@
 /**
  * @file
- * Ablation (DESIGN.md §6.4) — tPRED sensitivity: how slow can the
- * on-die prediction be before RiF loses its advantage? The paper's RP
- * needs ~2.5 us for a 4-KiB chunk; this sweep shows the channel (not
- * the die) remains the bottleneck until tPRED grows pathological.
+ * Thin legacy shim: this experiment now lives in
+ * bench/scenarios/ablation_tpred.cc as a registered scenario; the historical
+ * per-figure binary forwards to it (same output, same
+ * `[scale|--quick]` argument). Prefer `rif run ablation_tpred`.
  */
 
-#include <iostream>
-
 #include "bench_util.h"
-#include "common/table.h"
-#include "core/experiment.h"
+#include "core/scenario.h"
 
 int
 main(int argc, char **argv)
 {
-    using namespace rif;
-    using namespace rif::ssd;
-
-    const double scale = bench::scaleArg(argc, argv);
-    bench::header("Ablation: prediction latency (tPRED) sensitivity",
-                  "implementation driver of §V (2.5 us datapath)");
-
-    RunScale rs;
-    rs.requests = bench::scaled(5000, scale);
-
-    // Run the SENC baseline and every tPRED point concurrently; job 0
-    // is the baseline, jobs 1..n the sweep.
-    const std::vector<double> tpreds{0.0, 1.0, 2.5, 5.0,
-                                     10.0, 20.0, 40.0};
-    const auto results =
-        parallelRuns(tpreds.size() + 1, [&](std::size_t i) {
-            Experiment e;
-            if (i == 0) {
-                e.withPolicy(PolicyKind::Sentinel).withPeCycles(2000.0);
-            } else {
-                e.withPolicy(PolicyKind::Rif).withPeCycles(2000.0);
-                e.config().timing.tPred = usToTicks(tpreds[i - 1]);
-            }
-            return e.run("Ali124", rs);
-        });
-    const double senc_bw = results[0].bandwidthMBps();
-
-    Table t("RiFSSD bandwidth vs tPRED (Ali124 @ 2K P/E; SENC = " +
-            Table::num(senc_bw, 0) + " MB/s)");
-    t.setHeader({"tPRED(us)", "bandwidth(MB/s)", "vs SENC",
-                 "read p99(us)"});
-    for (std::size_t i = 0; i < tpreds.size(); ++i) {
-        const auto &r = results[i + 1];
-        t.addRow({Table::num(tpreds[i], 1),
-                  Table::num(r.bandwidthMBps(), 0),
-                  Table::num(r.bandwidthMBps() / senc_bw, 2) + "x",
-                  Table::num(r.stats.readLatencyUs.percentile(99), 0)});
-    }
-    t.print(std::cout);
-    std::cout <<
-        "\nWith 4 dies per 1.2-GB/s channel there is die-time slack: "
-        "tPRED well\nabove the 2.5 us implementation still beats the "
-        "off-chip baselines, which\nis why a simple (slow-clock) on-die "
-        "datapath suffices.\n";
-    return 0;
+    return rif::core::runScenarioShim(
+        "ablation_tpred", rif::bench::scaleArg(argc, argv));
 }

@@ -9,9 +9,11 @@
 #ifndef RIF_BENCH_BENCH_UTIL_H
 #define RIF_BENCH_BENCH_UTIL_H
 
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
+#include <limits>
 #include <string>
 
 namespace rif {
@@ -20,6 +22,8 @@ namespace bench {
 /**
  * Scale factor from the command line: `<bench> [scale]`, where scale
  * multiplies the default trial/request counts. `--quick` is 0.25.
+ * Only finite positive values are accepted; `inf`/`nan` and other
+ * non-numeric arguments are ignored like any unrecognized argument.
  */
 inline double
 scaleArg(int argc, char **argv, double def = 1.0)
@@ -30,18 +34,26 @@ scaleArg(int argc, char **argv, double def = 1.0)
             return 0.25;
         char *end = nullptr;
         const double v = std::strtod(a.c_str(), &end);
-        if (end && *end == '\0' && v > 0.0)
+        if (end && *end == '\0' && std::isfinite(v) && v > 0.0)
             return v;
     }
     return def;
 }
 
+/**
+ * base * scale as a count: at least 1, clamped to INT_MAX instead of
+ * overflowing the int cast, and 1 for non-positive/non-finite scales.
+ */
 inline int
 scaled(std::uint64_t base, double scale)
 {
-    const auto v = static_cast<std::uint64_t>(
-        static_cast<double>(base) * scale);
-    return static_cast<int>(v < 1 ? 1 : v);
+    if (!std::isfinite(scale) || !(scale > 0.0))
+        return 1;
+    const double v = static_cast<double>(base) * scale;
+    if (v >= static_cast<double>(std::numeric_limits<int>::max()))
+        return std::numeric_limits<int>::max();
+    const auto u = static_cast<std::uint64_t>(v);
+    return static_cast<int>(u < 1 ? 1 : u);
 }
 
 inline void

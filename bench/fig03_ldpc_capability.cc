@@ -1,53 +1,17 @@
 /**
  * @file
- * Fig. 3 — error-correction capability of the 4-KiB QC-LDPC decoder:
- * (a) decoding-failure probability and (b) average iteration count as
- * functions of RBER, measured by Monte-Carlo on our full-size code
- * (r=4, c=36, t=1024) with a normalized min-sum decoder capped at 20
- * iterations. The paper's capability is 0.0085 (failure prob > 1e-1).
+ * Thin legacy shim: this experiment now lives in
+ * bench/scenarios/fig03_ldpc_capability.cc as a registered scenario; the historical
+ * per-figure binary forwards to it (same output, same
+ * `[scale|--quick]` argument). Prefer `rif run fig03_ldpc_capability`.
  */
 
-#include <iostream>
-
 #include "bench_util.h"
-#include "common/table.h"
-#include "ldpc/capability.h"
+#include "core/scenario.h"
 
 int
 main(int argc, char **argv)
 {
-    using namespace rif;
-    using namespace rif::ldpc;
-
-    const double scale = bench::scaleArg(argc, argv);
-    bench::header("QC-LDPC correction capability",
-                  "Fig. 3(a) decoding failure probability, "
-                  "Fig. 3(b) average iterations");
-
-    const QcLdpcCode code(paperCode());
-    const MinSumDecoder decoder(code, 20);
-
-    CapabilitySweepConfig cfg = defaultSweep();
-    cfg.trials = bench::scaled(60, scale);
-    const auto points = measureCapability(code, decoder, cfg);
-
-    Table t("Fig. 3: failure probability and iterations vs RBER (" +
-            std::to_string(cfg.trials) + " codewords/point)");
-    t.setHeader({"RBER(x1e-3)", "fail_prob", "avg_iters", "paper_note"});
-    for (const auto &p : points) {
-        std::string note;
-        if (p.rber == 0.008 || p.rber == 0.009)
-            note = "<- capability ~0.0085 in paper";
-        t.addRow({Table::num(p.rber * 1e3, 0),
-                  Table::num(p.failureProbability, 3),
-                  Table::num(p.avgIterations, 1), note});
-    }
-    t.print(std::cout);
-
-    const double cap = estimateCapability(points, 0.1);
-    std::cout << "\nMeasured capability (failure prob >= 0.1): " << cap
-              << "  (paper: 0.0085)\n";
-    std::cout << "Resolution floor: failure probabilities below "
-              << 1.0 / cfg.trials << " print as 0.000\n";
-    return 0;
+    return rif::core::runScenarioShim(
+        "fig03_ldpc_capability", rif::bench::scaleArg(argc, argv));
 }

@@ -1,65 +1,17 @@
 /**
  * @file
- * Fig. 4 — distribution of the retention time after which a page's RBER
- * exceeds the ECC correction capability, across the synthetic block
- * population (160 chips x sampled blocks) and P/E cycling levels. Each
- * row is one heat strip of the paper's figure: the proportion of blocks
- * whose threshold falls in each 1-day bin.
+ * Thin legacy shim: this experiment now lives in
+ * bench/scenarios/fig04_retention.cc as a registered scenario; the historical
+ * per-figure binary forwards to it (same output, same
+ * `[scale|--quick]` argument). Prefer `rif run fig04_retention`.
  */
 
-#include <algorithm>
-#include <iostream>
-
 #include "bench_util.h"
-#include "common/table.h"
-#include "nand/characterization.h"
+#include "core/scenario.h"
 
 int
 main(int argc, char **argv)
 {
-    using namespace rif;
-    using namespace rif::nand;
-
-    const double scale = bench::scaleArg(argc, argv);
-    bench::header("Retention time until RBER exceeds ECC capability",
-                  "Fig. 4 heat strips + JEDEC discussion");
-
-    const RberModel model;
-    CharacterizationConfig cfg;
-    cfg.blocksPerChip = bench::scaled(64, scale);
-    const BlockPopulation pop(model, cfg);
-
-    const double pes[] = {0.0, 100.0, 200.0, 300.0, 500.0, 1000.0};
-
-    Table t("Fig. 4: proportion of blocks crossing the capability in "
-            "each retention-day bin");
-    std::vector<std::string> head{"P/E"};
-    for (int day = 2; day <= 30; day += 2)
-        head.push_back("d" + std::to_string(day));
-    head.push_back("median(d)");
-    t.setHeader(head);
-
-    for (double pe : pes) {
-        auto thresholds = pop.retentionThresholds(pe);
-        std::sort(thresholds.begin(), thresholds.end());
-        std::vector<std::string> row{Table::num(pe, 0)};
-        for (int day = 2; day <= 30; day += 2) {
-            // 2-day bin [day-2, day).
-            const double p =
-                pop.proportionCrossingAtDay(pe, day - 2) +
-                pop.proportionCrossingAtDay(pe, day - 1);
-            row.push_back(p > 0.0 ? Table::num(p, 2) : ".");
-        }
-        row.push_back(
-            Table::num(thresholds[thresholds.size() / 2], 1));
-        t.addRow(row);
-    }
-    t.print(std::cout);
-
-    std::cout <<
-        "\nPaper anchors: first crossings at ~17 days (0 P/E), ~14 days"
-        " (200 P/E),\n~10 days (500 P/E), ~8 days (1K P/E); every row"
-        " crosses well inside the\n1-month refresh window, so read-retry"
-        " is a common-case event.\n";
-    return 0;
+    return rif::core::runScenarioShim(
+        "fig04_retention", rif::bench::scaleArg(argc, argv));
 }

@@ -1,56 +1,17 @@
 /**
  * @file
- * Fig. 10 — correlation between RBER and syndrome weight of the QC-LDPC
- * code, which is the foundation of the RP heuristic. The paper plots
- * the average *page-level* syndrome weight (a 16-KiB page holds four
- * 4-KiB codewords, so 4 x 4096 syndromes) and derives rho_s = 3830 at
- * the 0.0085 capability; the pruned on-die computation uses only the
- * first 1024 syndromes of one codeword.
+ * Thin legacy shim: this experiment now lives in
+ * bench/scenarios/fig10_syndrome_corr.cc as a registered scenario; the historical
+ * per-figure binary forwards to it (same output, same
+ * `[scale|--quick]` argument). Prefer `rif run fig10_syndrome_corr`.
  */
 
-#include <iostream>
-
 #include "bench_util.h"
-#include "common/table.h"
-#include "ldpc/capability.h"
+#include "core/scenario.h"
 
 int
 main(int argc, char **argv)
 {
-    using namespace rif;
-    using namespace rif::ldpc;
-
-    const double scale = bench::scaleArg(argc, argv);
-    bench::header("RBER vs syndrome weight correlation",
-                  "Fig. 10 (rho_s = 3830 at RBER 0.0085)");
-
-    const QcLdpcCode code(paperCode());
-    // Syndrome statistics only: a 1-iteration decoder keeps the sweep
-    // cheap while measureCapability records the weights.
-    const MinSumDecoder decoder(code, 1);
-
-    CapabilitySweepConfig cfg = defaultSweep();
-    cfg.trials = bench::scaled(100, scale);
-    const auto points = measureCapability(code, decoder, cfg);
-
-    Table t("Fig. 10: average syndrome weight vs RBER");
-    t.setHeader({"RBER(x1e-3)", "page_weight(4cw,full)",
-                 "codeword_weight(full)", "pruned_weight(1/16)"});
-    for (const auto &p : points) {
-        t.addRow({Table::num(p.rber * 1e3, 0),
-                  Table::num(p.avgSyndromeWeight * 4.0, 0),
-                  Table::num(p.avgSyndromeWeight, 0),
-                  Table::num(p.avgPrunedSyndromeWeight, 0)});
-    }
-    t.print(std::cout);
-
-    const double rho_page =
-        4.0 * syndromeWeightAt(points, 0.0085, false);
-    const double rho_pruned = syndromeWeightAt(points, 0.0085, true);
-    std::cout << "\nrho_s at capability 0.0085:\n"
-              << "  page-level (paper's Fig. 10 axis): " << rho_page
-              << "   (paper: 3830)\n"
-              << "  pruned on-die threshold (1024 syndromes): "
-              << rho_pruned << "\n";
-    return 0;
+    return rif::core::runScenarioShim(
+        "fig10_syndrome_corr", rif::bench::scaleArg(argc, argv));
 }

@@ -1,101 +1,17 @@
 /**
  * @file
- * Fig. 17 — the paper's headline result: I/O bandwidth of SENC, SWR,
- * SWR+, RPSSD, RiFSSD and SSDzero on all eight workloads at 0K/1K/2K
- * P/E cycles, normalized to SENC. The paper reports RiF improving over
- * SENC by 23.8% / 47.4% / 72.1% on average and staying within 1.8% of
- * SSDzero.
+ * Thin legacy shim: this experiment now lives in
+ * bench/scenarios/fig17_bandwidth.cc as a registered scenario; the historical
+ * per-figure binary forwards to it (same output, same
+ * `[scale|--quick]` argument). Prefer `rif run fig17_bandwidth`.
  */
 
-#include <cmath>
-#include <iostream>
-#include <map>
-
 #include "bench_util.h"
-#include "common/table.h"
-#include "core/experiment.h"
+#include "core/scenario.h"
 
 int
 main(int argc, char **argv)
 {
-    using namespace rif;
-    using namespace rif::ssd;
-
-    const double scale = bench::scaleArg(argc, argv);
-    bench::header("Normalized I/O bandwidth, all workloads x policies",
-                  "Fig. 17 (+23.8%/+47.4%/+72.1% over SENC; within "
-                  "1.8% of SSDzero at 2K)");
-
-    RunScale rs;
-    rs.requests = bench::scaled(5000, scale);
-
-    const std::vector<PolicyKind> policies(std::begin(kAllPolicies),
-                                           std::end(kAllPolicies));
-    const double pes[] = {0.0, 1000.0, 2000.0};
-    const auto workloads = trace::paperWorkloads();
-
-    // Flatten the pe x workload x policy cube into one job list so all
-    // simulations run concurrently; each job builds its own Experiment,
-    // so the results are identical at any RIF_THREADS.
-    struct Point
-    {
-        double pe;
-        std::string workload;
-        PolicyKind policy;
-    };
-    std::vector<Point> points;
-    for (double pe : pes)
-        for (const auto &spec : workloads)
-            for (PolicyKind p : policies)
-                points.push_back({pe, spec.name, p});
-
-    const auto results = parallelRuns(points.size(), [&](std::size_t i) {
-        Experiment e;
-        e.withPolicy(points[i].policy).withPeCycles(points[i].pe);
-        return e.run(points[i].workload, rs);
-    });
-
-    std::size_t at = 0;
-    for (double pe : pes) {
-        Table t("Fig. 17 @ " + Table::num(pe, 0) +
-                " P/E cycles: bandwidth normalized to SENC");
-        std::vector<std::string> head{"workload"};
-        for (PolicyKind p : policies)
-            head.push_back(policyName(p));
-        head.push_back("SENC(MB/s)");
-        t.setHeader(head);
-
-        std::map<PolicyKind, double> geomean;
-        int n = 0;
-        for (const auto &spec : workloads) {
-            const RunResult *first = &results[at];
-            at += policies.size();
-            double senc_bw = 0.0;
-            for (std::size_t j = 0; j < policies.size(); ++j)
-                if (first[j].policy == PolicyKind::Sentinel)
-                    senc_bw = first[j].bandwidthMBps();
-            std::vector<std::string> row{spec.name};
-            for (std::size_t j = 0; j < policies.size(); ++j) {
-                const double norm = first[j].bandwidthMBps() / senc_bw;
-                geomean[first[j].policy] += std::log(norm);
-                row.push_back(Table::num(norm, 2));
-            }
-            row.push_back(Table::num(senc_bw, 0));
-            t.addRow(row);
-            ++n;
-        }
-        std::vector<std::string> gm{"geomean"};
-        for (PolicyKind p : policies)
-            gm.push_back(Table::num(std::exp(geomean[p] / n), 2));
-        gm.push_back("");
-        t.addRow(gm);
-        t.print(std::cout);
-        std::cout << '\n';
-    }
-
-    std::cout <<
-        "Paper shape: RiFSSD > RPSSD > SWR+ > SWR >= SENC at every P/E "
-        "level, the\ngap widening with wear (avg +72.1% over SENC at "
-        "2K); RiFSSD tracks\nSSDzero within a couple of percent.\n";
-    return 0;
+    return rif::core::runScenarioShim(
+        "fig17_bandwidth", rif::bench::scaleArg(argc, argv));
 }

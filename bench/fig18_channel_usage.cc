@@ -1,91 +1,17 @@
 /**
  * @file
- * Fig. 18 — flash-channel usage breakdown (IDLE / COR / UNCOR /
- * ECCWAIT) for the two most read-intensive workloads, Ali121 and
- * Ali124, across wear levels and policies. The paper highlights SWR
- * wasting 54.4% of the channel in UNCOR+ECCWAIT on Ali124 at 2K P/E,
- * while RiF wastes 1.8% (vs RPSSD's 19.9% on Ali121) under UNCOR.
+ * Thin legacy shim: this experiment now lives in
+ * bench/scenarios/fig18_channel_usage.cc as a registered scenario; the historical
+ * per-figure binary forwards to it (same output, same
+ * `[scale|--quick]` argument). Prefer `rif run fig18_channel_usage`.
  */
 
-#include <iostream>
-
 #include "bench_util.h"
-#include "common/table.h"
-#include "core/experiment.h"
+#include "core/scenario.h"
 
 int
 main(int argc, char **argv)
 {
-    using namespace rif;
-    using namespace rif::ssd;
-
-    const double scale = bench::scaleArg(argc, argv);
-    bench::header("Channel usage breakdown",
-                  "Fig. 18 (Ali121 / Ali124)");
-
-    RunScale rs;
-    rs.requests = bench::scaled(5000, scale);
-
-    const PolicyKind policies[] = {
-        PolicyKind::Sentinel, PolicyKind::SwiftRead,
-        PolicyKind::SwiftReadPlus, PolicyKind::RpController,
-        PolicyKind::Rif};
-    const double pes[] = {0.0, 1000.0, 2000.0};
-    const char *workloads[] = {"Ali121", "Ali124"};
-
-    // One job per (workload, pe, policy) point; each builds its own
-    // Experiment so the sweep threads deterministically.
-    struct Point
-    {
-        const char *workload;
-        double pe;
-        PolicyKind policy;
-    };
-    std::vector<Point> points;
-    for (const char *w : workloads)
-        for (double pe : pes)
-            for (PolicyKind p : policies)
-                points.push_back({w, pe, p});
-
-    const auto results = parallelRuns(points.size(), [&](std::size_t i) {
-        Experiment e;
-        e.withPolicy(points[i].policy).withPeCycles(points[i].pe);
-        return e.run(points[i].workload, rs);
-    });
-
-    std::size_t at = 0;
-    for (const char *w : workloads) {
-        Table t(std::string("Fig. 18: channel usage ratio, ") + w);
-        t.setHeader({"P/E", "policy", "IDLE", "COR", "UNCOR", "ECCWAIT",
-                     "WRITE"});
-        for (double pe : pes) {
-            for (PolicyKind p : policies) {
-                const auto &st = results[at++].stats;
-                t.addRow({Table::num(pe, 0), policyName(p),
-                          Table::num(
-                              st.channelFraction(ChannelState::Idle), 2),
-                          Table::num(
-                              st.channelFraction(ChannelState::CorXfer),
-                              2),
-                          Table::num(st.channelFraction(
-                                         ChannelState::UncorXfer),
-                                     2),
-                          Table::num(
-                              st.channelFraction(ChannelState::EccWait),
-                              2),
-                          Table::num(st.channelFraction(
-                                         ChannelState::WriteXfer),
-                                     2)});
-            }
-        }
-        t.print(std::cout);
-        std::cout << '\n';
-    }
-
-    std::cout <<
-        "Paper shape: off-chip policies waste a growing UNCOR+ECCWAIT "
-        "share with\nwear; RPSSD eliminates ECCWAIT but keeps UNCOR; "
-        "RiF eliminates both and\nspends the channel almost entirely "
-        "on correctable transfers.\n";
-    return 0;
+    return rif::core::runScenarioShim(
+        "fig18_channel_usage", rif::bench::scaleArg(argc, argv));
 }

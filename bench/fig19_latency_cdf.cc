@@ -1,87 +1,17 @@
 /**
  * @file
- * Fig. 19 — cumulative distribution of SSD-level read latencies in
- * Ali124 across wear levels and policies, with tail percentiles. The
- * paper reports RiF cutting the 99.99th-percentile latency at 2K P/E
- * by 91.8% / 82.6% / 56.3% versus SENC / SWR / SWR+.
+ * Thin legacy shim: this experiment now lives in
+ * bench/scenarios/fig19_latency_cdf.cc as a registered scenario; the historical
+ * per-figure binary forwards to it (same output, same
+ * `[scale|--quick]` argument). Prefer `rif run fig19_latency_cdf`.
  */
 
-#include <iostream>
-
 #include "bench_util.h"
-#include "common/table.h"
-#include "core/experiment.h"
+#include "core/scenario.h"
 
 int
 main(int argc, char **argv)
 {
-    using namespace rif;
-    using namespace rif::ssd;
-
-    const double scale = bench::scaleArg(argc, argv);
-    bench::header("Read latency CDF and tail, Ali124",
-                  "Fig. 19 (p99.99 cut by 91.8%/82.6%/56.3% at 2K)");
-
-    RunScale rs;
-    rs.requests = bench::scaled(8000, scale);
-
-    const PolicyKind policies[] = {
-        PolicyKind::Sentinel, PolicyKind::SwiftRead,
-        PolicyKind::SwiftReadPlus, PolicyKind::RpController,
-        PolicyKind::Rif, PolicyKind::Zero};
-    const double pes[] = {0.0, 1000.0, 2000.0};
-
-    // One job per (pe, policy) point, all on Ali124; each builds its
-    // own Experiment so the sweep threads deterministically.
-    struct Point
-    {
-        double pe;
-        PolicyKind policy;
-    };
-    std::vector<Point> points;
-    for (double pe : pes)
-        for (PolicyKind p : policies)
-            points.push_back({pe, p});
-
-    const auto results = parallelRuns(points.size(), [&](std::size_t i) {
-        Experiment e;
-        e.withPolicy(points[i].policy).withPeCycles(points[i].pe);
-        return e.run("Ali124", rs);
-    });
-
-    std::size_t at = 0;
-    for (double pe : pes) {
-        Table t("Fig. 19 @ " + Table::num(pe, 0) +
-                " P/E: read latency percentiles (us)");
-        t.setHeader({"policy", "p50", "p90", "p99", "p99.9", "p99.99",
-                     "mean"});
-        double senc_tail = 0.0;
-        std::vector<std::pair<const char *, double>> tails;
-        for (PolicyKind p : policies) {
-            const auto &lat = results[at++].stats.readLatencyUs;
-            const double tail = lat.percentile(99.99);
-            if (p == PolicyKind::Sentinel)
-                senc_tail = tail;
-            tails.emplace_back(policyName(p), tail);
-            t.addRow({policyName(p), Table::num(lat.percentile(50), 0),
-                      Table::num(lat.percentile(90), 0),
-                      Table::num(lat.percentile(99), 0),
-                      Table::num(lat.percentile(99.9), 0),
-                      Table::num(tail, 0), Table::num(lat.mean(), 0)});
-        }
-        t.print(std::cout);
-        for (const auto &[name, tail] : tails) {
-            if (std::string(name) == "RiFSSD" && senc_tail > 0.0) {
-                std::cout << "p99.99 reduction of RiFSSD vs SENC: "
-                          << Table::num(
-                                 100.0 * (1.0 - tail / senc_tail), 1)
-                          << "%\n";
-            }
-        }
-        std::cout << '\n';
-    }
-
-    std::cout << "Paper shape: the off-chip policies' CDFs develop long "
-                 "tails with wear;\nRiF's stays close to SSDzero's.\n";
-    return 0;
+    return rif::core::runScenarioShim(
+        "fig19_latency_cdf", rif::bench::scaleArg(argc, argv));
 }

@@ -1,70 +1,17 @@
 /**
  * @file
- * §VI-C — power/performance/area overhead of the RP module and the
- * energy balance of the RiF scheme: per-prediction cost (3.2 nJ)
- * against the off-chip transfer energy refunded per avoided
- * uncorrectable page movement (907 nJ), evaluated both analytically
- * and on a simulated read-intensive workload.
+ * Thin legacy shim: this experiment now lives in
+ * bench/scenarios/overhead_ppa.cc as a registered scenario; the historical
+ * per-figure binary forwards to it (same output, same
+ * `[scale|--quick]` argument). Prefer `rif run overhead_ppa`.
  */
 
-#include <iostream>
-
 #include "bench_util.h"
-#include "common/table.h"
-#include "core/experiment.h"
-#include "odear/overhead.h"
+#include "core/scenario.h"
 
 int
 main(int argc, char **argv)
 {
-    using namespace rif;
-    using namespace rif::odear;
-
-    const double scale = bench::scaleArg(argc, argv);
-    bench::header("RP module PPA and energy overhead", "Section VI-C");
-
-    const OverheadModel model;
-    const auto &c = model.constants();
-
-    Table t("Synthesis-derived constants (130 nm, 100 MHz)");
-    t.setHeader({"metric", "value", "note"});
-    t.addRow({"RP area", Table::num(c.areaMm2, 3) + " mm^2",
-              Table::num(100.0 * model.areaOverheadFraction(), 4) +
-                  "% of a " + Table::num(c.flashDieAreaMm2, 0) +
-                  " mm^2 die"});
-    t.addRow({"RP power", Table::num(c.powerMw, 2) + " mW", ""});
-    t.addRow({"energy per prediction",
-              Table::num(c.energyPerPredictionNj, 1) + " nJ",
-              "paid by every read"});
-    t.addRow({"energy saved per avoided transfer",
-              Table::num(c.energySavedPerAvoidedTransferNj, 0) + " nJ",
-              "unrecoverable page movement"});
-    t.addRow({"break-even",
-              Table::num(model.breakEvenReadsPerRetry(), 0) +
-                  " reads/avoided-retry",
-              "RiF saves energy below this"});
-    t.print(std::cout);
-
-    // Workload-level energy balance measured on the simulator.
-    RunScale rs;
-    rs.requests = bench::scaled(4000, scale);
-    Table w("Net RP energy on Ali124 (negative = RiF saves energy)");
-    w.setHeader({"P/E", "predictions", "avoided_transfers",
-                 "net_energy(uJ)"});
-    for (double pe : {0.0, 1000.0, 2000.0}) {
-        Experiment e;
-        e.withPolicy(ssd::PolicyKind::Rif).withPeCycles(pe);
-        const auto r = e.run("Ali124", rs);
-        const double net = model.netEnergyNj(r.stats.rpPredictions,
-                                             r.stats.avoidedTransfers) /
-                           1000.0;
-        w.addRow({Table::num(pe, 0), Table::num(r.stats.rpPredictions),
-                  Table::num(r.stats.avoidedTransfers),
-                  Table::num(net, 1)});
-    }
-    w.print(std::cout);
-    std::cout << "\nPaper: the RP module's area/power are negligible and "
-                 "the scheme is net\nenergy-positive whenever retries "
-                 "are frequent.\n";
-    return 0;
+    return rif::core::runScenarioShim(
+        "overhead_ppa", rif::bench::scaleArg(argc, argv));
 }

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * `rif` — the single driver for every paper figure, table and ablation.
+ *
+ *   rif list                         enumerate registered scenarios
+ *   rif run <scenario> [options]     run one scenario
+ *   rif run --all [options]          run every scenario in name order
+ *   rif help [set]                   usage / the `--set` key reference
+ *
+ * Options for `run`:
+ *   --quick            scale 0.25 (same as the legacy bench flag)
+ *   --scale S          multiply default trial/request counts by S
+ *   --set k=v          layered config override (repeatable; later wins)
+ *   --workload W       workload override for single-workload scenarios
+ *   --format F         table (default) | csv | jsonl
+ *   --out FILE         write results to FILE instead of stdout
+ *
+ * With no overrides the table output is byte-identical to the legacy
+ * one-binary-per-figure benches at any RIF_THREADS.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/scenario.h"
+
+namespace {
+
+using namespace rif;
+using namespace rif::core;
+
+void
+printUsage(std::ostream &os)
+{
+    os << "usage:\n"
+          "  rif list                      list registered scenarios\n"
+          "  rif run <scenario> [options]  run one scenario\n"
+          "  rif run --all [options]       run every scenario\n"
+          "  rif help [set]                this text / --set key "
+          "reference\n"
+          "\n"
+          "run options:\n"
+          "  --quick          scale 0.25\n"
+          "  --scale S        multiply default trial/request counts by "
+          "S (finite, > 0)\n"
+          "  --set key=value  config override, e.g. --set "
+          "ssd.queueDepth=128 (repeatable)\n"
+          "  --workload W     workload override (see `rif run "
+          "table02_workloads`)\n"
+          "  --format F       table (default) | csv | jsonl\n"
+          "  --out FILE       write to FILE instead of stdout\n";
+}
+
+int
+cmdList()
+{
+    const auto all = ScenarioRegistry::instance().all();
+    std::size_t width = 0;
+    for (const Scenario *s : all)
+        width = std::max(width, std::string(s->name).size());
+    for (const Scenario *s : all) {
+        std::string name = s->name;
+        name.resize(width, ' ');
+        std::cout << name << "  " << s->title << " [" << s->paperRef
+                  << "]\n";
+    }
+    return 0;
+}
+
+int
+cmdHelp(const std::vector<std::string> &args)
+{
+    if (!args.empty() && args[0] == "set") {
+        std::cout << "--set keys (scenario defaults < --set, later "
+                     "--set wins):\n";
+        const auto keys = OptionSet::knownKeys();
+        std::size_t width = 0;
+        for (const auto &k : keys)
+            width = std::max(width, std::string(k.key).size());
+        for (const auto &k : keys) {
+            std::string key = k.key;
+            key.resize(width, ' ');
+            std::cout << "  " << key << "  " << k.help << "\n";
+        }
+        return 0;
+    }
+    printUsage(std::cout);
+    return 0;
+}
+
+double
+parseScale(const std::string &value)
+{
+    char *end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (end == nullptr || *end != '\0' || !std::isfinite(v) || !(v > 0.0))
+        fatal("--scale expects a finite positive number, got '", value,
+              "'");
+    return v;
+}
+
+int
+cmdRun(const std::vector<std::string> &args)
+{
+    std::vector<std::string> names;
+    bool all = false;
+    double scale = 1.0;
+    SinkFormat format = SinkFormat::Table;
+    std::string out_path;
+    OptionSet opts;
+
+    // Accept both `--flag value` and `--flag=value`.
+    auto value_of = [&](const std::string &arg, const std::string &flag,
+                        std::size_t &i,
+                        std::string &out) {
+        if (arg == flag) {
+            if (i + 1 >= args.size())
+                fatal(flag, " expects a value");
+            out = args[++i];
+            return true;
+        }
+        if (arg.rfind(flag + "=", 0) == 0) {
+            out = arg.substr(flag.size() + 1);
+            return true;
+        }
+        return false;
+    };
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        std::string value;
+        if (arg == "--all") {
+            all = true;
+        } else if (arg == "--quick") {
+            scale = 0.25;
+        } else if (value_of(arg, "--scale", i, value)) {
+            scale = parseScale(value);
+        } else if (value_of(arg, "--set", i, value)) {
+            opts.addSet(value);
+        } else if (value_of(arg, "--workload", i, value)) {
+            opts.setWorkload(value);
+        } else if (value_of(arg, "--format", i, value)) {
+            const auto f = parseSinkFormat(value);
+            if (!f)
+                fatal("unknown --format '", value,
+                      "' (expected table, csv or jsonl)");
+            format = *f;
+        } else if (value_of(arg, "--out", i, value)) {
+            out_path = value;
+        } else if (!arg.empty() && arg[0] == '-') {
+            fatal("unknown option '", arg, "' (see 'rif help')");
+        } else {
+            names.push_back(arg);
+        }
+    }
+
+    std::vector<const Scenario *> selected;
+    if (all) {
+        if (!names.empty())
+            fatal("--all cannot be combined with scenario names");
+        selected = ScenarioRegistry::instance().all();
+    } else {
+        if (names.empty())
+            fatal("rif run expects a scenario name or --all "
+                  "(see 'rif list')");
+        for (const std::string &name : names) {
+            const Scenario *s =
+                ScenarioRegistry::instance().find(name);
+            if (s == nullptr)
+                fatal("unknown scenario '", name,
+                      "' (see 'rif list')");
+            selected.push_back(s);
+        }
+    }
+
+    std::ofstream file;
+    if (!out_path.empty()) {
+        file.open(out_path);
+        if (!file)
+            fatal("cannot open --out file '", out_path, "'");
+    }
+    std::ostream &os = out_path.empty() ? std::cout : file;
+
+    const auto sink = makeSink(format, os);
+    for (const Scenario *s : selected)
+        runScenario(*s, *sink, scale, opts);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty()) {
+        printUsage(std::cerr);
+        return 1;
+    }
+    const std::string cmd = args[0];
+    args.erase(args.begin());
+
+    if (cmd == "list")
+        return cmdList();
+    if (cmd == "run")
+        return cmdRun(args);
+    if (cmd == "help" || cmd == "--help" || cmd == "-h")
+        return cmdHelp(args);
+    rif::fatal("unknown command '", cmd, "' (see 'rif help')");
+}

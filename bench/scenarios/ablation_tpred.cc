@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Ablation (DESIGN.md §6.4) — tPRED sensitivity: how slow can the
+ * on-die prediction be before RiF loses its advantage? The paper's RP
+ * needs ~2.5 us for a 4-KiB chunk; this sweep shows the channel (not
+ * the die) remains the bottleneck until tPRED grows pathological.
+ */
+
+#include "core/experiment.h"
+#include "core/scenario.h"
+
+namespace {
+
+using namespace rif;
+using namespace rif::ssd;
+
+void
+run(core::ScenarioContext &ctx)
+{
+    const std::string wl = ctx.workload("Ali124");
+
+    RunScale rs;
+    rs.requests = ctx.scaled(5000);
+    ctx.apply(rs);
+
+    // Run the SENC baseline and every tPRED point concurrently; job 0
+    // is the baseline, jobs 1..n the sweep.
+    const std::vector<double> tpreds{0.0, 1.0, 2.5, 5.0,
+                                     10.0, 20.0, 40.0};
+    const auto results =
+        parallelRuns(tpreds.size() + 1, [&](std::size_t i) {
+            Experiment e;
+            if (i == 0) {
+                e.withPolicy(PolicyKind::Sentinel).withPeCycles(2000.0);
+            } else {
+                e.withPolicy(PolicyKind::Rif).withPeCycles(2000.0);
+                e.config().timing.tPred = usToTicks(tpreds[i - 1]);
+            }
+            ctx.apply(e.config());
+            return e.run(wl, rs);
+        });
+    const double senc_bw = results[0].bandwidthMBps();
+
+    Table t("RiFSSD bandwidth vs tPRED (" + wl + " @ 2K P/E; SENC = " +
+            Table::num(senc_bw, 0) + " MB/s)");
+    t.setHeader({"tPRED(us)", "bandwidth(MB/s)", "vs SENC",
+                 "read p99(us)"});
+    for (std::size_t i = 0; i < tpreds.size(); ++i) {
+        const auto &r = results[i + 1];
+        t.addRow({Table::num(tpreds[i], 1),
+                  Table::num(r.bandwidthMBps(), 0),
+                  Table::num(r.bandwidthMBps() / senc_bw, 2) + "x",
+                  Table::num(r.stats.readLatencyUs.percentile(99), 0)});
+    }
+    ctx.sink.table(t);
+    ctx.sink.text(
+        "\nWith 4 dies per 1.2-GB/s channel there is die-time slack: "
+        "tPRED well\nabove the 2.5 us implementation still beats the "
+        "off-chip baselines, which\nis why a simple (slow-clock) on-die "
+        "datapath suffices.\n");
+}
+
+} // namespace
+
+RIF_REGISTER_SCENARIO(ablation_tpred,
+                      "Ablation: prediction latency (tPRED) sensitivity",
+                      "implementation driver of §V (2.5 us datapath)",
+                      run);

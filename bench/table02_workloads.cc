@@ -1,50 +1,17 @@
 /**
  * @file
- * Table II — key I/O characteristics of the eight evaluated traces:
- * the synthetic generators' realized read ratio and cold-read ratio
- * against the paper's reported values.
+ * Thin legacy shim: this experiment now lives in
+ * bench/scenarios/table02_workloads.cc as a registered scenario; the historical
+ * per-figure binary forwards to it (same output, same
+ * `[scale|--quick]` argument). Prefer `rif run table02_workloads`.
  */
 
-#include <iostream>
-
 #include "bench_util.h"
-#include "common/table.h"
-#include "trace/trace.h"
+#include "core/scenario.h"
 
 int
 main(int argc, char **argv)
 {
-    using namespace rif;
-    using namespace rif::trace;
-
-    const double scale = bench::scaleArg(argc, argv);
-    bench::header("Workload characteristics", "Table II");
-
-    const std::uint64_t requests =
-        static_cast<std::uint64_t>(bench::scaled(40000, scale));
-
-    Table t("Table II: read ratio and cold-read ratio per workload");
-    t.setHeader({"workload", "read(paper)", "read(measured)",
-                 "cold(paper)", "cold(measured)", "footprint(GiB)",
-                 "avg_req(KiB)"});
-    for (const auto &spec : paperWorkloads()) {
-        SyntheticWorkload gen(spec, requests, 7);
-        const std::uint64_t cold_start = gen.coldRegionStart();
-        const auto c = characterize(gen, cold_start);
-        t.addRow({spec.name, Table::num(spec.readRatio, 2),
-                  Table::num(c.readRatio(), 2),
-                  Table::num(spec.coldReadRatio, 2),
-                  Table::num(c.coldReadRatio(), 2),
-                  Table::num(static_cast<double>(spec.footprintPages) *
-                                 16.0 / (1024.0 * 1024.0),
-                             0),
-                  Table::num(static_cast<double>(c.totalPages) * 16.0 /
-                                 static_cast<double>(c.requests),
-                             0)});
-    }
-    t.print(std::cout);
-    std::cout << "\nGenerators match Table II's read and cold-read "
-                 "ratios by construction;\nfootprints and request sizes "
-                 "are representative of cloud block storage.\n";
-    return 0;
+    return rif::core::runScenarioShim(
+        "table02_workloads", rif::bench::scaleArg(argc, argv));
 }

@@ -38,6 +38,14 @@ class Table
     /** Render as CSV to the stream. */
     void printCsv(std::ostream &os) const;
 
+    /** Structured access for the result sinks (CSV/JSONL emission). */
+    const std::string &title() const { return title_; }
+    const std::vector<std::string> &headerRow() const { return header_; }
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
+    }
+
   private:
     std::string title_;
     std::vector<std::string> header_;

@@ -1,0 +1,439 @@
+#include "core/options.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "trace/trace.h"
+
+namespace rif {
+namespace core {
+
+namespace {
+
+[[noreturn]] void
+badValue(const std::string &key, const std::string &value,
+         const std::string &expected)
+{
+    fatal("--set ", key, ": invalid value '", value, "' (expected ",
+          expected, ")");
+}
+
+long long
+parseIntValue(const std::string &key, const std::string &value,
+              long long min, long long max)
+{
+    long long out = 0;
+    const auto *begin = value.data();
+    const auto *end = value.data() + value.size();
+    const auto res = std::from_chars(begin, end, out);
+    if (res.ec != std::errc{} || res.ptr != end || out < min || out > max)
+        badValue(key, value,
+                 "integer in [" + std::to_string(min) + ", " +
+                     std::to_string(max) + "]");
+    return out;
+}
+
+std::uint64_t
+parseU64Value(const std::string &key, const std::string &value,
+              std::uint64_t min, std::uint64_t max)
+{
+    std::uint64_t out = 0;
+    const auto *begin = value.data();
+    const auto *end = value.data() + value.size();
+    const auto res = std::from_chars(begin, end, out);
+    if (res.ec != std::errc{} || res.ptr != end || out < min || out > max)
+        badValue(key, value,
+                 "integer in [" + std::to_string(min) + ", " +
+                     std::to_string(max) + "]");
+    return out;
+}
+
+double
+parseDoubleValue(const std::string &key, const std::string &value,
+                 double min, double max, bool min_exclusive = false)
+{
+    char *end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    const bool consumed = end != nullptr && *end == '\0' &&
+                          end != value.c_str();
+    const bool in_range = std::isfinite(v) && v <= max &&
+                          (min_exclusive ? v > min : v >= min);
+    if (!consumed || !in_range)
+        badValue(key, value,
+                 std::string("finite number in ") +
+                     (min_exclusive ? "(" : "[") + std::to_string(min) +
+                     ", " + std::to_string(max) + "]");
+    return v;
+}
+
+bool
+parseBoolValue(const std::string &key, const std::string &value)
+{
+    if (value == "1" || value == "true")
+        return true;
+    if (value == "0" || value == "false")
+        return false;
+    badValue(key, value, "true|false|1|0");
+}
+
+/**
+ * One settable field: `make*(value)` parses eagerly (fatal on error)
+ * and returns the closure that applies the parsed value later, so a
+ * bad `--set` fails before any simulation starts.
+ */
+struct Field
+{
+    const char *key;
+    const char *help;
+    std::function<std::function<void(ssd::SsdConfig &)>(
+        const std::string &)>
+        makeSsd;
+    std::function<std::function<void(RunScale &)>(const std::string &)>
+        makeRun;
+};
+
+std::vector<Field>
+makeFields()
+{
+    std::vector<Field> f;
+
+    auto addInt = [&f](const char *key, const char *help,
+                       void (*set)(ssd::SsdConfig &, long long),
+                       long long min, long long max) {
+        f.push_back(
+            {key, help,
+             [key, set, min, max](const std::string &v) {
+                 const long long parsed =
+                     parseIntValue(key, v, min, max);
+                 return [set, parsed](ssd::SsdConfig &c) {
+                     set(c, parsed);
+                 };
+             },
+             nullptr});
+    };
+    auto addU64 = [&f](const char *key, const char *help,
+                       void (*set)(ssd::SsdConfig &, std::uint64_t),
+                       std::uint64_t min, std::uint64_t max) {
+        f.push_back(
+            {key, help,
+             [key, set, min, max](const std::string &v) {
+                 const std::uint64_t parsed =
+                     parseU64Value(key, v, min, max);
+                 return [set, parsed](ssd::SsdConfig &c) {
+                     set(c, parsed);
+                 };
+             },
+             nullptr});
+    };
+    auto addDouble = [&f](const char *key, const char *help,
+                          void (*set)(ssd::SsdConfig &, double),
+                          double min, double max,
+                          bool min_exclusive = false) {
+        f.push_back(
+            {key, help,
+             [key, set, min, max, min_exclusive](const std::string &v) {
+                 const double parsed =
+                     parseDoubleValue(key, v, min, max, min_exclusive);
+                 return [set, parsed](ssd::SsdConfig &c) {
+                     set(c, parsed);
+                 };
+             },
+             nullptr});
+    };
+    auto addBool = [&f](const char *key, const char *help,
+                        void (*set)(ssd::SsdConfig &, bool)) {
+        f.push_back({key, help,
+                     [key, set](const std::string &v) {
+                         const bool parsed = parseBoolValue(key, v);
+                         return [set, parsed](ssd::SsdConfig &c) {
+                             set(c, parsed);
+                         };
+                     },
+                     nullptr});
+    };
+
+    // --- ssd.* ---------------------------------------------------------
+    f.push_back(
+        {"ssd.policy",
+         "read-retry policy: SSDzero|CONV|SSDone|SENC|SWR|SWR+|RPSSD|"
+         "RiFSSD",
+         [](const std::string &v) {
+             const auto parsed = ssd::parsePolicy(v);
+             if (!parsed) {
+                 std::string valid;
+                 for (ssd::PolicyKind k : ssd::kAllPolicyKinds) {
+                     if (!valid.empty())
+                         valid += "|";
+                     valid += ssd::policyName(k);
+                 }
+                 badValue("ssd.policy", v, valid);
+             }
+             return [kind = *parsed](ssd::SsdConfig &c) {
+                 c.policy = kind;
+             };
+         },
+         nullptr});
+    f.push_back(
+        {"ssd.rberSource", "per-read RBER substrate: parametric|vth",
+         [](const std::string &v) {
+             const auto parsed = ssd::parseRberSource(v);
+             if (!parsed)
+                 badValue("ssd.rberSource", v, "parametric|vth");
+             return [source = *parsed](ssd::SsdConfig &c) {
+                 c.rberSource = source;
+             };
+         },
+         nullptr});
+    addDouble("ssd.hostGBps", "host interface peak bandwidth (GB/s)",
+              [](ssd::SsdConfig &c, double v) { c.hostGBps = v; }, 0.0,
+              1e4, true);
+    addInt("ssd.queueDepth", "closed-loop outstanding host requests",
+           [](ssd::SsdConfig &c, long long v) {
+               c.queueDepth = static_cast<int>(v);
+           },
+           1, 65536);
+    addInt("ssd.eccBufferPages",
+           "pages buffered ahead of the ECC engine per channel",
+           [](ssd::SsdConfig &c, long long v) {
+               c.eccBufferPages = static_cast<int>(v);
+           },
+           1, 4096);
+    addDouble("ssd.peCycles", "P/E cycles experienced by every block",
+              [](ssd::SsdConfig &c, double v) { c.peCycles = v; }, 0.0,
+              1e7);
+    addDouble("ssd.refreshDays", "periodic refresh window (days)",
+              [](ssd::SsdConfig &c, double v) { c.refreshDays = v; },
+              0.0, 1e5, true);
+    addDouble("ssd.coldAgeMinDays", "lower bound of cold-data age (days)",
+              [](ssd::SsdConfig &c, double v) { c.coldAgeMinDays = v; },
+              0.0, 1e5);
+    addDouble("ssd.hotAgeDays", "initial age bound of hot data (days)",
+              [](ssd::SsdConfig &c, double v) { c.hotAgeDays = v; }, 0.0,
+              1e5);
+    addDouble("ssd.sentinelExtraReadProb",
+              "SENC extra sentinel-read probability",
+              [](ssd::SsdConfig &c, double v) {
+                  c.sentinelExtraReadProb = v;
+              },
+              0.0, 1.0);
+    addDouble("ssd.vrefTrackedFraction",
+              "SWR+ fraction of reads with pre-optimized VREF",
+              [](ssd::SsdConfig &c, double v) {
+                  c.vrefTrackedFraction = v;
+              },
+              0.0, 1.0);
+    addDouble("ssd.tPredController",
+              "controller-side RP latency (us, RPSSD)",
+              [](ssd::SsdConfig &c, double v) {
+                  c.tPredController = usToTicks(v);
+              },
+              0.0, 1e6);
+    addDouble("ssd.seqStepFactor",
+              "RBER multiplier per conventional VREF step",
+              [](ssd::SsdConfig &c, double v) { c.seqStepFactor = v; },
+              0.0, 1.0, true);
+    addInt("ssd.maxRetrySteps",
+           "max VREF steps of the conventional sequence",
+           [](ssd::SsdConfig &c, long long v) {
+               c.maxRetrySteps = static_cast<int>(v);
+           },
+           1, 64);
+    addDouble("ssd.rpObservedBits",
+              "effective bits observed by the RP predictor",
+              [](ssd::SsdConfig &c, double v) { c.rpObservedBits = v; },
+              0.0, 1e9, true);
+    addDouble("ssd.codewordBits", "bits per codeword seen by the decoder",
+              [](ssd::SsdConfig &c, double v) { c.codewordBits = v; },
+              0.0, 1e9, true);
+    addBool("ssd.readPriority",
+            "serve queued reads ahead of writes/erases",
+            [](ssd::SsdConfig &c, bool v) { c.readPriority = v; });
+    addInt("ssd.gcFreeBlockThreshold", "GC low watermark per plane",
+           [](ssd::SsdConfig &c, long long v) {
+               c.gcFreeBlockThreshold = static_cast<int>(v);
+           },
+           1, 1 << 20);
+    addU64("ssd.readDisturbThreshold",
+           "reads since program before relocation (0 disables)",
+           [](ssd::SsdConfig &c, std::uint64_t v) {
+               c.readDisturbThreshold = static_cast<std::uint32_t>(v);
+           },
+           0, 0xffffffffull);
+    addDouble("ssd.preconditionFill",
+              "fraction of the footprint preconditioned valid",
+              [](ssd::SsdConfig &c, double v) {
+                  c.preconditionFill = v;
+              },
+              0.0, 1.0);
+    addU64("ssd.seed", "simulation seed",
+           [](ssd::SsdConfig &c, std::uint64_t v) { c.seed = v; }, 0,
+           ~0ull);
+
+    // --- geometry.* ----------------------------------------------------
+    addInt("geometry.channels", "flash channels",
+           [](ssd::SsdConfig &c, long long v) {
+               c.geometry.channels = static_cast<int>(v);
+           },
+           1, 1 << 20);
+    addInt("geometry.diesPerChannel", "dies per channel",
+           [](ssd::SsdConfig &c, long long v) {
+               c.geometry.diesPerChannel = static_cast<int>(v);
+           },
+           1, 1 << 20);
+    addInt("geometry.planesPerDie", "planes per die",
+           [](ssd::SsdConfig &c, long long v) {
+               c.geometry.planesPerDie = static_cast<int>(v);
+           },
+           1, 1 << 20);
+    addInt("geometry.blocksPerPlane", "blocks per plane",
+           [](ssd::SsdConfig &c, long long v) {
+               c.geometry.blocksPerPlane = static_cast<int>(v);
+           },
+           1, 1 << 20);
+    addInt("geometry.pagesPerBlock", "pages per block",
+           [](ssd::SsdConfig &c, long long v) {
+               c.geometry.pagesPerBlock = static_cast<int>(v);
+           },
+           1, 1 << 20);
+    addU64("geometry.pageBytes", "page size in bytes",
+           [](ssd::SsdConfig &c, std::uint64_t v) {
+               c.geometry.pageBytes = v;
+           },
+           512, 16 * kMiB);
+    addInt("geometry.codewordsPerPage", "ECC codewords per page",
+           [](ssd::SsdConfig &c, long long v) {
+               c.geometry.codewordsPerPage = static_cast<int>(v);
+           },
+           1, 64);
+
+    // --- timing.* (all in microseconds) --------------------------------
+    auto addTiming = [&addDouble](const char *key, const char *help,
+                                  void (*set)(ssd::SsdConfig &, double)) {
+        addDouble(key, help, set, 0.0, 1e6);
+    };
+    addTiming("timing.tR", "page sense latency (us)",
+              [](ssd::SsdConfig &c, double v) {
+                  c.timing.tR = usToTicks(v);
+              });
+    addTiming("timing.tProg", "page program latency (us)",
+              [](ssd::SsdConfig &c, double v) {
+                  c.timing.tProg = usToTicks(v);
+              });
+    addTiming("timing.tErase", "block erase latency (us)",
+              [](ssd::SsdConfig &c, double v) {
+                  c.timing.tErase = usToTicks(v);
+              });
+    addTiming("timing.tDmaPage", "page transfer latency (us)",
+              [](ssd::SsdConfig &c, double v) {
+                  c.timing.tDmaPage = usToTicks(v);
+              });
+    addTiming("timing.tPred", "on-die RP prediction latency (us)",
+              [](ssd::SsdConfig &c, double v) {
+                  c.timing.tPred = usToTicks(v);
+              });
+    addTiming("timing.tEccMin", "best-case page decode latency (us)",
+              [](ssd::SsdConfig &c, double v) {
+                  c.timing.tEccMin = usToTicks(v);
+              });
+    addTiming("timing.tEccMax", "failed decode latency (us)",
+              [](ssd::SsdConfig &c, double v) {
+                  c.timing.tEccMax = usToTicks(v);
+              });
+
+    // --- run.* ---------------------------------------------------------
+    f.push_back({"run.requests", "trace length per run",
+                 nullptr,
+                 [](const std::string &v) {
+                     const std::uint64_t parsed = parseU64Value(
+                         "run.requests", v, 1, 1000000000000ull);
+                     return [parsed](RunScale &s) {
+                         s.requests = parsed;
+                     };
+                 }});
+    f.push_back({"run.seed", "trace generator seed",
+                 nullptr,
+                 [](const std::string &v) {
+                     const std::uint64_t parsed =
+                         parseU64Value("run.seed", v, 0, ~0ull);
+                     return [parsed](RunScale &s) { s.seed = parsed; };
+                 }});
+
+    return f;
+}
+
+const std::vector<Field> &
+fields()
+{
+    static const std::vector<Field> f = makeFields();
+    return f;
+}
+
+} // namespace
+
+void
+OptionSet::addSet(const std::string &key_value)
+{
+    const auto eq = key_value.find('=');
+    if (eq == std::string::npos || eq == 0)
+        fatal("--set expects key=value, got '", key_value, "'");
+    const std::string key = key_value.substr(0, eq);
+    const std::string value = key_value.substr(eq + 1);
+
+    for (const Field &field : fields()) {
+        if (key != field.key)
+            continue;
+        if (field.makeSsd)
+            ssdOps_.push_back(field.makeSsd(value));
+        else
+            runOps_.push_back(field.makeRun(value));
+        return;
+    }
+    fatal("--set: unknown key '", key,
+          "' (see 'rif help set' for the settable keys)");
+}
+
+void
+OptionSet::setWorkload(const std::string &name)
+{
+    if (!trace::findWorkload(name)) {
+        std::string valid;
+        for (const auto &n : trace::workloadNames()) {
+            if (!valid.empty())
+                valid += ", ";
+            valid += n;
+        }
+        fatal("--workload: unknown workload '", name, "' (valid: ",
+              valid, ")");
+    }
+    workload_ = name;
+}
+
+void
+OptionSet::applyTo(ssd::SsdConfig &cfg) const
+{
+    for (const auto &op : ssdOps_)
+        op(cfg);
+    if (!ssdOps_.empty())
+        cfg.validate();
+}
+
+void
+OptionSet::applyTo(RunScale &scale) const
+{
+    for (const auto &op : runOps_)
+        op(scale);
+}
+
+std::vector<OptionKey>
+OptionSet::knownKeys()
+{
+    std::vector<OptionKey> keys;
+    for (const Field &field : fields())
+        keys.push_back({field.key, field.help});
+    return keys;
+}
+
+} // namespace core
+} // namespace rif

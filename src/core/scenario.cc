@@ -1,0 +1,87 @@
+#include "core/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace rif {
+namespace core {
+
+int
+ScenarioContext::scaled(std::uint64_t base) const
+{
+    if (!std::isfinite(scale) || !(scale > 0.0))
+        return 1;
+    const double v = static_cast<double>(base) * scale;
+    if (v >= static_cast<double>(std::numeric_limits<int>::max()))
+        return std::numeric_limits<int>::max();
+    const auto u = static_cast<std::uint64_t>(v);
+    return static_cast<int>(u < 1 ? 1 : u);
+}
+
+ScenarioRegistry &
+ScenarioRegistry::instance()
+{
+    static ScenarioRegistry registry;
+    return registry;
+}
+
+void
+ScenarioRegistry::add(const Scenario &scenario)
+{
+    RIF_ASSERT(scenario.name != nullptr && scenario.body != nullptr,
+               "scenario must have a name and a body");
+    if (find(scenario.name) != nullptr)
+        panic("duplicate scenario registration '", scenario.name, "'");
+    scenarios_.push_back(scenario);
+}
+
+const Scenario *
+ScenarioRegistry::find(const std::string &name) const
+{
+    for (const Scenario &s : scenarios_)
+        if (name == s.name)
+            return &s;
+    return nullptr;
+}
+
+std::vector<const Scenario *>
+ScenarioRegistry::all() const
+{
+    std::vector<const Scenario *> out;
+    out.reserve(scenarios_.size());
+    for (const Scenario &s : scenarios_)
+        out.push_back(&s);
+    std::sort(out.begin(), out.end(),
+              [](const Scenario *a, const Scenario *b) {
+                  return std::string(a->name) < b->name;
+              });
+    return out;
+}
+
+void
+runScenario(const Scenario &scenario, ResultSink &sink, double scale,
+            const OptionSet &opts)
+{
+    sink.header(scenario.title, scenario.paperRef);
+    ScenarioContext ctx{sink, opts, scale};
+    scenario.body(ctx);
+}
+
+int
+runScenarioShim(const char *name, double scale)
+{
+    const Scenario *scenario = ScenarioRegistry::instance().find(name);
+    if (scenario == nullptr)
+        fatal("scenario '", name, "' is not registered");
+    const OptionSet no_overrides;
+    TableSink sink(std::cout);
+    runScenario(*scenario, sink, scale, no_overrides);
+    return 0;
+}
+
+} // namespace core
+} // namespace rif

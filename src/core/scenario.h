@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Declarative scenario registry: every paper figure/table/ablation is a
+ * named Scenario whose body reports through a ResultSink instead of
+ * printing. Scenario files self-register via RIF_REGISTER_SCENARIO, the
+ * `rif` driver discovers them at runtime (`rif list`, `rif run`), and
+ * the legacy one-binary-per-figure benches shrink to shims over
+ * runScenarioShim(). Adding a new experiment is one ~50-line file: a
+ * body plus a registration line.
+ */
+
+#ifndef RIF_CORE_SCENARIO_H
+#define RIF_CORE_SCENARIO_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/options.h"
+#include "core/sinks.h"
+
+namespace rif {
+namespace core {
+
+/**
+ * Per-run context handed to a scenario body: the sink to report
+ * through, the workload-size scale factor and the user's layered
+ * overrides. Bodies call apply() after setting their own defaults so
+ * `--set` wins over scenario defaults.
+ */
+struct ScenarioContext
+{
+    ResultSink &sink;
+    const OptionSet &opts;
+    double scale = 1.0;
+
+    /** base * scale as a count >= 1, clamped against int overflow. */
+    int scaled(std::uint64_t base) const;
+
+    /** Layer the `--set ssd.*` overrides on top of `cfg` and validate. */
+    void
+    apply(ssd::SsdConfig &cfg) const
+    {
+        opts.applyTo(cfg);
+    }
+
+    /** Layer the `--set run.*` overrides on top of `rs`. */
+    void
+    apply(RunScale &rs) const
+    {
+        opts.applyTo(rs);
+    }
+
+    /** The `--workload` override, or the scenario's default. */
+    std::string
+    workload(const std::string &fallback) const
+    {
+        return opts.workload() ? *opts.workload() : fallback;
+    }
+};
+
+/** One registered experiment (a paper figure, table or ablation). */
+struct Scenario
+{
+    const char *name;     ///< CLI name (`rif run <name>`)
+    const char *title;    ///< banner headline
+    const char *paperRef; ///< what it reproduces ("Fig. 17 ...")
+    void (*body)(ScenarioContext &);
+};
+
+/** Process-wide registry populated by RIF_REGISTER_SCENARIO. */
+class ScenarioRegistry
+{
+  public:
+    static ScenarioRegistry &instance();
+
+    /** Register a scenario (panics on duplicate names). */
+    void add(const Scenario &scenario);
+
+    /** Look up by CLI name; nullptr if unknown. */
+    const Scenario *find(const std::string &name) const;
+
+    /** Every scenario, sorted by name for stable listings. */
+    std::vector<const Scenario *> all() const;
+
+  private:
+    std::vector<Scenario> scenarios_;
+};
+
+/** Static-initialization hook used by RIF_REGISTER_SCENARIO. */
+class ScenarioRegistrar
+{
+  public:
+    explicit ScenarioRegistrar(const Scenario &scenario)
+    {
+        ScenarioRegistry::instance().add(scenario);
+    }
+};
+
+/**
+ * Self-register a scenario. `ident` is both the CLI name and the
+ * registrar's identifier, so it must be a valid C identifier.
+ */
+#define RIF_REGISTER_SCENARIO(ident, title, paper_ref, body)            \
+    static const ::rif::core::ScenarioRegistrar                         \
+        rifScenarioRegistrar_##ident(                                   \
+            ::rif::core::Scenario{#ident, title, paper_ref, body})
+
+/** Emit the banner and run the body through the sink. */
+void runScenario(const Scenario &scenario, ResultSink &sink, double scale,
+                 const OptionSet &opts);
+
+/**
+ * Entry point for the legacy bench shims: run the named scenario with
+ * a table sink on stdout and no overrides, preserving the historical
+ * `<bench> [scale|--quick]` behaviour byte-for-byte.
+ */
+int runScenarioShim(const char *name, double scale);
+
+} // namespace core
+} // namespace rif
+
+#endif // RIF_CORE_SCENARIO_H

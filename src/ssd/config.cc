@@ -32,6 +32,95 @@ policyName(PolicyKind kind)
     panic("unknown policy kind");
 }
 
+std::optional<PolicyKind>
+parsePolicy(const std::string &name)
+{
+    for (PolicyKind kind : kAllPolicyKinds)
+        if (name == policyName(kind))
+            return kind;
+    return std::nullopt;
+}
+
+const char *
+rberSourceName(RberSource source)
+{
+    switch (source) {
+      case RberSource::Parametric:
+        return "parametric";
+      case RberSource::VthModel:
+        return "vth";
+    }
+    panic("unknown RBER source");
+}
+
+std::optional<RberSource>
+parseRberSource(const std::string &name)
+{
+    for (RberSource source : kAllRberSources)
+        if (name == rberSourceName(source))
+            return source;
+    return std::nullopt;
+}
+
+void
+SsdConfig::validate() const
+{
+    const auto &g = geometry;
+    if (g.channels < 1 || g.diesPerChannel < 1 || g.planesPerDie < 1 ||
+        g.blocksPerPlane < 1 || g.pagesPerBlock < 1)
+        fatal("SsdConfig: every geometry dimension must be >= 1");
+    if (g.pageBytes < 512)
+        fatal("SsdConfig: geometry.pageBytes must be >= 512");
+    if (g.codewordsPerPage < 1)
+        fatal("SsdConfig: geometry.codewordsPerPage must be >= 1");
+    if (timing.tEccMin > timing.tEccMax)
+        fatal("SsdConfig: timing.tEccMin must not exceed timing.tEccMax");
+    if (!(hostGBps > 0.0))
+        fatal("SsdConfig: hostGBps must be positive, got ", hostGBps);
+    if (queueDepth < 1)
+        fatal("SsdConfig: queueDepth must be >= 1, got ", queueDepth);
+    if (eccBufferPages < 1)
+        fatal("SsdConfig: eccBufferPages must be >= 1, got ",
+              eccBufferPages);
+    if (!(peCycles >= 0.0))
+        fatal("SsdConfig: peCycles must be >= 0, got ", peCycles);
+    if (!(refreshDays > 0.0))
+        fatal("SsdConfig: refreshDays must be positive, got ",
+              refreshDays);
+    if (!(coldAgeMinDays >= 0.0) || coldAgeMinDays >= refreshDays)
+        fatal("SsdConfig: coldAgeMinDays must be in [0, refreshDays), "
+              "got ", coldAgeMinDays, " with refreshDays ", refreshDays);
+    if (!(hotAgeDays >= 0.0))
+        fatal("SsdConfig: hotAgeDays must be >= 0, got ", hotAgeDays);
+    if (!(sentinelExtraReadProb >= 0.0 && sentinelExtraReadProb <= 1.0))
+        fatal("SsdConfig: sentinelExtraReadProb must be in [0,1], got ",
+              sentinelExtraReadProb);
+    if (!(vrefTrackedFraction >= 0.0 && vrefTrackedFraction <= 1.0))
+        fatal("SsdConfig: vrefTrackedFraction must be in [0,1], got ",
+              vrefTrackedFraction);
+    if (!(seqStepFactor > 0.0 && seqStepFactor <= 1.0))
+        fatal("SsdConfig: seqStepFactor must be in (0,1], got ",
+              seqStepFactor);
+    if (maxRetrySteps < 1)
+        fatal("SsdConfig: maxRetrySteps must be >= 1, got ",
+              maxRetrySteps);
+    if (!(rpObservedBits > 0.0))
+        fatal("SsdConfig: rpObservedBits must be positive, got ",
+              rpObservedBits);
+    if (!(codewordBits > 0.0))
+        fatal("SsdConfig: codewordBits must be positive, got ",
+              codewordBits);
+    if (gcFreeBlockThreshold < 1)
+        fatal("SsdConfig: gcFreeBlockThreshold must be >= 1, got ",
+              gcFreeBlockThreshold);
+    if (!(preconditionFill >= 0.0 && preconditionFill <= 1.0))
+        fatal("SsdConfig: preconditionFill must be in [0,1], got ",
+              preconditionFill);
+    if (!(rber.capability > 0.0))
+        fatal("SsdConfig: rber.capability must be positive, got ",
+              rber.capability);
+}
+
 nand::Geometry
 SsdConfig::simGeometry()
 {

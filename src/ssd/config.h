@@ -9,6 +9,7 @@
 #define RIF_SSD_CONFIG_H
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "common/units.h"
@@ -42,11 +43,34 @@ enum class RberSource
 /** Human-readable policy name as used in the paper's figures. */
 const char *policyName(PolicyKind kind);
 
+/** Inverse of policyName(); nullopt for an unknown label. */
+std::optional<PolicyKind> parsePolicy(const std::string &name);
+
+/** Name of the RBER substrate, accepted back by parseRberSource(). */
+const char *rberSourceName(RberSource source);
+
+/** Inverse of rberSourceName(); nullopt for an unknown label. */
+std::optional<RberSource> parseRberSource(const std::string &name);
+
 /** All comparison policies in the paper's plotting order. */
 inline constexpr PolicyKind kAllPolicies[] = {
     PolicyKind::Sentinel,      PolicyKind::SwiftRead,
     PolicyKind::SwiftReadPlus, PolicyKind::RpController,
     PolicyKind::Rif,           PolicyKind::Zero,
+};
+
+/** Every policy kind, for exhaustive round-trip tests and sweeps. */
+inline constexpr PolicyKind kAllPolicyKinds[] = {
+    PolicyKind::Zero,          PolicyKind::FixedSequence,
+    PolicyKind::IdealOffChip,  PolicyKind::Sentinel,
+    PolicyKind::SwiftRead,     PolicyKind::SwiftReadPlus,
+    PolicyKind::RpController,  PolicyKind::Rif,
+};
+
+/** Every RBER substrate, for round-trip tests. */
+inline constexpr RberSource kAllRberSources[] = {
+    RberSource::Parametric,
+    RberSource::VthModel,
 };
 
 /** Full simulator configuration. */
@@ -140,6 +164,16 @@ struct SsdConfig
 
     /** Decode latency after a near-optimal re-read (paper: 1 us). */
     Tick teccAfterRetry() const { return timing.tEccMin; }
+
+    /**
+     * Reject nonsense configurations (non-positive bandwidths or
+     * geometry, probabilities outside [0,1], empty ECC buffers, a cold
+     * age window that is empty, ...) with a fatal() naming the field.
+     * Called by the Ssd constructor and after every layered `--set`
+     * override, so a bad override fails loudly instead of simulating
+     * garbage.
+     */
+    void validate() const;
 };
 
 } // namespace ssd

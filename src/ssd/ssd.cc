@@ -14,6 +14,7 @@ Ssd::Ssd(const SsdConfig &config)
       ftl_(std::make_unique<Ftl>(config, Rng(config.seed ^ 0xf71))),
       usage_(config.geometry.channels)
 {
+    config_.validate();
     const auto &g = config_.geometry;
     stats_.channels.resize(g.channels);
 

@@ -39,13 +39,37 @@ paperWorkloads()
     return w;
 }
 
+const WorkloadSpec *
+findWorkload(const std::string &name)
+{
+    static const std::vector<WorkloadSpec> specs = paperWorkloads();
+    for (const auto &w : specs)
+        if (w.name == name)
+            return &w;
+    return nullptr;
+}
+
+std::vector<std::string>
+workloadNames()
+{
+    std::vector<std::string> names;
+    for (const auto &w : paperWorkloads())
+        names.push_back(w.name);
+    return names;
+}
+
 WorkloadSpec
 workloadByName(const std::string &name)
 {
-    for (const auto &w : paperWorkloads())
-        if (w.name == name)
-            return w;
-    fatal("unknown workload '", name, "'");
+    if (const WorkloadSpec *w = findWorkload(name))
+        return *w;
+    std::string valid;
+    for (const auto &n : workloadNames()) {
+        if (!valid.empty())
+            valid += ", ";
+        valid += n;
+    }
+    fatal("unknown workload '", name, "' (valid: ", valid, ")");
 }
 
 SyntheticWorkload::SyntheticWorkload(const WorkloadSpec &spec,

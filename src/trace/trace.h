@@ -81,6 +81,15 @@ std::vector<WorkloadSpec> paperWorkloads();
 WorkloadSpec workloadByName(const std::string &name);
 
 /**
+ * Non-fatal lookup for option validation (`--workload` overrides):
+ * nullptr when the name is not a paper workload.
+ */
+const WorkloadSpec *findWorkload(const std::string &name);
+
+/** The paper workload names in Table II order. */
+std::vector<std::string> workloadNames();
+
+/**
  * Synthetic generator: reads split between a never-written cold region
  * (uniform, sequential-ish runs) and a zipfian hot region; writes go to
  * the hot region only, so the generator's cold-read ratio and read ratio

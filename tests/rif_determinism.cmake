@@ -1,0 +1,40 @@
+# ctest script: run one simulation scenario through the real `rif`
+# driver at RIF_THREADS=1/2/8 and require byte-identical CSV output.
+# Invoked as:
+#   cmake -DRIF_BIN=<path to rif> -P rif_determinism.cmake
+
+if(NOT DEFINED RIF_BIN)
+    message(FATAL_ERROR "pass -DRIF_BIN=<path to the rif driver>")
+endif()
+
+set(scenario ablation_tpred)
+set(outs "")
+foreach(threads 1 2 8)
+    set(out ${CMAKE_CURRENT_BINARY_DIR}/rif_det_${threads}.csv)
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E env RIF_THREADS=${threads}
+                ${RIF_BIN} run ${scenario} --scale 0.02 --format=csv
+                --out ${out}
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+            "rif run ${scenario} failed at RIF_THREADS=${threads} "
+            "(rc=${rc})")
+    endif()
+    list(APPEND outs ${out})
+endforeach()
+
+list(GET outs 0 ref)
+foreach(out ${outs})
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E compare_files ${ref} ${out}
+        RESULT_VARIABLE same)
+    if(NOT same EQUAL 0)
+        message(FATAL_ERROR
+            "scenario output differs across thread counts: "
+            "${ref} vs ${out}")
+    endif()
+endforeach()
+
+message(STATUS
+    "rif determinism: ${scenario} identical at RIF_THREADS=1/2/8")

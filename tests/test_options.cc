@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Tests of the layered `--set` option layer, the config name parsers
+ * (parsePolicy / parseRberSource), SsdConfig::validate(), the workload
+ * lookup helpers and the bench scale helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "bench_util.h"
+#include "core/options.h"
+#include "trace/trace.h"
+
+namespace rif {
+namespace {
+
+// ---------------------------------------------------------------------
+// Name parsers: every enumerator round-trips through its printed name.
+// ---------------------------------------------------------------------
+
+TEST(ConfigParsers, PolicyRoundTripsOverAllKinds)
+{
+    for (ssd::PolicyKind kind : ssd::kAllPolicyKinds) {
+        const auto parsed = ssd::parsePolicy(ssd::policyName(kind));
+        ASSERT_TRUE(parsed.has_value()) << ssd::policyName(kind);
+        EXPECT_EQ(*parsed, kind);
+    }
+}
+
+TEST(ConfigParsers, PolicyRejectsUnknownNames)
+{
+    EXPECT_FALSE(ssd::parsePolicy("").has_value());
+    EXPECT_FALSE(ssd::parsePolicy("rif").has_value());   // case matters
+    EXPECT_FALSE(ssd::parsePolicy("SENCX").has_value()); // no prefixes
+}
+
+TEST(ConfigParsers, RberSourceRoundTripsOverAllSources)
+{
+    for (ssd::RberSource source : ssd::kAllRberSources) {
+        const auto parsed =
+            ssd::parseRberSource(ssd::rberSourceName(source));
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(*parsed, source);
+    }
+}
+
+TEST(ConfigParsers, RberSourceRejectsUnknownNames)
+{
+    EXPECT_FALSE(ssd::parseRberSource("").has_value());
+    EXPECT_FALSE(ssd::parseRberSource("Vth").has_value());
+    EXPECT_FALSE(ssd::parseRberSource("gaussian").has_value());
+}
+
+// ---------------------------------------------------------------------
+// OptionSet: typed parsing and layering.
+// ---------------------------------------------------------------------
+
+TEST(OptionSet, AppliesTypedSsdOverrides)
+{
+    core::OptionSet opts;
+    opts.addSet("ssd.queueDepth=128");
+    opts.addSet("ssd.hostGBps=4.5");
+    opts.addSet("ssd.policy=SWR+");
+    opts.addSet("ssd.rberSource=vth");
+    opts.addSet("ssd.readPriority=false");
+    opts.addSet("geometry.channels=4");
+    opts.addSet("timing.tR=45.5");
+
+    ssd::SsdConfig cfg;
+    opts.applyTo(cfg);
+    EXPECT_EQ(cfg.queueDepth, 128);
+    EXPECT_DOUBLE_EQ(cfg.hostGBps, 4.5);
+    EXPECT_EQ(cfg.policy, ssd::PolicyKind::SwiftReadPlus);
+    EXPECT_EQ(cfg.rberSource, ssd::RberSource::VthModel);
+    EXPECT_FALSE(cfg.readPriority);
+    EXPECT_EQ(cfg.geometry.channels, 4);
+    EXPECT_EQ(cfg.timing.tR, usToTicks(45.5));
+}
+
+TEST(OptionSet, AppliesRunOverrides)
+{
+    core::OptionSet opts;
+    opts.addSet("run.requests=1234");
+    opts.addSet("run.seed=42");
+    RunScale rs;
+    opts.applyTo(rs);
+    EXPECT_EQ(rs.requests, 1234u);
+    EXPECT_EQ(rs.seed, 42u);
+}
+
+TEST(OptionSet, LaterOverrideWins)
+{
+    core::OptionSet opts;
+    opts.addSet("ssd.queueDepth=8");
+    opts.addSet("ssd.queueDepth=64");
+    ssd::SsdConfig cfg;
+    opts.applyTo(cfg);
+    EXPECT_EQ(cfg.queueDepth, 64);
+}
+
+TEST(OptionSet, EmptySetIsANoOp)
+{
+    const core::OptionSet opts;
+    EXPECT_TRUE(opts.empty());
+    ssd::SsdConfig cfg;
+    const ssd::SsdConfig before = cfg;
+    opts.applyTo(cfg);
+    EXPECT_EQ(cfg.queueDepth, before.queueDepth);
+    EXPECT_FALSE(opts.workload().has_value());
+}
+
+TEST(OptionSet, KnownKeysCoverEverySection)
+{
+    const auto keys = core::OptionSet::knownKeys();
+    ASSERT_FALSE(keys.empty());
+    bool ssd = false, geometry = false, timing = false, run = false;
+    for (const auto &k : keys) {
+        const std::string key = k.key;
+        ssd = ssd || key.rfind("ssd.", 0) == 0;
+        geometry = geometry || key.rfind("geometry.", 0) == 0;
+        timing = timing || key.rfind("timing.", 0) == 0;
+        run = run || key.rfind("run.", 0) == 0;
+        EXPECT_NE(std::string(k.help), "");
+    }
+    EXPECT_TRUE(ssd && geometry && timing && run);
+}
+
+TEST(OptionSetDeathTest, RejectsMalformedAndUnknownInput)
+{
+    core::OptionSet opts;
+    EXPECT_DEATH(opts.addSet("ssd.queueDepth"), "key=value");
+    EXPECT_DEATH(opts.addSet("=128"), "key=value");
+    EXPECT_DEATH(opts.addSet("ssd.bogus=1"), "unknown key");
+    EXPECT_DEATH(opts.addSet("queueDepth=128"), "unknown key");
+}
+
+TEST(OptionSetDeathTest, RejectsOutOfDomainValuesEagerly)
+{
+    core::OptionSet opts;
+    // All of these must die inside addSet, before any applyTo().
+    EXPECT_DEATH(opts.addSet("ssd.queueDepth=0"), "invalid value");
+    EXPECT_DEATH(opts.addSet("ssd.queueDepth=ten"), "invalid value");
+    EXPECT_DEATH(opts.addSet("ssd.queueDepth=1.5"), "invalid value");
+    EXPECT_DEATH(opts.addSet("ssd.hostGBps=nan"), "invalid value");
+    EXPECT_DEATH(opts.addSet("ssd.hostGBps=inf"), "invalid value");
+    EXPECT_DEATH(opts.addSet("ssd.hostGBps=0"), "invalid value");
+    EXPECT_DEATH(opts.addSet("ssd.hostGBps="), "invalid value");
+    EXPECT_DEATH(opts.addSet("ssd.policy=RAID"), "invalid value");
+    EXPECT_DEATH(opts.addSet("ssd.rberSource=magic"), "invalid value");
+    EXPECT_DEATH(opts.addSet("ssd.readPriority=maybe"), "invalid value");
+    EXPECT_DEATH(opts.addSet("ssd.sentinelExtraReadProb=1.5"),
+                 "invalid value");
+    EXPECT_DEATH(opts.addSet("run.requests=0"), "invalid value");
+    EXPECT_DEATH(opts.addSet("run.requests=-5"), "invalid value");
+    EXPECT_DEATH(opts.addSet("geometry.pageBytes=128"), "invalid value");
+}
+
+TEST(OptionSetDeathTest, CrossFieldNonsenseFailsOnValidate)
+{
+    // Each value is individually in-domain; the combination is nonsense
+    // and must be caught by SsdConfig::validate() inside applyTo().
+    core::OptionSet opts;
+    opts.addSet("timing.tEccMin=20");
+    opts.addSet("timing.tEccMax=1");
+    ssd::SsdConfig cfg;
+    EXPECT_DEATH(opts.applyTo(cfg), "tEccMin");
+}
+
+TEST(OptionSet, RecordsKnownWorkloads)
+{
+    core::OptionSet opts;
+    opts.setWorkload("Ali124");
+    ASSERT_TRUE(opts.workload().has_value());
+    EXPECT_EQ(*opts.workload(), "Ali124");
+    EXPECT_FALSE(opts.empty());
+}
+
+TEST(OptionSetDeathTest, RejectsUnknownWorkloads)
+{
+    core::OptionSet opts;
+    EXPECT_DEATH(opts.setWorkload("Ali999"), "unknown workload");
+}
+
+// ---------------------------------------------------------------------
+// SsdConfig::validate().
+// ---------------------------------------------------------------------
+
+TEST(SsdConfigValidate, DefaultConfigIsValid)
+{
+    const ssd::SsdConfig cfg;
+    cfg.validate(); // must not die
+}
+
+TEST(SsdConfigValidateDeathTest, CatchesNonsenseFields)
+{
+    {
+        ssd::SsdConfig cfg;
+        cfg.geometry.channels = 0;
+        EXPECT_DEATH(cfg.validate(), "geometry dimension");
+    }
+    {
+        ssd::SsdConfig cfg;
+        cfg.queueDepth = -1;
+        EXPECT_DEATH(cfg.validate(), "queueDepth");
+    }
+    {
+        ssd::SsdConfig cfg;
+        cfg.hostGBps = 0.0;
+        EXPECT_DEATH(cfg.validate(), "hostGBps");
+    }
+    {
+        ssd::SsdConfig cfg;
+        cfg.seqStepFactor = 0.0;
+        EXPECT_DEATH(cfg.validate(), "seqStepFactor");
+    }
+    {
+        ssd::SsdConfig cfg;
+        cfg.coldAgeMinDays = cfg.refreshDays;
+        EXPECT_DEATH(cfg.validate(), "coldAgeMinDays");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Workload lookup helpers.
+// ---------------------------------------------------------------------
+
+TEST(WorkloadLookup, FindsEveryPaperWorkload)
+{
+    const auto names = trace::workloadNames();
+    EXPECT_EQ(names.size(), trace::paperWorkloads().size());
+    for (const auto &name : names) {
+        const auto *spec = trace::findWorkload(name);
+        ASSERT_NE(spec, nullptr) << name;
+        EXPECT_EQ(spec->name, name);
+    }
+    EXPECT_EQ(trace::findWorkload("NotAWorkload"), nullptr);
+    EXPECT_EQ(trace::findWorkload(""), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// bench:: scale helpers (satellite: overflow clamp + inf/nan rejection).
+// ---------------------------------------------------------------------
+
+TEST(BenchScaled, ClampsInsteadOfOverflowing)
+{
+    EXPECT_EQ(bench::scaled(1u << 20, 1e12),
+              std::numeric_limits<int>::max());
+    EXPECT_EQ(bench::scaled(std::numeric_limits<std::uint64_t>::max(),
+                            1.0),
+              std::numeric_limits<int>::max());
+    EXPECT_EQ(bench::scaled(0, 1.0), 1);
+    EXPECT_EQ(bench::scaled(100, 1e-9), 1);
+    EXPECT_EQ(bench::scaled(1000, 0.5), 500);
+}
+
+TEST(BenchScaled, NonFiniteOrNonPositiveScalesFallBackToOne)
+{
+    EXPECT_EQ(bench::scaled(1000, std::nan("")), 1);
+    EXPECT_EQ(bench::scaled(1000, INFINITY), 1);
+    EXPECT_EQ(bench::scaled(1000, -INFINITY), 1);
+    EXPECT_EQ(bench::scaled(1000, 0.0), 1);
+    EXPECT_EQ(bench::scaled(1000, -2.0), 1);
+}
+
+TEST(BenchScaleArg, AcceptsOnlyFinitePositiveScales)
+{
+    auto scale_of = [](std::vector<const char *> argv) {
+        argv.insert(argv.begin(), "bench");
+        return bench::scaleArg(static_cast<int>(argv.size()),
+                               const_cast<char **>(argv.data()));
+    };
+    EXPECT_DOUBLE_EQ(scale_of({"0.5"}), 0.5);
+    EXPECT_DOUBLE_EQ(scale_of({"--quick"}), 0.25);
+    EXPECT_DOUBLE_EQ(scale_of({}), 1.0);
+    // inf/nan/zero/negative and non-numeric arguments are ignored.
+    EXPECT_DOUBLE_EQ(scale_of({"inf"}), 1.0);
+    EXPECT_DOUBLE_EQ(scale_of({"nan"}), 1.0);
+    EXPECT_DOUBLE_EQ(scale_of({"-inf"}), 1.0);
+    EXPECT_DOUBLE_EQ(scale_of({"0"}), 1.0);
+    EXPECT_DOUBLE_EQ(scale_of({"-3"}), 1.0);
+    EXPECT_DOUBLE_EQ(scale_of({"fast"}), 1.0);
+    // The first acceptable argument wins.
+    EXPECT_DOUBLE_EQ(scale_of({"nan", "2.0"}), 2.0);
+}
+
+} // namespace
+} // namespace rif
