@@ -59,6 +59,43 @@ BM_ReferenceEncode(benchmark::State &state)
 BENCHMARK(BM_ReferenceEncode);
 
 void
+BM_RandomData(benchmark::State &state)
+{
+    // Word-wise fill: one rng.next() per 64 bits expanded through the
+    // bit-lane table instead of 64 byte stores.
+    const QcLdpcCode &code = theCode();
+    Rng rng(7);
+    HardWord d(code.params().k());
+    for (auto _ : state) {
+        randomDataInto(d, rng);
+        benchmark::DoNotOptimize(d.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(code.params().k() / 8));
+}
+BENCHMARK(BM_RandomData);
+
+void
+BM_InjectErrors(benchmark::State &state)
+{
+    // Fixed-weight injection; Arg = error count. The bitmap membership
+    // test replaces a per-call unordered_set.
+    const QcLdpcCode &code = theCode();
+    Rng rng(8);
+    HardWord word = code.encode(randomData(code.params().k(), rng));
+    const auto count = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        injectExactErrors(word, count, rng);
+        benchmark::DoNotOptimize(word.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_InjectErrors)->Arg(64)->Arg(256);
+
+void
 BM_FullSyndromeWeight(benchmark::State &state)
 {
     const QcLdpcCode &code = theCode();

@@ -14,9 +14,13 @@
  *   --workload W       workload override for single-workload scenarios
  *   --format F         table (default) | csv | jsonl
  *   --out FILE         write results to FILE instead of stdout
+ *   --jobs N           run up to N scenarios concurrently
+ *   --cache-dir DIR    persist cached artifacts across invocations
+ *   --no-cache         disable every memoization layer
  *
  * With no overrides the table output is byte-identical to the legacy
- * one-binary-per-figure benches at any RIF_THREADS.
+ * one-binary-per-figure benches at any RIF_THREADS, any --jobs count
+ * and any cache state.
  */
 
 #include <algorithm>
@@ -28,6 +32,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "core/artifact_cache.h"
 #include "core/scenario.h"
 
 namespace {
@@ -54,7 +59,13 @@ printUsage(std::ostream &os)
           "  --workload W     workload override (see `rif run "
           "table02_workloads`)\n"
           "  --format F       table (default) | csv | jsonl\n"
-          "  --out FILE       write to FILE instead of stdout\n";
+          "  --out FILE       write to FILE instead of stdout\n"
+          "  --jobs N         run up to N scenarios concurrently "
+          "(output stays in name order)\n"
+          "  --cache-dir DIR  persist expensive artifacts (sweeps, "
+          "calibrations) across runs\n"
+          "  --no-cache       disable artifact memoization (results "
+          "are identical either way)\n";
 }
 
 int
@@ -106,6 +117,17 @@ parseScale(const std::string &value)
 }
 
 int
+parseJobs(const std::string &value)
+{
+    char *end = nullptr;
+    const long v = std::strtol(value.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || v < 1 || v > 256)
+        fatal("--jobs expects an integer in [1, 256], got '", value,
+              "'");
+    return static_cast<int>(v);
+}
+
+int
 cmdRun(const std::vector<std::string> &args)
 {
     std::vector<std::string> names;
@@ -114,6 +136,7 @@ cmdRun(const std::vector<std::string> &args)
     SinkFormat format = SinkFormat::Table;
     std::string out_path;
     OptionSet opts;
+    int jobs = 1;
 
     // Accept both `--flag value` and `--flag=value`.
     auto value_of = [&](const std::string &arg, const std::string &flag,
@@ -153,6 +176,12 @@ cmdRun(const std::vector<std::string> &args)
             format = *f;
         } else if (value_of(arg, "--out", i, value)) {
             out_path = value;
+        } else if (value_of(arg, "--jobs", i, value)) {
+            jobs = parseJobs(value);
+        } else if (value_of(arg, "--cache-dir", i, value)) {
+            ArtifactCache::instance().setDiskDir(value);
+        } else if (arg == "--no-cache") {
+            ArtifactCache::instance().setEnabled(false);
         } else if (!arg.empty() && arg[0] == '-') {
             fatal("unknown option '", arg, "' (see 'rif help')");
         } else {
@@ -187,9 +216,7 @@ cmdRun(const std::vector<std::string> &args)
     }
     std::ostream &os = out_path.empty() ? std::cout : file;
 
-    const auto sink = makeSink(format, os);
-    for (const Scenario *s : selected)
-        runScenario(*s, *sink, scale, opts);
+    runScenarios(selected, format, os, scale, opts, jobs);
     return 0;
 }
 

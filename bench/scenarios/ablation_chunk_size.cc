@@ -6,6 +6,7 @@
  * bandwidth. The paper picks 4 KiB (§V-A1).
  */
 
+#include "core/artifact_cache.h"
 #include "core/experiment.h"
 #include "core/scenario.h"
 #include "odear/rp_module.h"
@@ -20,8 +21,8 @@ run(core::ScenarioContext &ctx)
 {
     const std::string wl = ctx.workload("Ali124");
 
-    const ldpc::QcLdpcCode code(ldpc::paperCode());
-    const odear::RpModule rp(code, odear::RpConfig{});
+    const auto code = core::cachedCode(ldpc::paperCode());
+    const odear::RpModule rp(*code, odear::RpConfig{});
 
     RunScale rs;
     rs.requests = ctx.scaled(5000);

@@ -7,6 +7,7 @@
  */
 
 #include "common/rng.h"
+#include "core/artifact_cache.h"
 #include "core/scenario.h"
 #include "ldpc/channel.h"
 #include "odear/accuracy.h"
@@ -19,13 +20,12 @@ using namespace rif::odear;
 void
 run(core::ScenarioContext &ctx)
 {
-    const ldpc::QcLdpcCode code(ldpc::paperCode());
-    const ldpc::MinSumDecoder decoder(code, 20);
+    const auto code = core::cachedCode(ldpc::paperCode());
     const double capability = 0.0085;
 
     RpConfig base;
-    const std::size_t calibrated = RpModule::calibrateThreshold(
-        code, base, capability, ctx.scaled(40), 31);
+    const std::size_t calibrated =
+        core::cachedRpThreshold(*code, base, capability, ctx.scaled(40), 31);
 
     Table t("rho_s sweep: misprediction split at mixed RBERs "
             "(0.006 / 0.0085 / 0.011)");
@@ -35,12 +35,11 @@ run(core::ScenarioContext &ctx)
         RpConfig cfg = base;
         cfg.rhoS = static_cast<std::size_t>(
             static_cast<double>(calibrated) * rel);
-        const RpModule rp(code, cfg);
         AccuracySweepConfig sweep;
         sweep.rbers = {0.006, 0.0085, 0.011};
         sweep.trials = ctx.scaled(40);
         sweep.seed = 11;
-        const auto pts = measureRpAccuracy(code, rp, decoder, sweep);
+        const auto pts = *core::cachedRpAccuracySweep(*code, cfg, 20, sweep);
         double acc = 0.0, fr = 0.0, miss = 0.0;
         for (const auto &p : pts) {
             acc += p.accuracy;

@@ -7,6 +7,7 @@
  * iterations. The paper's capability is 0.0085 (failure prob > 1e-1).
  */
 
+#include "core/artifact_cache.h"
 #include "core/scenario.h"
 #include "ldpc/capability.h"
 
@@ -18,12 +19,11 @@ using namespace rif::ldpc;
 void
 run(core::ScenarioContext &ctx)
 {
-    const QcLdpcCode code(paperCode());
-    const MinSumDecoder decoder(code, 20);
+    const auto code = core::cachedCode(paperCode());
 
     CapabilitySweepConfig cfg = defaultSweep();
     cfg.trials = ctx.scaled(60);
-    const auto points = measureCapability(code, decoder, cfg);
+    const auto points = *core::cachedCapabilitySweep(*code, 20, cfg);
 
     Table t("Fig. 3: failure probability and iterations vs RBER (" +
             std::to_string(cfg.trials) + " codewords/point)");

@@ -8,6 +8,7 @@
  * first 1024 syndromes of one codeword.
  */
 
+#include "core/artifact_cache.h"
 #include "core/scenario.h"
 #include "ldpc/capability.h"
 
@@ -19,14 +20,13 @@ using namespace rif::ldpc;
 void
 run(core::ScenarioContext &ctx)
 {
-    const QcLdpcCode code(paperCode());
-    // Syndrome statistics only: a 1-iteration decoder keeps the sweep
-    // cheap while measureCapability records the weights.
-    const MinSumDecoder decoder(code, 1);
+    const auto code = core::cachedCode(paperCode());
 
     CapabilitySweepConfig cfg = defaultSweep();
     cfg.trials = ctx.scaled(100);
-    const auto points = measureCapability(code, decoder, cfg);
+    // Syndrome statistics only: a 1-iteration decoder keeps the sweep
+    // cheap while measureCapability records the weights.
+    const auto points = *core::cachedCapabilitySweep(*code, 1, cfg);
 
     Table t("Fig. 10: average syndrome weight vs RBER");
     t.setHeader({"RBER(x1e-3)", "page_weight(4cw,full)",

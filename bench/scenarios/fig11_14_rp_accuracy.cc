@@ -8,6 +8,7 @@
  *    (the on-die datapath); paper: 98.7%.
  */
 
+#include "core/artifact_cache.h"
 #include "core/scenario.h"
 #include "odear/accuracy.h"
 
@@ -19,30 +20,28 @@ using namespace rif::odear;
 void
 run(core::ScenarioContext &ctx)
 {
-    const ldpc::QcLdpcCode code(ldpc::paperCode());
-    const ldpc::MinSumDecoder decoder(code, 20);
+    const auto code = core::cachedCode(ldpc::paperCode());
     const double capability = 0.0085;
     const int calib_trials = ctx.scaled(40);
 
     RpConfig full_cfg;
     full_cfg.usePruning = false;
-    full_cfg.rhoS = RpModule::calibrateThreshold(code, full_cfg,
-                                                 capability, calib_trials,
-                                                 1001);
-    const RpModule rp_full(code, full_cfg);
+    full_cfg.rhoS = core::cachedRpThreshold(*code, full_cfg, capability,
+                                            calib_trials, 1001);
 
     RpConfig approx_cfg; // pruning + chunk (defaults)
-    approx_cfg.rhoS = RpModule::calibrateThreshold(
-        code, approx_cfg, capability, calib_trials, 1002);
-    const RpModule rp_approx(code, approx_cfg);
+    approx_cfg.rhoS = core::cachedRpThreshold(*code, approx_cfg,
+                                              capability, calib_trials,
+                                              1002);
 
     AccuracySweepConfig sweep;
     sweep.trials = ctx.scaled(40);
     sweep.seed = 77;
-    const auto full = measureRpAccuracy(code, rp_full, decoder, sweep);
+    const auto full =
+        *core::cachedRpAccuracySweep(*code, full_cfg, 20, sweep);
     sweep.seed = 78;
     const auto approx =
-        measureRpAccuracy(code, rp_approx, decoder, sweep);
+        *core::cachedRpAccuracySweep(*code, approx_cfg, 20, sweep);
 
     Table t("Figs. 11/14: % correct prediction by RP vs RBER");
     t.setHeader({"RBER(x1e-3)", "fig11_full_%", "fig14_approx_%",

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Streaming content hash for the artifact caches: every expensive
+ * deterministic artifact (LDPC codes, calibration results, curve fits,
+ * preconditioned FTL states) is addressed by a 128-bit key derived from
+ * *all* of its inputs plus a schema version, so a key collision means
+ * "same artifact" for cache purposes. Two independent FNV-1a lanes over
+ * the same byte stream keep the collision probability negligible at the
+ * cache sizes involved while staying trivially portable.
+ */
+
+#ifndef RIF_COMMON_HASH_H
+#define RIF_COMMON_HASH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace rif {
+
+/** 128-bit content address of one cached artifact. */
+struct CacheKey
+{
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+
+    bool
+    operator==(const CacheKey &o) const
+    {
+        return lo == o.lo && hi == o.hi;
+    }
+    bool
+    operator<(const CacheKey &o) const
+    {
+        return hi != o.hi ? hi < o.hi : lo < o.lo;
+    }
+
+    /** 32-hex-digit form, used as the on-disk cache file name. */
+    std::string
+    hex() const
+    {
+        static const char digits[] = "0123456789abcdef";
+        std::string out(32, '0');
+        std::uint64_t v = hi;
+        for (int i = 15; i >= 0; --i, v >>= 4)
+            out[static_cast<std::size_t>(i)] = digits[v & 0xf];
+        v = lo;
+        for (int i = 31; i >= 16; --i, v >>= 4)
+            out[static_cast<std::size_t>(i)] = digits[v & 0xf];
+        return out;
+    }
+};
+
+/**
+ * Incremental hasher. Feed every input that can influence the artifact
+ * (scalars by value, floating point by bit pattern, strings with their
+ * length) and finish() into a CacheKey. Deterministic across runs and
+ * platforms of equal endianness; the disk cache embeds a schema version
+ * in every key, so a representation change only costs a cold cache.
+ */
+class Hasher
+{
+  public:
+    void
+    bytes(const void *data, std::size_t n)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            lo_ = (lo_ ^ p[i]) * 0x100000001b3ull;
+            hi_ = (hi_ ^ p[i]) * 0x00000100000001b3ull ^
+                  (hi_ >> 47);
+        }
+    }
+
+    void
+    add(std::uint64_t v)
+    {
+        bytes(&v, sizeof(v));
+    }
+    void
+    add(std::int64_t v)
+    {
+        bytes(&v, sizeof(v));
+    }
+    void
+    add(std::uint32_t v)
+    {
+        add(static_cast<std::uint64_t>(v));
+    }
+    void
+    add(int v)
+    {
+        add(static_cast<std::int64_t>(v));
+    }
+    void
+    add(bool v)
+    {
+        add(static_cast<std::uint64_t>(v ? 1 : 0));
+    }
+
+    /** Doubles hash by bit pattern: exact inputs, exact keys. */
+    void
+    add(double v)
+    {
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &v, sizeof(bits));
+        add(bits);
+    }
+
+    /** Length-prefixed so "ab"+"c" and "a"+"bc" differ. */
+    void
+    add(const std::string &s)
+    {
+        add(s.size());
+        bytes(s.data(), s.size());
+    }
+    void
+    add(const char *s)
+    {
+        add(std::string(s));
+    }
+
+    CacheKey
+    finish() const
+    {
+        // One final avalanche round so short inputs still spread over
+        // both words.
+        CacheKey k;
+        k.lo = mix(lo_ ^ hi_);
+        k.hi = mix(hi_ + 0x9e3779b97f4a7c15ull);
+        return k;
+    }
+
+  private:
+    static std::uint64_t
+    mix(std::uint64_t z)
+    {
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    std::uint64_t lo_ = 0xcbf29ce484222325ull;
+    std::uint64_t hi_ = 0x84222325cbf29ce4ull;
+};
+
+} // namespace rif
+
+#endif // RIF_COMMON_HASH_H

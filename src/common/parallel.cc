@@ -17,6 +17,9 @@ namespace {
 /** True while this thread executes a parallelFor body. */
 thread_local bool t_inParallel = false;
 
+/** setGlobalThreadCount override; 0 means "use RIF_THREADS / hardware". */
+int g_thread_override = 0;
+
 int
 defaultThreadCount()
 {
@@ -165,12 +168,19 @@ class ThreadPool
 std::unique_ptr<ThreadPool> g_pool;
 std::mutex g_pool_mutex;
 
+/** Arena pool installed on this thread, if any (see ThreadArena). */
+thread_local ThreadPool *t_arena = nullptr;
+
 ThreadPool &
 pool()
 {
+    if (t_arena)
+        return *t_arena;
     std::unique_lock<std::mutex> lock(g_pool_mutex);
     if (!g_pool)
-        g_pool = std::make_unique<ThreadPool>(defaultThreadCount());
+        g_pool = std::make_unique<ThreadPool>(
+            g_thread_override > 0 ? g_thread_override
+                                  : defaultThreadCount());
     return *g_pool;
 }
 
@@ -182,13 +192,48 @@ globalThreadCount()
     return pool().threadCount();
 }
 
+int
+configuredThreadCount()
+{
+    std::unique_lock<std::mutex> lock(g_pool_mutex);
+    return g_thread_override > 0 ? g_thread_override
+                                 : defaultThreadCount();
+}
+
 void
 setGlobalThreadCount(int n)
 {
     std::unique_lock<std::mutex> lock(g_pool_mutex);
     g_pool.reset();
-    if (n > 0)
-        g_pool = std::make_unique<ThreadPool>(std::min(n, 256));
+    g_thread_override = n > 0 ? std::min(n, 256) : 0;
+    if (g_thread_override > 0)
+        g_pool = std::make_unique<ThreadPool>(g_thread_override);
+}
+
+struct ThreadArena::Impl
+{
+    explicit Impl(int threads)
+        : pool(threads), prev(t_arena)
+    {
+        t_arena = &pool;
+    }
+    ~Impl() { t_arena = prev; }
+
+    ThreadPool pool;
+    ThreadPool *prev;
+};
+
+ThreadArena::ThreadArena(int threads)
+    : impl_(std::make_unique<Impl>(std::max(1, std::min(threads, 256))))
+{
+}
+
+ThreadArena::~ThreadArena() = default;
+
+int
+ThreadArena::threadCount() const
+{
+    return impl_->pool.threadCount();
 }
 
 void

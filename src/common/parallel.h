@@ -25,6 +25,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
@@ -32,12 +33,22 @@
 namespace rif {
 
 /**
- * Number of threads the global pool executes parallelFor bodies on
- * (including the calling thread). Resolution order: explicit
- * setGlobalThreadCount() override, then RIF_THREADS, then
- * std::thread::hardware_concurrency().
+ * Number of threads parallelFor bodies execute on from the calling
+ * thread (including it): the active ThreadArena's budget if one is
+ * installed on this thread, otherwise the global pool size. Resolution
+ * order for the global size: explicit setGlobalThreadCount() override,
+ * then RIF_THREADS, then std::thread::hardware_concurrency().
  */
 int globalThreadCount();
+
+/**
+ * The configured global thread budget — override > RIF_THREADS >
+ * hardware — without instantiating the pool and ignoring any arena on
+ * the calling thread. The scenario scheduler divides this among its
+ * workers so scenario-level x intra-scenario parallelism never
+ * oversubscribes the machine.
+ */
+int configuredThreadCount();
 
 /**
  * Override the global pool size; n <= 0 resets to the RIF_THREADS /
@@ -61,6 +72,33 @@ void parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn);
  */
 void parallelForWorker(
     std::size_t n, const std::function<void(std::size_t, int)> &fn);
+
+/**
+ * RAII private thread pool for the calling thread. While alive, every
+ * parallelFor / parallelForWorker issued from this thread runs on the
+ * arena's own workers instead of the global pool, so several threads can
+ * each drive their own parallel region concurrently (the global pool
+ * serializes jobs). The scenario scheduler gives each of its workers an
+ * arena of budget max(1, configuredThreadCount() / jobs).
+ *
+ * Arenas change only which threads execute bodies, never the index
+ * decomposition, so results stay bit-identical. Not nestable on one
+ * thread (the inner parallelFor of a nested region already runs inline).
+ */
+class ThreadArena
+{
+  public:
+    explicit ThreadArena(int threads);
+    ~ThreadArena();
+    ThreadArena(const ThreadArena &) = delete;
+    ThreadArena &operator=(const ThreadArena &) = delete;
+
+    int threadCount() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
 
 /**
  * Fork n independent, deterministic Rng streams from a parent generator.

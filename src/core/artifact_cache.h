@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Content-addressed cache of expensive deterministic artifacts: QC-LDPC
+ * code construction, RP threshold calibration, capability/accuracy
+ * Monte-Carlo sweeps and characterization curve fits. Every artifact in
+ * this repo is a pure function of its typed inputs (seeds included), so
+ * a 128-bit hash of those inputs plus a schema version addresses the
+ * result exactly.
+ *
+ * Two layers:
+ *  - an always-available in-process layer (thread-safe, single-flight:
+ *    concurrent scenario workers asking for the same artifact build it
+ *    once and share the immutable result), and
+ *  - an optional versioned on-disk layer (`rif --cache-dir DIR`) so
+ *    repeated driver invocations skip calibration entirely.
+ *
+ * Caching is observability-free by construction: a hit returns the very
+ * bytes a rebuild would produce, which the golden-CSV tests assert.
+ */
+
+#ifndef RIF_CORE_ARTIFACT_CACHE_H
+#define RIF_CORE_ARTIFACT_CACHE_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/hash.h"
+#include "ldpc/capability.h"
+#include "ldpc/code.h"
+#include "nand/characterization.h"
+#include "odear/accuracy.h"
+#include "odear/rp_module.h"
+
+namespace rif {
+namespace core {
+
+/** Process-wide artifact store; see file header. */
+class ArtifactCache
+{
+  public:
+    static ArtifactCache &instance();
+
+    /**
+     * Master switch (default on). Also toggles the FTL snapshot cache
+     * so `--no-cache` disables every memoization layer at once.
+     */
+    void setEnabled(bool enabled);
+    bool enabled() const;
+
+    /**
+     * Enable the on-disk layer rooted at `dir` (created if missing);
+     * empty string disables it. Entries are one file per artifact,
+     * named <kind>-<key>.rifa, written atomically.
+     */
+    void setDiskDir(const std::string &dir);
+    std::string diskDir() const;
+
+    /** Drop every in-memory entry (disk files stay). */
+    void clear();
+
+    std::uint64_t hits() const { return hits_.load(); }
+    std::uint64_t misses() const { return misses_.load(); }
+    std::uint64_t diskHits() const { return diskHits_.load(); }
+
+    /** On-disk location of one artifact (exposed for tests). */
+    std::string diskPath(const char *kind, const CacheKey &key) const;
+
+    /**
+     * Memoize `build()` under `key`. With codecs, a miss consults the
+     * disk layer before building and persists the built value after.
+     * Single-flight per key; the returned value is immutable and
+     * shared. When the cache is disabled this is exactly `build()`.
+     */
+    template <typename T>
+    std::shared_ptr<const T>
+    getOrBuild(const char *kind, const CacheKey &key,
+               const std::function<T()> &build,
+               void (*encode)(const T &,
+                              std::vector<std::uint8_t> &) = nullptr,
+               bool (*decode)(const std::vector<std::uint8_t> &,
+                              T &) = nullptr)
+    {
+        if (!enabled())
+            return std::make_shared<const T>(build());
+        const std::shared_ptr<Entry> entry = entryFor(key);
+        std::unique_lock<std::mutex> lock(entry->mutex);
+        if (entry->value) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            return std::static_pointer_cast<const T>(entry->value);
+        }
+        if constexpr (std::is_default_constructible_v<T>) {
+            if (decode != nullptr) {
+                std::vector<std::uint8_t> payload;
+                if (readDisk(kind, key, payload)) {
+                    T loaded{};
+                    if (decode(payload, loaded)) {
+                        diskHits_.fetch_add(1,
+                                            std::memory_order_relaxed);
+                        auto value =
+                            std::make_shared<const T>(std::move(loaded));
+                        entry->value = value;
+                        return value;
+                    }
+                }
+            }
+        }
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        auto value = std::make_shared<const T>(build());
+        if (encode != nullptr) {
+            std::vector<std::uint8_t> payload;
+            encode(*value, payload);
+            writeDisk(kind, key, payload);
+        }
+        entry->value = value;
+        return value;
+    }
+
+  private:
+    ArtifactCache() = default;
+
+    struct Entry
+    {
+        std::mutex mutex;
+        std::shared_ptr<const void> value;
+    };
+
+    std::shared_ptr<Entry> entryFor(const CacheKey &key);
+    bool readDisk(const char *kind, const CacheKey &key,
+                  std::vector<std::uint8_t> &payload) const;
+    void writeDisk(const char *kind, const CacheKey &key,
+                   const std::vector<std::uint8_t> &payload) const;
+
+    mutable std::mutex mutex_;
+    std::map<CacheKey, std::shared_ptr<Entry>> entries_;
+    bool enabled_ = true;
+    std::string diskDir_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> diskHits_{0};
+};
+
+/**
+ * Start a key for one artifact kind: tags the stream with the kind and
+ * the cache schema version so a representation change invalidates disk
+ * entries instead of misreading them.
+ */
+Hasher artifactHasher(const char *kind);
+
+/** Shared QC-LDPC code construction (+ adjacency tables). Memory-only:
+ *  the object graph is cheap to rebuild relative to serializing it. */
+std::shared_ptr<const ldpc::QcLdpcCode>
+cachedCode(const ldpc::CodeParams &params);
+
+/** Memoized RpModule::calibrateThreshold (disk-cacheable). The key
+ *  covers the code parameters, the datapath switches that shape the
+ *  computed weight, the operating point, trials and seed — not the
+ *  latency-model fields, and not rhoS (it is the output). */
+std::size_t cachedRpThreshold(const ldpc::QcLdpcCode &code,
+                              const odear::RpConfig &config,
+                              double capability_rber, int trials,
+                              std::uint64_t seed);
+
+/** Memoized ldpc::measureCapability with a min-sum decoder capped at
+ *  `decoder_iters` iterations (disk-cacheable). */
+std::shared_ptr<const std::vector<ldpc::CapabilityPoint>>
+cachedCapabilitySweep(const ldpc::QcLdpcCode &code, int decoder_iters,
+                      const ldpc::CapabilitySweepConfig &config);
+
+/** Memoized odear::measureRpAccuracy (disk-cacheable). */
+std::shared_ptr<const std::vector<odear::AccuracyPoint>>
+cachedRpAccuracySweep(const ldpc::QcLdpcCode &code,
+                      const odear::RpConfig &config, int decoder_iters,
+                      const odear::AccuracySweepConfig &sweep);
+
+/** Memoized BlockPopulation::retentionThresholds (disk-cacheable);
+ *  fig04 consults it once per P/E level instead of once per bin. */
+std::shared_ptr<const std::vector<double>>
+cachedRetentionThresholds(const nand::RberModel &model,
+                          const nand::BlockPopulation &population,
+                          const nand::CharacterizationConfig &config,
+                          double pe);
+
+} // namespace core
+} // namespace rif
+
+#endif // RIF_CORE_ARTIFACT_CACHE_H

@@ -1,11 +1,15 @@
 #include "core/scenario.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <iostream>
 #include <limits>
+#include <sstream>
+#include <thread>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 
 namespace rif {
 namespace core {
@@ -69,6 +73,51 @@ runScenario(const Scenario &scenario, ResultSink &sink, double scale,
     sink.header(scenario.title, scenario.paperRef);
     ScenarioContext ctx{sink, opts, scale};
     scenario.body(ctx);
+}
+
+void
+runScenarios(const std::vector<const Scenario *> &selected,
+             SinkFormat format, std::ostream &os, double scale,
+             const OptionSet &opts, int jobs)
+{
+    if (jobs > static_cast<int>(selected.size()))
+        jobs = static_cast<int>(selected.size());
+    if (jobs <= 1) {
+        const auto sink = makeSink(format, os);
+        for (const Scenario *s : selected)
+            runScenario(*s, *sink, scale, opts);
+        return;
+    }
+
+    // Cooperative thread-budget handshake: the scenario workers divide
+    // the configured RIF_THREADS budget, so worker x inner parallelism
+    // stays at the budget no matter how --jobs and RIF_THREADS combine.
+    const int budget = std::max(1, configuredThreadCount() / jobs);
+
+    // Private buffer per scenario, emitted in selection order below:
+    // interleaving never reaches the stream, so the bytes match the
+    // sequential path at any job count.
+    std::vector<std::ostringstream> buffers(selected.size());
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(jobs));
+    for (int w = 0; w < jobs; ++w) {
+        workers.emplace_back([&] {
+            ThreadArena arena(budget);
+            for (;;) {
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= selected.size())
+                    return;
+                const auto sink = makeSink(format, buffers[i]);
+                runScenario(*selected[i], *sink, scale, opts);
+            }
+        });
+    }
+    for (std::thread &worker : workers)
+        worker.join();
+    for (std::ostringstream &buffer : buffers)
+        os << buffer.str();
 }
 
 int

@@ -111,6 +111,20 @@ void runScenario(const Scenario &scenario, ResultSink &sink, double scale,
                  const OptionSet &opts);
 
 /**
+ * Run `selected` with up to `jobs` concurrent scenario workers
+ * (`rif run --jobs N`). Each scenario reports into a private buffer and
+ * the buffers are emitted on `os` in selection order, so the bytes are
+ * identical to a sequential run at any job count. Workers split the
+ * configured RIF_THREADS budget between them (each gets a private
+ * ThreadArena of max(1, budget/jobs) threads), so scenario-level and
+ * data-level parallelism never oversubscribe the machine. jobs <= 1 is
+ * exactly the sequential path, streaming straight to `os`.
+ */
+void runScenarios(const std::vector<const Scenario *> &selected,
+                  SinkFormat format, std::ostream &os, double scale,
+                  const OptionSet &opts, int jobs);
+
+/**
  * Entry point for the legacy bench shims: run the named scenario with
  * a table sink on stdout and no overrides, preserving the historical
  * `<bench> [scale|--quick]` behaviour byte-for-byte.

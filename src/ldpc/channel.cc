@@ -1,22 +1,67 @@
 #include "ldpc/channel.h"
 
-#include <unordered_set>
+#include <array>
+#include <cstring>
+#include <vector>
 
 #include "common/logging.h"
 
 namespace rif {
 namespace ldpc {
 
+namespace {
+
+/**
+ * kBitLanes[v] holds the 8 bits of v spread one per byte lane (bit j at
+ * byte j), so a 64-bit draw expands into HardWord bytes with eight
+ * 8-byte stores instead of 64 single-byte ones. Assumes little-endian,
+ * like the packed BitVec kernels.
+ */
+constexpr std::array<std::uint64_t, 256>
+makeBitLanes()
+{
+    std::array<std::uint64_t, 256> t{};
+    for (int v = 0; v < 256; ++v) {
+        std::uint64_t lanes = 0;
+        for (int j = 0; j < 8; ++j)
+            if (v & (1 << j))
+                lanes |= std::uint64_t{1} << (8 * j);
+        t[static_cast<std::size_t>(v)] = lanes;
+    }
+    return t;
+}
+
+constexpr std::array<std::uint64_t, 256> kBitLanes = makeBitLanes();
+
+} // namespace
+
+void
+randomDataInto(HardWord &d, Rng &rng)
+{
+    // One rng.next() per 64 bits, exactly like the original per-bit
+    // loop, so every caller sees the same draw sequence.
+    const std::size_t k = d.size();
+    std::uint8_t *out = d.data();
+    std::size_t i = 0;
+    for (; i + 64 <= k; i += 64) {
+        std::uint64_t bits = rng.next();
+        for (int byte = 0; byte < 8; ++byte, bits >>= 8) {
+            const std::uint64_t lanes = kBitLanes[bits & 0xff];
+            std::memcpy(out + i + 8 * byte, &lanes, 8);
+        }
+    }
+    if (i < k) {
+        std::uint64_t bits = rng.next();
+        for (std::size_t b = 0; i + b < k; ++b)
+            out[i + b] = (bits >> b) & 1;
+    }
+}
+
 HardWord
 randomData(std::size_t k, Rng &rng)
 {
     HardWord d(k);
-    for (std::size_t i = 0; i < k; i += 64) {
-        std::uint64_t bits = rng.next();
-        const std::size_t lim = std::min<std::size_t>(64, k - i);
-        for (std::size_t b = 0; b < lim; ++b)
-            d[i + b] = (bits >> b) & 1;
-    }
+    randomDataInto(d, rng);
     return d;
 }
 
@@ -51,12 +96,30 @@ void
 injectExactErrors(HardWord &word, std::size_t count, Rng &rng)
 {
     RIF_ASSERT(count <= word.size());
-    std::unordered_set<std::size_t> chosen;
+    // Membership test via a reusable per-thread bitmap: the previous
+    // per-call unordered_set allocated on every draw of the hot
+    // accuracy/calibration path. The rejection loop consumes the exact
+    // same rng.below sequence, so outputs are bit-identical.
+    thread_local std::vector<std::uint64_t> marks;
+    thread_local std::vector<std::size_t> chosen;
+    const std::size_t words = (word.size() + 63) / 64;
+    if (marks.size() < words)
+        marks.resize(words, 0);
+    chosen.clear();
     while (chosen.size() < count) {
         const std::size_t i = rng.below(word.size());
-        if (chosen.insert(i).second)
+        std::uint64_t &m = marks[i >> 6];
+        const std::uint64_t bit = std::uint64_t{1} << (i & 63);
+        if ((m & bit) == 0) {
+            m |= bit;
+            chosen.push_back(i);
             word[i] ^= 1;
+        }
     }
+    // Clear only the touched bits so the bitmap is ready for reuse
+    // without an O(words) wipe.
+    for (std::size_t i : chosen)
+        marks[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
 }
 
 } // namespace ldpc

@@ -19,6 +19,13 @@ namespace ldpc {
 HardWord randomData(std::size_t k, Rng &rng);
 
 /**
+ * Fill d (whose size fixes the bit count) with random data in place —
+ * same draw sequence and bits as randomData, no allocation, so hot
+ * Monte-Carlo loops can reuse one buffer per worker.
+ */
+void randomDataInto(HardWord &d, Rng &rng);
+
+/**
  * Flip each bit independently with probability rber (a BSC). Returns the
  * number of bits actually flipped.
  */

@@ -65,14 +65,24 @@ RpModule::calibrateThreshold(const ldpc::QcLdpcCode &code,
     std::vector<Rng> streams =
         forkStreams(seed, static_cast<std::size_t>(trials));
     std::vector<std::size_t> weights(static_cast<std::size_t>(trials), 0);
-    parallelFor(static_cast<std::size_t>(trials), [&](std::size_t i) {
-        Rng &rng = streams[i];
-        ldpc::HardWord data = ldpc::randomData(code.params().k(), rng);
-        ldpc::HardWord word = code.encode(data);
-        ldpc::injectErrors(word, capability_rber, rng);
-        const BitVec flash = rearranger.toFlashLayout(ldpc::toBitVec(word));
-        weights[i] = rp.computedWeight(flash);
-    });
+    // Per-worker data buffer: the in-place fill draws the same bits as
+    // randomData but without a fresh allocation per trial.
+    std::vector<ldpc::HardWord> data_scratch(
+        static_cast<std::size_t>(globalThreadCount()),
+        ldpc::HardWord(code.params().k()));
+    parallelForWorker(
+        static_cast<std::size_t>(trials),
+        [&](std::size_t i, int worker) {
+            Rng &rng = streams[i];
+            ldpc::HardWord &data =
+                data_scratch[static_cast<std::size_t>(worker)];
+            ldpc::randomDataInto(data, rng);
+            ldpc::HardWord word = code.encode(data);
+            ldpc::injectErrors(word, capability_rber, rng);
+            const BitVec flash =
+                rearranger.toFlashLayout(ldpc::toBitVec(word));
+            weights[i] = rp.computedWeight(flash);
+        });
     std::size_t sum = 0;
     for (std::size_t w : weights)
         sum += w;

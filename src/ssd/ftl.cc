@@ -13,12 +13,16 @@ Ftl::Ftl(const SsdConfig &config, Rng rng)
     const auto &g = config_.geometry;
     const std::size_t nplanes = g.totalPlanes();
     planes_.resize(nplanes);
-    blocks_.resize(nplanes * static_cast<std::size_t>(g.blocksPerPlane));
-    for (auto &b : blocks_) {
+    const std::size_t nblocks =
+        nplanes * static_cast<std::size_t>(g.blocksPerPlane);
+    blocks_.resize(nblocks);
+    lpnOf_.reset(new std::uint32_t[nblocks * static_cast<std::size_t>(
+                                                 g.pagesPerBlock)]);
+    validWordsPerBlock_ =
+        (static_cast<std::size_t>(g.pagesPerBlock) + 63) / 64;
+    validBits_.assign(nblocks * validWordsPerBlock_, 0);
+    for (auto &b : blocks_)
         b.factor = static_cast<float>(rberModel_.sampleBlockFactor(rng_));
-        b.lpnOf.assign(g.pagesPerBlock, 0);
-        b.valid.assign(g.pagesPerBlock, false);
-    }
     for (std::size_t p = 0; p < nplanes; ++p) {
         auto &plane = planes_[p];
         plane.freeBlocks.reserve(g.blocksPerPlane);
@@ -84,19 +88,22 @@ Ftl::allocateInPlane(std::size_t plane_idx, std::uint64_t lpn)
                    "plane out of free blocks: GC fell behind");
         plane.activeBlock = plane.freeBlocks.back();
         plane.freeBlocks.pop_back();
-        auto &meta = blocks_[blockIndex(plane_idx, plane.activeBlock)];
+        const std::size_t bi =
+            blockIndex(plane_idx, plane.activeBlock);
+        auto &meta = blocks_[bi];
         meta.free = false;
         meta.writeCursor = 0;
         meta.validCount = 0;
         meta.readCount = 0;
-        std::fill(meta.valid.begin(), meta.valid.end(), false);
+        clearBlockValid(bi);
     }
 
-    auto &meta = blocks_[blockIndex(plane_idx, plane.activeBlock)];
+    const std::size_t bi = blockIndex(plane_idx, plane.activeBlock);
+    auto &meta = blocks_[bi];
     const int page = meta.writeCursor++;
-    meta.valid[page] = true;
+    setPageValid(bi, page);
     meta.validCount++;
-    meta.lpnOf[page] = static_cast<std::uint32_t>(lpn);
+    blockLpns(bi)[page] = static_cast<std::uint32_t>(lpn);
 
     nand::PhysAddr a;
     a.plane = static_cast<int>(plane_idx % g.planesPerDie);
@@ -166,20 +173,32 @@ Ftl::installMappings(std::uint64_t footprint_pages)
                        "plane out of free blocks: GC fell behind");
             const int block = plane.freeBlocks.back();
             plane.freeBlocks.pop_back();
-            auto &meta = blocks_[blockIndex(pi, block)];
+            const std::size_t bi = blockIndex(pi, block);
+            auto &meta = blocks_[bi];
             const std::uint64_t run =
                 std::min<std::uint64_t>(ppb, count - k);
             meta.free = false;
             meta.readCount = 0;
             meta.writeCursor = static_cast<std::uint16_t>(run);
             meta.validCount = static_cast<std::uint16_t>(run);
-            std::fill(meta.valid.begin(), meta.valid.end(), false);
-            std::fill_n(meta.valid.begin(),
-                        static_cast<std::ptrdiff_t>(run), true);
-            const std::uint64_t base_idx = blockIndex(pi, block) * ppb;
+            // First `run` validity bits set, the rest clear.
+            std::uint64_t *vw = validWords(bi);
+            const std::size_t full =
+                static_cast<std::size_t>(run / 64);
+            const std::uint64_t rem = run % 64;
+            std::size_t w = 0;
+            for (; w < full; ++w)
+                vw[w] = ~std::uint64_t{0};
+            if (rem) {
+                vw[w] = (std::uint64_t{1} << rem) - 1;
+                ++w;
+            }
+            for (; w < validWordsPerBlock_; ++w)
+                vw[w] = 0;
+            const std::uint64_t base_idx = bi * ppb;
             RIF_ASSERT(base_idx + run <= kInvalidPpn);
             bases[seq * nplanes + pi] = static_cast<Ppn>(base_idx);
-            reverse[seq * nplanes + pi] = meta.lpnOf.data();
+            reverse[seq * nplanes + pi] = blockLpns(bi);
             plane.activeBlock = run == ppb ? -1 : block;
             k += run;
             ++seq;
@@ -256,9 +275,10 @@ Ftl::invalidate(Ppn ppn)
 {
     const nand::PhysAddr a = decodePpn(ppn);
     const std::size_t pi = planeIndex(a.channel, a.die, a.plane);
-    auto &meta = blocks_[blockIndex(pi, a.block)];
-    RIF_ASSERT(meta.valid[a.page], "double invalidate");
-    meta.valid[a.page] = false;
+    const std::size_t bi = blockIndex(pi, a.block);
+    auto &meta = blocks_[bi];
+    RIF_ASSERT(pageValid(bi, a.page), "double invalidate");
+    clearPageValid(bi, a.page);
     RIF_ASSERT(meta.validCount > 0);
     meta.validCount--;
 }
@@ -294,7 +314,8 @@ void
 Ftl::buildRelocationJob(std::size_t plane_idx, int victim, GcJob &out)
 {
     const auto &g = config_.geometry;
-    auto &meta = blocks_[blockIndex(plane_idx, victim)];
+    const std::size_t bi = blockIndex(plane_idx, victim);
+    auto &meta = blocks_[bi];
     meta.gcPending = true;
     out.plane = static_cast<int>(plane_idx % g.planesPerDie);
     out.die = static_cast<int>((plane_idx / g.planesPerDie) %
@@ -303,11 +324,12 @@ Ftl::buildRelocationJob(std::size_t plane_idx, int victim, GcJob &out)
         plane_idx / (g.planesPerDie * g.diesPerChannel));
     out.block = victim;
     out.lpnsToMove.clear();
+    const std::uint32_t *lpns = blockLpns(bi);
     for (int p = 0; p < g.pagesPerBlock; ++p) {
-        if (meta.valid[p]) {
+        if (pageValid(bi, p)) {
             // Confirm the mapping still points here (a host write may
             // have superseded the page since).
-            const std::uint64_t lpn = meta.lpnOf[p];
+            const std::uint64_t lpn = lpns[p];
             nand::PhysAddr a;
             a.channel = out.channel;
             a.die = out.die;
@@ -380,7 +402,8 @@ void
 Ftl::completeErase(const GcJob &job)
 {
     const std::size_t pi = planeIndex(job.channel, job.die, job.plane);
-    auto &meta = blocks_[blockIndex(pi, job.block)];
+    const std::size_t bi = blockIndex(pi, job.block);
+    auto &meta = blocks_[bi];
     RIF_ASSERT(meta.gcPending);
     RIF_ASSERT(meta.validCount == 0,
                "erasing a block that still holds valid pages");
@@ -388,7 +411,7 @@ Ftl::completeErase(const GcJob &job)
     meta.free = true;
     meta.eraseCount++;
     meta.writeCursor = 0;
-    std::fill(meta.valid.begin(), meta.valid.end(), false);
+    clearBlockValid(bi);
     planes_[pi].freeBlocks.push_back(job.block);
     ++erases_;
 }
@@ -416,6 +439,31 @@ Ftl::freeBlocksInPlane(int channel, int die, int plane) const
 {
     return static_cast<int>(
         planes_[planeIndex(channel, die, plane)].freeBlocks.size());
+}
+
+FtlSnapshot
+Ftl::snapshot() const
+{
+    RIF_ASSERT(erases_ == 0,
+               "snapshot must be taken right after precondition");
+    FtlSnapshot s;
+    s.footprintPages = mapping_.size();
+    s.retentionDays = retentionDays_;
+    s.rng = rng_;
+    return s;
+}
+
+void
+Ftl::restore(const FtlSnapshot &snap)
+{
+    // Rebuild the deterministic install state, then overlay the stored
+    // retention ages and generator: byte-for-byte the state
+    // precondition() would have produced, minus the per-page draws.
+    installMappings(snap.footprintPages);
+    RIF_ASSERT(retentionDays_.size() == snap.retentionDays.size());
+    std::copy(snap.retentionDays.begin(), snap.retentionDays.end(),
+              retentionDays_.begin());
+    rng_ = snap.rng;
 }
 
 std::uint64_t

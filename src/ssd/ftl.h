@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <type_traits>
 #include <vector>
 
@@ -44,6 +45,22 @@ struct GcJob
     int plane = 0;
     int block = 0;
     std::vector<std::uint64_t> lpnsToMove;
+};
+
+/**
+ * Post-precondition FTL state, captured for reuse across simulations of
+ * the same (geometry, workload, seed) point. The mapping and block
+ * metadata are a pure function of the configuration (installMappings is
+ * deterministic), so only the randomized parts need storing: the drawn
+ * retention ages and the generator state after the draws. Restoring is
+ * re-running the deterministic install plus two copies — far cheaper
+ * than half a million uniform draws.
+ */
+struct FtlSnapshot
+{
+    std::uint64_t footprintPages = 0;
+    std::vector<float> retentionDays;
+    Rng rng{0}; ///< generator state after the retention draws
 };
 
 /** Page-mapping FTL. */
@@ -88,6 +105,20 @@ class Ftl
     }
 
     std::uint64_t footprintPages() const { return mapping_.size(); }
+
+    /**
+     * Capture the preconditioned state. Must be called immediately
+     * after precondition(), before any read/write/GC mutates the FTL.
+     */
+    FtlSnapshot snapshot() const;
+
+    /**
+     * Bring a freshly constructed FTL (same config and ctor seed as the
+     * snapshot's source) into the exact state precondition() produced,
+     * without redrawing the retention ages. The snapshot is read-only
+     * and can be shared across concurrent restores.
+     */
+    void restore(const FtlSnapshot &snap);
 
     /** Translate a read and account a block read (read disturb). */
     ReadTranslation translateRead(std::uint64_t lpn);
@@ -134,6 +165,13 @@ class Ftl
     std::uint64_t erasesPerformed() const { return erases_; }
 
   private:
+    /**
+     * Per-block metadata. The per-page reverse map and validity bits
+     * live in flat drive-wide arrays (lpnOf_ / validBits_) instead of
+     * per-block vectors: constructing the previous layout performed two
+     * heap allocations per block — tens of thousands for the simulated
+     * geometry — and dominated SSD setup time.
+     */
     struct BlockMeta
     {
         std::uint16_t writeCursor = 0;
@@ -143,8 +181,6 @@ class Ftl
         float factor = 1.0f;
         bool free = true;
         bool gcPending = false;
-        std::vector<std::uint32_t> lpnOf; ///< reverse map (per page)
-        std::vector<bool> valid;
     };
 
     struct PlaneState
@@ -172,6 +208,60 @@ class Ftl
     void buildRelocationJob(std::size_t plane_idx, int victim,
                             GcJob &out);
 
+    /** Reverse map (page -> LPN) of one block inside the flat array. */
+    std::uint32_t *
+    blockLpns(std::size_t block_idx)
+    {
+        return lpnOf_.get() +
+               block_idx * static_cast<std::size_t>(
+                               config_.geometry.pagesPerBlock);
+    }
+    const std::uint32_t *
+    blockLpns(std::size_t block_idx) const
+    {
+        return lpnOf_.get() +
+               block_idx * static_cast<std::size_t>(
+                               config_.geometry.pagesPerBlock);
+    }
+
+    /** Validity bitset words of one block inside the flat array. */
+    std::uint64_t *
+    validWords(std::size_t block_idx)
+    {
+        return validBits_.data() + block_idx * validWordsPerBlock_;
+    }
+    const std::uint64_t *
+    validWords(std::size_t block_idx) const
+    {
+        return validBits_.data() + block_idx * validWordsPerBlock_;
+    }
+    bool
+    pageValid(std::size_t block_idx, int page) const
+    {
+        return (validWords(block_idx)[page >> 6] >>
+                (page & 63)) &
+               1;
+    }
+    void
+    setPageValid(std::size_t block_idx, int page)
+    {
+        validWords(block_idx)[page >> 6] |= std::uint64_t{1}
+                                            << (page & 63);
+    }
+    void
+    clearPageValid(std::size_t block_idx, int page)
+    {
+        validWords(block_idx)[page >> 6] &=
+            ~(std::uint64_t{1} << (page & 63));
+    }
+    void
+    clearBlockValid(std::size_t block_idx)
+    {
+        std::uint64_t *w = validWords(block_idx);
+        for (std::size_t i = 0; i < validWordsPerBlock_; ++i)
+            w[i] = 0;
+    }
+
     SsdConfig config_;
     nand::RberModel rberModel_;
     nand::VthModel vthModel_;
@@ -180,6 +270,15 @@ class Ftl
     std::vector<Ppn> mapping_;
     std::vector<float> retentionDays_;
     std::vector<BlockMeta> blocks_;
+    /**
+     * Flat per-page reverse map, blocks * pagesPerBlock entries.
+     * Deliberately left uninitialized: entries are only read where the
+     * validity bit (or the write cursor during install) covers them.
+     */
+    std::unique_ptr<std::uint32_t[]> lpnOf_;
+    /** Flat per-page validity bitset, validWordsPerBlock_ per block. */
+    std::vector<std::uint64_t> validBits_;
+    std::size_t validWordsPerBlock_ = 0;
     std::vector<PlaneState> planes_;
     std::uint64_t writeCursorPlane_ = 0; ///< round-robin allocator
     std::uint64_t erases_ = 0;

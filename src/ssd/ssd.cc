@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "common/hash.h"
 #include "common/logging.h"
+#include "ssd/snapshot_cache.h"
 
 namespace rif {
 namespace ssd {
@@ -67,12 +69,31 @@ Ssd::runMultiQueue(const std::vector<trace::TraceSource *> &sources)
     std::uint64_t footprint = 0;
     for (const auto *s : sources)
         footprint = std::max(footprint, s->footprintPages());
-    ftl_->precondition(footprint, [&sources](std::uint64_t lpn) {
-        for (const auto *s : sources)
-            if (s->isCold(lpn))
-                return true;
-        return false;
-    });
+    const auto precondition = [&] {
+        ftl_->precondition(footprint, [&sources](std::uint64_t lpn) {
+            for (const auto *s : sources)
+                if (s->isCold(lpn))
+                    return true;
+            return false;
+        });
+    };
+    auto &snapshots = FtlSnapshotCache::instance();
+    Hasher hasher;
+    if (snapshots.enabled() &&
+        preconditionCacheKey(hasher, config_, footprint, sources)) {
+        const auto snap =
+            snapshots.getOrBuild(hasher.finish(), [&] {
+                precondition();
+                return ftl_->snapshot();
+            });
+        // The builder preconditioned this FTL in place; every other
+        // caller starts from a fresh FTL and restores the shared,
+        // immutable snapshot into it.
+        if (ftl_->footprintPages() == 0 && footprint != 0)
+            ftl_->restore(*snap);
+    } else {
+        precondition();
+    }
 
     queues_.clear();
     queues_.resize(sources.size());

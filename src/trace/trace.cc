@@ -4,10 +4,17 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/hash.h"
 #include "common/logging.h"
 
 namespace rif {
 namespace trace {
+
+bool
+TraceSource::preconditionDigest(Hasher &) const
+{
+    return false;
+}
 
 std::vector<WorkloadSpec>
 paperWorkloads()
@@ -157,6 +164,15 @@ SyntheticWorkload::coldRegionStart() const
     return hotPages_;
 }
 
+bool
+SyntheticWorkload::preconditionDigest(Hasher &h) const
+{
+    h.add("synthetic");
+    h.add(spec_.footprintPages);
+    h.add(hotPages_);
+    return true;
+}
+
 FileTrace::FileTrace(const std::string &path)
 {
     std::ifstream in(path);
@@ -284,6 +300,14 @@ OffsetTrace::isCold(std::uint64_t lpn) const
     // predicates can be ORed together.
     return lpn >= offset_ && lpn < offset_ + inner_.footprintPages() &&
            inner_.isCold(lpn - offset_);
+}
+
+bool
+OffsetTrace::preconditionDigest(Hasher &h) const
+{
+    h.add("offset");
+    h.add(offset_);
+    return inner_.preconditionDigest(h);
 }
 
 TraceCharacteristics

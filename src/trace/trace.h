@@ -17,6 +17,9 @@
 #include "common/rng.h"
 
 namespace rif {
+
+class Hasher;
+
 namespace trace {
 
 /** One host I/O request, in units of 16-KiB flash pages. */
@@ -59,6 +62,17 @@ class TraceSource
     {
         return lpn >= coldRegionStart() && lpn < footprintPages();
     }
+
+    /**
+     * Feed everything the preconditioned FTL state can depend on —
+     * footprint and cold layout — into `h` and return true, or return
+     * false to opt out of FTL snapshot caching. The default opts out:
+     * subclasses (tests in particular) may override isCold() in ways a
+     * generic digest cannot see, and a stale cache hit would silently
+     * corrupt results. Sources that do answer isCold() from hashable
+     * state opt in explicitly.
+     */
+    virtual bool preconditionDigest(Hasher &h) const;
 };
 
 /** Named workload characteristics (paper Table II). */
@@ -113,6 +127,9 @@ class SyntheticWorkload : public TraceSource
     {
         return lpn >= hotPages_ && lpn < spec_.footprintPages;
     }
+
+    /** Cold layout is fully described by the two boundaries. */
+    bool preconditionDigest(Hasher &h) const override;
 
     const WorkloadSpec &spec() const { return spec_; }
 
@@ -209,6 +226,9 @@ class OffsetTrace : public TraceSource
     std::uint64_t footprintPages() const override;
     std::uint64_t coldRegionStart() const override;
     bool isCold(std::uint64_t lpn) const override;
+
+    /** Cacheable iff the shifted inner stream is. */
+    bool preconditionDigest(Hasher &h) const override;
 
     std::uint64_t offset() const { return offset_; }
 

@@ -1,0 +1,61 @@
+# ctest script: run a scenario selection through the real `rif` driver
+# and require byte-identical CSV output
+#  - at --jobs 1/2/8 (parallel scenario scheduler), and
+#  - with a cold disk cache, a warm disk cache and --no-cache.
+# Invoked as:
+#   cmake -DRIF_BIN=<path to rif> -P rif_jobs.cmake
+
+if(NOT DEFINED RIF_BIN)
+    message(FATAL_ERROR "pass -DRIF_BIN=<path to the rif driver>")
+endif()
+
+# Cheap scenarios spanning the cached artifact kinds (curve fits,
+# calibrations, accuracy sweeps) plus one parallel SSD sweep.
+set(scenarios fig04_retention fig11_14_rp_accuracy ablation_tpred
+    table01_config)
+
+function(run_rif out)
+    execute_process(
+        COMMAND ${RIF_BIN} run ${scenarios} --scale 0.02 --format=csv
+                --out ${out} ${ARGN}
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+            "rif run failed for ${out} (flags: ${ARGN}, rc=${rc})")
+    endif()
+endfunction()
+
+set(ref ${CMAKE_CURRENT_BINARY_DIR}/rif_jobs_ref.csv)
+run_rif(${ref})
+
+set(outs "")
+foreach(jobs 1 2 8)
+    set(out ${CMAKE_CURRENT_BINARY_DIR}/rif_jobs_${jobs}.csv)
+    run_rif(${out} --jobs ${jobs})
+    list(APPEND outs ${out})
+endforeach()
+
+set(cache_dir ${CMAKE_CURRENT_BINARY_DIR}/rif_jobs_cache)
+file(REMOVE_RECURSE ${cache_dir})
+set(cold ${CMAKE_CURRENT_BINARY_DIR}/rif_jobs_cold.csv)
+set(warm ${CMAKE_CURRENT_BINARY_DIR}/rif_jobs_warm.csv)
+set(nocache ${CMAKE_CURRENT_BINARY_DIR}/rif_jobs_nocache.csv)
+run_rif(${cold} --cache-dir ${cache_dir})
+run_rif(${warm} --cache-dir ${cache_dir} --jobs 4)
+run_rif(${nocache} --no-cache)
+list(APPEND outs ${cold} ${warm} ${nocache})
+
+foreach(out ${outs})
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E compare_files ${ref} ${out}
+        RESULT_VARIABLE same)
+    if(NOT same EQUAL 0)
+        message(FATAL_ERROR
+            "scenario output differs from the sequential no-cache "
+            "reference: ${ref} vs ${out}")
+    endif()
+endforeach()
+
+message(STATUS
+    "rif jobs/cache determinism: identical at --jobs 1/2/8, cold disk "
+    "cache, warm disk cache and --no-cache")

@@ -221,6 +221,51 @@ TEST(Ftl, FootprintGuard)
     EXPECT_DEATH(ftl.precondition(capacity, capacity), "footprint");
 }
 
+TEST(Ftl, SnapshotRestoreEqualsFreshPrecondition)
+{
+    const SsdConfig cfg = tinyConfig();
+    const std::uint64_t footprint = 4096;
+
+    Ftl fresh(cfg, Rng(7));
+    fresh.precondition(footprint, footprint / 2);
+
+    Ftl source(cfg, Rng(7));
+    source.precondition(footprint, footprint / 2);
+    const FtlSnapshot snap = source.snapshot();
+
+    // A freshly constructed FTL (same config + ctor seed) restored from
+    // the snapshot must be indistinguishable from one that ran the full
+    // precondition itself.
+    Ftl restored(cfg, Rng(7));
+    restored.restore(snap);
+
+    ASSERT_EQ(restored.footprintPages(), fresh.footprintPages());
+    EXPECT_EQ(restored.validPages(), fresh.validPages());
+    EXPECT_EQ(restored.totalFreeBlocks(), fresh.totalFreeBlocks());
+    for (std::uint64_t lpn = 0; lpn < footprint; ++lpn) {
+        const ReadTranslation a = fresh.translateRead(lpn);
+        const ReadTranslation b = restored.translateRead(lpn);
+        EXPECT_EQ(a.addr.channel, b.addr.channel);
+        EXPECT_EQ(a.addr.die, b.addr.die);
+        EXPECT_EQ(a.addr.plane, b.addr.plane);
+        EXPECT_EQ(a.addr.block, b.addr.block);
+        EXPECT_EQ(a.addr.page, b.addr.page);
+        EXPECT_EQ(a.type, b.type);
+        // Bit-exact RBER: retention ages and block factors both match.
+        EXPECT_EQ(a.rber, b.rber);
+    }
+
+    // The drives keep evolving in lockstep after the restore.
+    for (std::uint64_t lpn = 0; lpn < 64; ++lpn) {
+        const nand::PhysAddr wa = fresh.allocateWrite(lpn);
+        const nand::PhysAddr wb = restored.allocateWrite(lpn);
+        EXPECT_EQ(wa.block, wb.block);
+        EXPECT_EQ(wa.page, wb.page);
+        EXPECT_EQ(fresh.translateRead(lpn).rber,
+                  restored.translateRead(lpn).rber);
+    }
+}
+
 } // namespace
 } // namespace ssd
 } // namespace rif
