@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""CI check: docs/OBSERVABILITY.md must list every registered metric.
+
+Scans the sources for metric registrations (handle declarations and
+direct registerMetric/counter/gauge/dist publication calls), extracts
+the dotted name — or its literal prefix, for names built with a
+runtime index like "ssd.chan" + N — and requires each to appear in the
+catalog. Keeps the docs a contract rather than a snapshot.
+"""
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+DOC = (ROOT / "docs" / "OBSERVABILITY.md").read_text()
+
+# A registration site, followed within a short window by the first
+# string literal — the metric name (or its static prefix).
+SITES = re.compile(
+    r"(?:metrics::Counter|metrics::Gauge|metrics::Distribution"
+    r"|registerMetric\(|\bcounter\(|\bgauge\(|\bdist\()"
+    r"[^\"]{0,120}\"([a-z][a-z0-9_]*(?:\.[a-z0-9_]+)+|[a-z]+\.[a-z]+)\"",
+    re.S)
+
+missing = []
+names = set()
+for src in sorted(ROOT.glob("src/**/*.cc")) + sorted(ROOT.glob("src/**/*.h")):
+    text = src.read_text()
+    for m in SITES.finditer(text):
+        name = m.group(1)
+        if name.startswith("test."):
+            continue
+        names.add(name)
+        if name not in DOC:
+            missing.append(f"{src.relative_to(ROOT)}: {name}")
+
+if not names:
+    print("check_catalog: found no metric registrations — scan broken?",
+          file=sys.stderr)
+    sys.exit(1)
+if missing:
+    print("check_catalog: metrics missing from docs/OBSERVABILITY.md:",
+          file=sys.stderr)
+    for line in missing:
+        print(f"  {line}", file=sys.stderr)
+    sys.exit(1)
+
+for flag in ("--metrics", "--trace", "rif metrics"):
+    if flag not in DOC:
+        print(f"check_catalog: {flag!r} undocumented", file=sys.stderr)
+        sys.exit(1)
+
+print(f"check_catalog: all {len(names)} registered metric names are "
+      "in docs/OBSERVABILITY.md")

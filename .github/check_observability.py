@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""CI schema check for the rif observability outputs.
+
+Usage: check_observability.py <metrics.json> <trace.json>
+
+Validates the documented shape (docs/OBSERVABILITY.md): the metrics
+file is an object keyed by scenario name whose entries carry kind/unit
+and value (counter/gauge) or count/min/max/mean/percentiles
+(distribution); the trace file is Chrome trace_event JSON on the
+simulated_ns clock with monotone non-negative timestamps per track.
+"""
+
+import json
+import sys
+
+KINDS = {"counter", "gauge", "distribution"}
+DIST_KEYS = {"count", "min", "max", "mean", "p50", "p90", "p99",
+             "p99.9", "p99.99"}
+
+
+def fail(msg):
+    print(f"check_observability: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_metrics(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or not doc:
+        fail(f"{path}: expected a non-empty object keyed by scenario")
+    for scenario, snap in doc.items():
+        if not isinstance(snap, dict) or not snap:
+            fail(f"{path}: scenario {scenario!r} has no metrics")
+        names = list(snap)
+        if names != sorted(names):
+            fail(f"{path}: {scenario!r} entries are not name-sorted")
+        for name, e in snap.items():
+            if e.get("kind") not in KINDS:
+                fail(f"{path}: {name!r} has bad kind {e.get('kind')!r}")
+            if "unit" not in e:
+                fail(f"{path}: {name!r} lacks a unit")
+            if e["kind"] == "distribution":
+                missing = DIST_KEYS - e.keys()
+                if missing:
+                    fail(f"{path}: {name!r} lacks {sorted(missing)}")
+            elif not isinstance(e.get("value"), int):
+                fail(f"{path}: {name!r} lacks an integer value")
+    # The run that produced this must have simulated something.
+    snap = next(iter(doc.values()))
+    if not any(n.startswith("ssd.") for n in snap):
+        fail(f"{path}: no ssd.* metrics — instrumentation missing?")
+    print(f"{path}: {sum(len(s) for s in doc.values())} metrics over "
+          f"{len(doc)} scenario(s) ok")
+
+
+def check_trace(path):
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: no traceEvents")
+    other = doc.get("otherData", {})
+    if other.get("clock") != "simulated_ns":
+        fail(f"{path}: otherData.clock != simulated_ns")
+    if "dropped" not in other:
+        fail(f"{path}: otherData.dropped missing")
+    last_ts = {}
+    spans = instants = 0
+    for e in events:
+        ph = e.get("ph")
+        if ph == "M":
+            continue
+        if ph not in ("X", "i"):
+            fail(f"{path}: unexpected phase {ph!r}")
+        ts, pid = e["ts"], e["pid"]
+        if ts < 0 or (ph == "X" and e["dur"] < 0):
+            fail(f"{path}: negative timestamp in {e}")
+        if ts < last_ts.get(pid, 0.0):
+            fail(f"{path}: track {pid} timestamps not sorted at {e}")
+        last_ts[pid] = ts
+        spans += ph == "X"
+        instants += ph == "i"
+    if spans == 0:
+        fail(f"{path}: no complete spans recorded")
+    print(f"{path}: {spans} spans + {instants} instants on "
+          f"{len(last_ts)} track(s), dropped={other['dropped']} ok")
+
+
+def main():
+    if len(sys.argv) != 3:
+        fail("usage: check_observability.py <metrics.json> <trace.json>")
+    check_metrics(sys.argv[1])
+    check_trace(sys.argv[2])
+
+
+if __name__ == "__main__":
+    main()

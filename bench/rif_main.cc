@@ -5,6 +5,7 @@
  *   rif list                         enumerate registered scenarios
  *   rif run <scenario> [options]     run one scenario
  *   rif run --all [options]          run every scenario in name order
+ *   rif metrics <scenario> [options] run silently, print the registry
  *   rif help [set]                   usage / the `--set` key reference
  *
  * Options for `run`:
@@ -17,6 +18,10 @@
  *   --jobs N           run up to N scenarios concurrently
  *   --cache-dir DIR    persist cached artifacts across invocations
  *   --no-cache         disable every memoization layer
+ *   --metrics[=FILE]   append each scenario's metric registry to its
+ *                      output, or write all snapshots to FILE as JSON
+ *   --trace=FILE       record an event trace of the simulated runs
+ *                      (Chrome trace_event JSON; JSONL for *.jsonl)
  *
  * With no overrides the table output is byte-identical to the legacy
  * one-binary-per-figure benches at any RIF_THREADS, any --jobs count
@@ -32,6 +37,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "core/artifact_cache.h"
 #include "core/scenario.h"
 
@@ -47,6 +53,8 @@ printUsage(std::ostream &os)
           "  rif list                      list registered scenarios\n"
           "  rif run <scenario> [options]  run one scenario\n"
           "  rif run --all [options]       run every scenario\n"
+          "  rif metrics <scenario> [...]  run silently, print the "
+          "metric registry\n"
           "  rif help [set]                this text / --set key "
           "reference\n"
           "\n"
@@ -65,7 +73,14 @@ printUsage(std::ostream &os)
           "  --cache-dir DIR  persist expensive artifacts (sweeps, "
           "calibrations) across runs\n"
           "  --no-cache       disable artifact memoization (results "
-          "are identical either way)\n";
+          "are identical either way)\n"
+          "  --metrics[=FILE] append each scenario's metric registry "
+          "to its output,\n"
+          "                   or write all snapshots to FILE as JSON\n"
+          "  --trace=FILE     record an event trace of the simulated "
+          "runs (Chrome\n"
+          "                   trace_event JSON; JSONL when FILE ends "
+          "in .jsonl)\n";
 }
 
 int
@@ -127,8 +142,8 @@ parseJobs(const std::string &value)
     return static_cast<int>(v);
 }
 
-int
-cmdRun(const std::vector<std::string> &args)
+/** Everything `rif run` / `rif metrics` parse from their arguments. */
+struct RunArgs
 {
     std::vector<std::string> names;
     bool all = false;
@@ -137,6 +152,13 @@ cmdRun(const std::vector<std::string> &args)
     std::string out_path;
     OptionSet opts;
     int jobs = 1;
+    ObservabilityOptions obs;
+};
+
+RunArgs
+parseRunArgs(const std::vector<std::string> &args, const char *command)
+{
+    RunArgs a;
 
     // Accept both `--flag value` and `--flag=value`.
     auto value_of = [&](const std::string &arg, const std::string &flag,
@@ -159,25 +181,33 @@ cmdRun(const std::vector<std::string> &args)
         const std::string &arg = args[i];
         std::string value;
         if (arg == "--all") {
-            all = true;
+            a.all = true;
         } else if (arg == "--quick") {
-            scale = 0.25;
+            a.scale = 0.25;
+        } else if (arg == "--metrics") {
+            a.obs.metricsTable = true;
+        } else if (arg.rfind("--metrics=", 0) == 0) {
+            a.obs.metricsPath = arg.substr(std::string("--metrics=").size());
+            if (a.obs.metricsPath.empty())
+                fatal("--metrics= expects a file path");
+        } else if (value_of(arg, "--trace", i, value)) {
+            a.obs.tracePath = value;
         } else if (value_of(arg, "--scale", i, value)) {
-            scale = parseScale(value);
+            a.scale = parseScale(value);
         } else if (value_of(arg, "--set", i, value)) {
-            opts.addSet(value);
+            a.opts.addSet(value);
         } else if (value_of(arg, "--workload", i, value)) {
-            opts.setWorkload(value);
+            a.opts.setWorkload(value);
         } else if (value_of(arg, "--format", i, value)) {
             const auto f = parseSinkFormat(value);
             if (!f)
                 fatal("unknown --format '", value,
                       "' (expected table, csv or jsonl)");
-            format = *f;
+            a.format = *f;
         } else if (value_of(arg, "--out", i, value)) {
-            out_path = value;
+            a.out_path = value;
         } else if (value_of(arg, "--jobs", i, value)) {
-            jobs = parseJobs(value);
+            a.jobs = parseJobs(value);
         } else if (value_of(arg, "--cache-dir", i, value)) {
             ArtifactCache::instance().setDiskDir(value);
         } else if (arg == "--no-cache") {
@@ -185,38 +215,78 @@ cmdRun(const std::vector<std::string> &args)
         } else if (!arg.empty() && arg[0] == '-') {
             fatal("unknown option '", arg, "' (see 'rif help')");
         } else {
-            names.push_back(arg);
+            a.names.push_back(arg);
         }
     }
 
+    if (a.all && !a.names.empty())
+        fatal("--all cannot be combined with scenario names");
+    if (!a.all && a.names.empty())
+        fatal("rif ", command,
+              " expects a scenario name or --all (see 'rif list')");
+    return a;
+}
+
+std::vector<const Scenario *>
+selectScenarios(const RunArgs &a)
+{
+    if (a.all)
+        return ScenarioRegistry::instance().all();
     std::vector<const Scenario *> selected;
-    if (all) {
-        if (!names.empty())
-            fatal("--all cannot be combined with scenario names");
-        selected = ScenarioRegistry::instance().all();
-    } else {
-        if (names.empty())
-            fatal("rif run expects a scenario name or --all "
-                  "(see 'rif list')");
-        for (const std::string &name : names) {
-            const Scenario *s =
-                ScenarioRegistry::instance().find(name);
-            if (s == nullptr)
-                fatal("unknown scenario '", name,
-                      "' (see 'rif list')");
-            selected.push_back(s);
-        }
+    for (const std::string &name : a.names) {
+        const Scenario *s = ScenarioRegistry::instance().find(name);
+        if (s == nullptr)
+            fatal("unknown scenario '", name, "' (see 'rif list')");
+        selected.push_back(s);
     }
+    return selected;
+}
+
+int
+cmdRun(const std::vector<std::string> &args)
+{
+    const RunArgs a = parseRunArgs(args, "run");
+    const auto selected = selectScenarios(a);
 
     std::ofstream file;
-    if (!out_path.empty()) {
-        file.open(out_path);
+    if (!a.out_path.empty()) {
+        file.open(a.out_path);
         if (!file)
-            fatal("cannot open --out file '", out_path, "'");
+            fatal("cannot open --out file '", a.out_path, "'");
     }
-    std::ostream &os = out_path.empty() ? std::cout : file;
+    std::ostream &os = a.out_path.empty() ? std::cout : file;
 
-    runScenarios(selected, format, os, scale, opts, jobs);
+    runScenarios(selected, a.format, os, a.scale, a.opts, a.jobs, a.obs);
+    return 0;
+}
+
+/**
+ * `rif metrics <scenario>`: run the scenario body through a NullSink —
+ * discarding its figures — and print only the metric registry through
+ * the selected ResultSink format.
+ */
+int
+cmdMetrics(const std::vector<std::string> &args)
+{
+    const RunArgs a = parseRunArgs(args, "metrics");
+    const auto selected = selectScenarios(a);
+
+    std::ofstream file;
+    if (!a.out_path.empty()) {
+        file.open(a.out_path);
+        if (!file)
+            fatal("cannot open --out file '", a.out_path, "'");
+    }
+    std::ostream &os = a.out_path.empty() ? std::cout : file;
+
+    const auto sink = makeSink(a.format, os);
+    for (const Scenario *s : selected) {
+        metrics::MetricsScope scope;
+        NullSink null;
+        runScenario(*s, null, a.scale, a.opts);
+        sink->table(scope.finish().toTable(std::string("metrics: ") +
+                                           s->name));
+    }
     return 0;
 }
 
@@ -237,6 +307,8 @@ main(int argc, char **argv)
         return cmdList();
     if (cmd == "run")
         return cmdRun(args);
+    if (cmd == "metrics")
+        return cmdMetrics(args);
     if (cmd == "help" || cmd == "--help" || cmd == "-h")
         return cmdHelp(args);
     rif::fatal("unknown command '", cmd, "' (see 'rif help')");

@@ -12,6 +12,7 @@
  * C and D do not" with deterministic cold ages.
  */
 
+#include "common/metrics.h"
 #include "core/scenario.h"
 #include "ssd/ssd.h"
 #include "trace/trace.h"
@@ -62,9 +63,12 @@ runTimeline(const core::ScenarioContext &ctx, PolicyKind p, bool retries)
     trace::VectorTrace tr(recs, 24, retries ? 16 : 24);
     cfg.queueDepth = 2;
     ctx.apply(cfg);
+    // The makespan is read back from the metric registry
+    // (ssd.makespan_ticks) published by the drive at end of run.
+    metrics::MetricsScope scope;
     Ssd drive(cfg);
-    const SsdStats st = drive.run(tr);
-    return st.makespan;
+    drive.run(tr);
+    return scope.finish().value("ssd.makespan_ticks");
 }
 
 void

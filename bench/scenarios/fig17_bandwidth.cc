@@ -10,6 +10,7 @@
 #include <cmath>
 #include <map>
 
+#include "common/metrics.h"
 #include "core/experiment.h"
 #include "core/scenario.h"
 
@@ -17,6 +18,19 @@ namespace {
 
 using namespace rif;
 using namespace rif::ssd;
+
+/**
+ * Host I/O bandwidth computed from the run's metric registry — the
+ * same bytes/makespan math as SsdStats::ioBandwidthMBps, but sourced
+ * from ssd.host.*_bytes and ssd.makespan_ticks.
+ */
+double
+bandwidthFromMetrics(const RunResult &r)
+{
+    return bytesPerTickToMBps(r.metrics.value("ssd.host.read_bytes") +
+                                  r.metrics.value("ssd.host.write_bytes"),
+                              r.metrics.value("ssd.makespan_ticks"));
+}
 
 void
 run(core::ScenarioContext &ctx)
@@ -70,10 +84,11 @@ run(core::ScenarioContext &ctx)
             double senc_bw = 0.0;
             for (std::size_t j = 0; j < policies.size(); ++j)
                 if (first[j].policy == PolicyKind::Sentinel)
-                    senc_bw = first[j].bandwidthMBps();
+                    senc_bw = bandwidthFromMetrics(first[j]);
             std::vector<std::string> row{spec.name};
             for (std::size_t j = 0; j < policies.size(); ++j) {
-                const double norm = first[j].bandwidthMBps() / senc_bw;
+                const double norm =
+                    bandwidthFromMetrics(first[j]) / senc_bw;
                 geomean[first[j].policy] += std::log(norm);
                 row.push_back(Table::num(norm, 2));
             }

@@ -7,6 +7,7 @@
  * while RiF wastes 1.8% (vs RPSSD's 19.9% on Ali121) under UNCOR.
  */
 
+#include "common/metrics.h"
 #include "core/experiment.h"
 #include "core/scenario.h"
 
@@ -14,6 +15,39 @@ namespace {
 
 using namespace rif;
 using namespace rif::ssd;
+
+/**
+ * Fraction of channel time spent in the state whose counter suffix is
+ * `state` (e.g. "uncor_ticks"), read from the run's metric registry
+ * (`ssd.chan<N>.*_ticks`). Same math as SsdStats::channelFraction: the
+ * per-channel fractions averaged over channels.
+ */
+double
+stateFraction(const metrics::Snapshot &m, const char *state)
+{
+    static constexpr const char *kStates[] = {
+        "idle_ticks", "cor_ticks", "uncor_ticks", "eccwait_ticks",
+        "write_ticks"};
+    double sum = 0.0;
+    int channels = 0;
+    for (int ch = 0;; ++ch) {
+        const std::string prefix = "ssd.chan" + std::to_string(ch) + ".";
+        if (!m.find(prefix + kStates[0]))
+            break;
+        std::uint64_t total = 0, in_state = 0;
+        for (const char *s : kStates) {
+            const std::uint64_t t = m.value(prefix + s);
+            total += t;
+            if (std::string_view(s) == state)
+                in_state = t;
+        }
+        sum += total ? static_cast<double>(in_state) /
+                           static_cast<double>(total)
+                     : 0.0;
+        ++channels;
+    }
+    return channels ? sum / static_cast<double>(channels) : 0.0;
+}
 
 void
 run(core::ScenarioContext &ctx)
@@ -57,21 +91,16 @@ run(core::ScenarioContext &ctx)
                      "WRITE"});
         for (double pe : pes) {
             for (PolicyKind p : policies) {
-                const auto &st = results[at++].stats;
+                // Channel residency comes from the run's metric
+                // registry rather than the SsdStats accumulators.
+                const metrics::Snapshot &m = results[at++].metrics;
                 t.addRow({Table::num(pe, 0), policyName(p),
-                          Table::num(
-                              st.channelFraction(ChannelState::Idle), 2),
-                          Table::num(
-                              st.channelFraction(ChannelState::CorXfer),
-                              2),
-                          Table::num(st.channelFraction(
-                                         ChannelState::UncorXfer),
+                          Table::num(stateFraction(m, "idle_ticks"), 2),
+                          Table::num(stateFraction(m, "cor_ticks"), 2),
+                          Table::num(stateFraction(m, "uncor_ticks"), 2),
+                          Table::num(stateFraction(m, "eccwait_ticks"),
                                      2),
-                          Table::num(
-                              st.channelFraction(ChannelState::EccWait),
-                              2),
-                          Table::num(st.channelFraction(
-                                         ChannelState::WriteXfer),
+                          Table::num(stateFraction(m, "write_ticks"),
                                      2)});
             }
         }

@@ -6,6 +6,7 @@
  * by 91.8% / 82.6% / 56.3% versus SENC / SWR / SWR+.
  */
 
+#include "common/metrics.h"
 #include "core/experiment.h"
 #include "core/scenario.h"
 
@@ -57,16 +58,21 @@ run(core::ScenarioContext &ctx)
         double senc_tail = 0.0;
         std::vector<std::pair<const char *, double>> tails;
         for (PolicyKind p : policies) {
-            const auto &lat = results[at++].stats.readLatencyUs;
-            const double tail = lat.percentile(99.99);
+            // Latencies come from the run's metric registry
+            // (ssd.read_latency_us) rather than SsdStats.
+            const metrics::Snapshot &m = results[at++].metrics;
+            const char *lat = "ssd.read_latency_us";
+            const double tail = m.distPercentile(lat, 99.99);
             if (p == PolicyKind::Sentinel)
                 senc_tail = tail;
             tails.emplace_back(policyName(p), tail);
-            t.addRow({policyName(p), Table::num(lat.percentile(50), 0),
-                      Table::num(lat.percentile(90), 0),
-                      Table::num(lat.percentile(99), 0),
-                      Table::num(lat.percentile(99.9), 0),
-                      Table::num(tail, 0), Table::num(lat.mean(), 0)});
+            t.addRow({policyName(p),
+                      Table::num(m.distPercentile(lat, 50), 0),
+                      Table::num(m.distPercentile(lat, 90), 0),
+                      Table::num(m.distPercentile(lat, 99), 0),
+                      Table::num(m.distPercentile(lat, 99.9), 0),
+                      Table::num(tail, 0),
+                      Table::num(m.distMean(lat), 0)});
         }
         ctx.sink.table(t);
         for (const auto &[name, tail] : tails) {

@@ -17,6 +17,28 @@ namespace {
 /** True while this thread executes a parallelFor body. */
 thread_local bool t_inParallel = false;
 
+constexpr int kMaxContextHooks = 8;
+TaskContextHooks g_ctx_hooks[kMaxContextHooks];
+std::atomic<int> g_ctx_hook_count{0};
+std::mutex g_ctx_hook_mutex;
+
+/** Submitting-thread context values snapshotted at job publish. */
+struct CapturedContexts
+{
+    void *vals[kMaxContextHooks];
+    int count = 0;
+};
+
+CapturedContexts
+captureTaskContexts()
+{
+    CapturedContexts c;
+    c.count = g_ctx_hook_count.load(std::memory_order_acquire);
+    for (int i = 0; i < c.count; ++i)
+        c.vals[i] = g_ctx_hooks[i].capture();
+    return c;
+}
+
 /** setGlobalThreadCount override; 0 means "use RIF_THREADS / hardware". */
 int g_thread_override = 0;
 
@@ -79,6 +101,7 @@ class ThreadPool
         {
             std::unique_lock<std::mutex> lock(mutex_);
             job_ = &fn;
+            ctx_ = captureTaskContexts();
             jobSize_ = n;
             // Chunked index handout amortizes the atomic for cheap
             // bodies while keeping tail imbalance small.
@@ -104,14 +127,20 @@ class ThreadPool
     void
     drain(int worker)
     {
+        // Worker 0 is the submitting thread and already carries the
+        // ambient contexts; everyone else adopts the captured ones for
+        // the duration of the job.
+        void *prev[kMaxContextHooks];
+        const bool foreign = worker != 0;
+        if (foreign)
+            for (int h = 0; h < ctx_.count; ++h)
+                prev[h] = g_ctx_hooks[h].install(ctx_.vals[h]);
         t_inParallel = true;
         while (true) {
             const std::size_t begin =
                 cursor_.fetch_add(chunk_, std::memory_order_relaxed);
-            if (begin >= jobSize_) {
-                t_inParallel = false;
-                return;
-            }
+            if (begin >= jobSize_)
+                break;
             const std::size_t end = std::min(jobSize_, begin + chunk_);
             try {
                 for (std::size_t i = begin; i < end; ++i)
@@ -124,6 +153,10 @@ class ThreadPool
                 // advancing so the job still drains.
             }
         }
+        t_inParallel = false;
+        if (foreign)
+            for (int h = ctx_.count - 1; h >= 0; --h)
+                g_ctx_hooks[h].restore(prev[h]);
     }
 
     void
@@ -159,6 +192,7 @@ class ThreadPool
     std::uint64_t generation_ = 0;
     int pending_ = 0;
     const std::function<void(std::size_t, int)> *job_ = nullptr;
+    CapturedContexts ctx_;
     std::size_t jobSize_ = 0;
     std::size_t chunk_ = 1;
     std::atomic<std::size_t> cursor_{0};
@@ -185,6 +219,16 @@ pool()
 }
 
 } // namespace
+
+void
+registerTaskContext(const TaskContextHooks &hooks)
+{
+    std::unique_lock<std::mutex> lock(g_ctx_hook_mutex);
+    const int n = g_ctx_hook_count.load(std::memory_order_relaxed);
+    RIF_ASSERT(n < kMaxContextHooks, "too many task contexts");
+    g_ctx_hooks[n] = hooks;
+    g_ctx_hook_count.store(n + 1, std::memory_order_release);
+}
 
 int
 globalThreadCount()

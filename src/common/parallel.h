@@ -101,6 +101,35 @@ class ThreadArena
 };
 
 /**
+ * Thread-local ambient context propagated into parallel regions.
+ *
+ * Subsystems that stash per-thread state in `thread_local` variables
+ * (the active metrics collector, the active trace recorder) register a
+ * hook triple once at startup. When a parallelFor publishes a job, the
+ * pool calls capture() on the submitting thread; every *other* worker
+ * that participates wraps its share of the job in install(captured) /
+ * restore(previous). The submitting thread already carries the context,
+ * so it is left untouched. Hooks must be cheap (pointer copies) and
+ * must not themselves start parallel regions.
+ */
+struct TaskContextHooks {
+    /** Snapshot the submitting thread's context at job publish. */
+    void *(*capture)();
+    /** Install the captured context on a worker; returns the worker's
+     *  previous context for restore(). */
+    void *(*install)(void *captured);
+    /** Restore the worker's previous context after the job drains. */
+    void (*restore)(void *previous);
+};
+
+/**
+ * Register an ambient context (at most 8, typically from static
+ * initializers). Hooks are never unregistered; registration is
+ * thread-safe and idempotent callers' responsibility.
+ */
+void registerTaskContext(const TaskContextHooks &hooks);
+
+/**
  * Fork n independent, deterministic Rng streams from a parent generator.
  * Stream i depends only on the parent state and i — never on thread
  * count or scheduling — so handing stream i to the body of parallelFor

@@ -63,6 +63,13 @@ class PercentileTracker
     std::uint64_t count() const { return samples_.size(); }
     double mean() const;
 
+    /**
+     * Raw sample storage (insertion order until the first percentile()
+     * call sorts it in place); used to publish whole distributions into
+     * the metrics registry.
+     */
+    const std::vector<double> &samples() const { return samples_; }
+
   private:
     void ensureSorted() const;
 

@@ -7,6 +7,7 @@
 #include <fstream>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "ldpc/decoder.h"
 #include "ssd/snapshot_cache.h"
 
@@ -194,6 +195,38 @@ ArtifactCache::instance()
 {
     static ArtifactCache cache;
     return cache;
+}
+
+namespace {
+
+const metrics::Counter mArtifactHits{
+    "cache.artifact.hits", "ops", "in-memory artifact cache hits"};
+const metrics::Counter mArtifactMisses{
+    "cache.artifact.misses", "ops", "artifact cache misses (rebuilds)"};
+const metrics::Counter mArtifactDiskHits{
+    "cache.artifact.disk_hits", "ops", "artifacts loaded from --cache-dir"};
+
+} // namespace
+
+void
+ArtifactCache::noteHit()
+{
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    mArtifactHits.inc();
+}
+
+void
+ArtifactCache::noteMiss()
+{
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    mArtifactMisses.inc();
+}
+
+void
+ArtifactCache::noteDiskHit()
+{
+    diskHits_.fetch_add(1, std::memory_order_relaxed);
+    mArtifactDiskHits.inc();
 }
 
 void

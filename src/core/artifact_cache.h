@@ -92,7 +92,7 @@ class ArtifactCache
         const std::shared_ptr<Entry> entry = entryFor(key);
         std::unique_lock<std::mutex> lock(entry->mutex);
         if (entry->value) {
-            hits_.fetch_add(1, std::memory_order_relaxed);
+            noteHit();
             return std::static_pointer_cast<const T>(entry->value);
         }
         if constexpr (std::is_default_constructible_v<T>) {
@@ -101,8 +101,7 @@ class ArtifactCache
                 if (readDisk(kind, key, payload)) {
                     T loaded{};
                     if (decode(payload, loaded)) {
-                        diskHits_.fetch_add(1,
-                                            std::memory_order_relaxed);
+                        noteDiskHit();
                         auto value =
                             std::make_shared<const T>(std::move(loaded));
                         entry->value = value;
@@ -111,7 +110,7 @@ class ArtifactCache
                 }
             }
         }
-        misses_.fetch_add(1, std::memory_order_relaxed);
+        noteMiss();
         auto value = std::make_shared<const T>(build());
         if (encode != nullptr) {
             std::vector<std::uint8_t> payload;
@@ -130,6 +129,11 @@ class ArtifactCache
         std::mutex mutex;
         std::shared_ptr<const void> value;
     };
+
+    /** Bump the atomic totals and the cache.artifact.* metrics. */
+    void noteHit();
+    void noteMiss();
+    void noteDiskHit();
 
     std::shared_ptr<Entry> entryFor(const CacheKey &key);
     bool readDisk(const char *kind, const CacheKey &key,

@@ -3,8 +3,22 @@
 #include <memory>
 
 #include "common/parallel.h"
+#include "core/tracing.h"
 
 namespace rif {
+
+namespace {
+
+/** Label the current trace track after the run it carries. */
+void
+labelTrack(const ssd::SsdConfig &config, const std::string &workload)
+{
+    tracing::setTrackLabel(tracing::currentTrack(),
+                           workload + " " +
+                               ssd::policyName(config.policy));
+}
+
+} // namespace
 
 Experiment::Experiment() = default;
 
@@ -33,7 +47,10 @@ Experiment::run(const std::string &workload_name,
     out.workload = workload_name;
     out.policy = config_.policy;
     out.peCycles = config_.peCycles;
+    labelTrack(config_, workload_name);
+    metrics::MetricsScope scope;
     out.stats = drive.run(source);
+    out.metrics = scope.finish();
     return out;
 }
 
@@ -45,7 +62,10 @@ Experiment::run(trace::TraceSource &source, const std::string &label) const
     out.workload = label;
     out.policy = config_.policy;
     out.peCycles = config_.peCycles;
+    labelTrack(config_, label);
+    metrics::MetricsScope scope;
     out.stats = drive.run(source);
+    out.metrics = scope.finish();
     return out;
 }
 
@@ -75,7 +95,10 @@ Experiment::runMultiTenant(const std::vector<trace::WorkloadSpec> &specs,
     out.workload = label;
     out.policy = config_.policy;
     out.peCycles = config_.peCycles;
+    labelTrack(config_, label);
+    metrics::MetricsScope scope;
     out.stats = drive.runMultiQueue(sources);
+    out.metrics = scope.finish();
     return out;
 }
 
@@ -89,6 +112,7 @@ Experiment::sweepPolicies(const std::string &workload_name,
     // results landing in per-policy slots.
     std::vector<RunResult> out(policies.size());
     parallelFor(policies.size(), [&](std::size_t i) {
+        tracing::TrackScope track(static_cast<std::uint32_t>(i));
         Experiment e = *this;
         e.withPolicy(policies[i]);
         out[i] = e.run(workload_name, scale);
@@ -101,7 +125,12 @@ parallelRuns(std::size_t n,
              const std::function<RunResult(std::size_t)> &job)
 {
     std::vector<RunResult> out(n);
-    parallelFor(n, [&](std::size_t i) { out[i] = job(i); });
+    parallelFor(n, [&](std::size_t i) {
+        // Give each point its own trace track so events from concurrent
+        // runs never interleave (and drops stay per-track deterministic).
+        tracing::TrackScope track(static_cast<std::uint32_t>(i));
+        out[i] = job(i);
+    });
     return out;
 }
 

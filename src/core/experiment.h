@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "ssd/ssd.h"
 #include "trace/trace.h"
 
@@ -33,6 +34,13 @@ struct RunResult
     ssd::PolicyKind policy = ssd::PolicyKind::Rif;
     double peCycles = 0.0;
     ssd::SsdStats stats;
+    /**
+     * The run's metrics registry snapshot (channel ticks, latency
+     * distributions, retry/prediction counters, ...); the figure
+     * scenarios read their numbers from here. Also folded into any
+     * enclosing MetricsScope (e.g. the scenario's --metrics scope).
+     */
+    metrics::Snapshot metrics;
 
     double bandwidthMBps() const { return stats.ioBandwidthMBps(); }
 };

@@ -3,13 +3,17 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <fstream>
 #include <iostream>
 #include <limits>
+#include <optional>
 #include <sstream>
 #include <thread>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
+#include "core/tracing.h"
 
 namespace rif {
 namespace core {
@@ -80,44 +84,106 @@ runScenarios(const std::vector<const Scenario *> &selected,
              SinkFormat format, std::ostream &os, double scale,
              const OptionSet &opts, int jobs)
 {
+    runScenarios(selected, format, os, scale, opts, jobs,
+                 ObservabilityOptions{});
+}
+
+void
+runScenarios(const std::vector<const Scenario *> &selected,
+             SinkFormat format, std::ostream &os, double scale,
+             const OptionSet &opts, int jobs,
+             const ObservabilityOptions &obs)
+{
+    // The trace scope (when requested) spans the whole invocation; the
+    // --jobs workers join it via RecorderScope below.
+    std::optional<tracing::TraceScope> trace;
+    if (!obs.tracePath.empty())
+        trace.emplace();
+
+    const bool want_metrics = obs.wantMetrics();
+    std::vector<metrics::Snapshot> snaps(selected.size());
+
+    // Run scenario `i` into `sink`, capturing its registry snapshot
+    // (and appending it to the scenario's own output for --metrics).
+    const auto run_one = [&](std::size_t i, ResultSink &sink) {
+        if (!want_metrics) {
+            runScenario(*selected[i], sink, scale, opts);
+            return;
+        }
+        metrics::MetricsScope scope;
+        runScenario(*selected[i], sink, scale, opts);
+        snaps[i] = scope.finish();
+        if (obs.metricsTable)
+            sink.table(snaps[i].toTable(std::string("metrics: ") +
+                                        selected[i]->name));
+    };
+
     if (jobs > static_cast<int>(selected.size()))
         jobs = static_cast<int>(selected.size());
     if (jobs <= 1) {
         const auto sink = makeSink(format, os);
-        for (const Scenario *s : selected)
-            runScenario(*s, *sink, scale, opts);
-        return;
+        for (std::size_t i = 0; i < selected.size(); ++i)
+            run_one(i, *sink);
+    } else {
+        // Cooperative thread-budget handshake: the scenario workers
+        // divide the configured RIF_THREADS budget, so worker x inner
+        // parallelism stays at the budget no matter how --jobs and
+        // RIF_THREADS combine.
+        const int budget = std::max(1, configuredThreadCount() / jobs);
+
+        // Private buffer per scenario, emitted in selection order
+        // below: interleaving never reaches the stream, so the bytes
+        // match the sequential path at any job count.
+        std::vector<std::ostringstream> buffers(selected.size());
+        std::atomic<std::size_t> next{0};
+        std::vector<std::thread> workers;
+        workers.reserve(static_cast<std::size_t>(jobs));
+        for (int w = 0; w < jobs; ++w) {
+            workers.emplace_back([&] {
+                ThreadArena arena(budget);
+                tracing::RecorderScope recorder(
+                    trace ? &trace->recorder() : nullptr);
+                for (;;) {
+                    const std::size_t i =
+                        next.fetch_add(1, std::memory_order_relaxed);
+                    if (i >= selected.size())
+                        return;
+                    const auto sink = makeSink(format, buffers[i]);
+                    run_one(i, *sink);
+                }
+            });
+        }
+        for (std::thread &worker : workers)
+            worker.join();
+        for (std::ostringstream &buffer : buffers)
+            os << buffer.str();
     }
 
-    // Cooperative thread-budget handshake: the scenario workers divide
-    // the configured RIF_THREADS budget, so worker x inner parallelism
-    // stays at the budget no matter how --jobs and RIF_THREADS combine.
-    const int budget = std::max(1, configuredThreadCount() / jobs);
-
-    // Private buffer per scenario, emitted in selection order below:
-    // interleaving never reaches the stream, so the bytes match the
-    // sequential path at any job count.
-    std::vector<std::ostringstream> buffers(selected.size());
-    std::atomic<std::size_t> next{0};
-    std::vector<std::thread> workers;
-    workers.reserve(static_cast<std::size_t>(jobs));
-    for (int w = 0; w < jobs; ++w) {
-        workers.emplace_back([&] {
-            ThreadArena arena(budget);
-            for (;;) {
-                const std::size_t i =
-                    next.fetch_add(1, std::memory_order_relaxed);
-                if (i >= selected.size())
-                    return;
-                const auto sink = makeSink(format, buffers[i]);
-                runScenario(*selected[i], *sink, scale, opts);
-            }
-        });
+    if (!obs.metricsPath.empty()) {
+        std::ofstream file(obs.metricsPath);
+        if (!file)
+            fatal("cannot open --metrics file '", obs.metricsPath, "'");
+        file << "{";
+        for (std::size_t i = 0; i < selected.size(); ++i) {
+            file << (i ? ",\n" : "\n") << "\"" << selected[i]->name
+                 << "\": ";
+            snaps[i].writeJson(file);
+        }
+        file << (selected.empty() ? "}" : "\n}") << "\n";
     }
-    for (std::thread &worker : workers)
-        worker.join();
-    for (std::ostringstream &buffer : buffers)
-        os << buffer.str();
+
+    if (trace) {
+        std::ofstream file(obs.tracePath);
+        if (!file)
+            fatal("cannot open --trace file '", obs.tracePath, "'");
+        const std::string &p = obs.tracePath;
+        const bool jsonl = p.size() >= 6 &&
+                           p.compare(p.size() - 6, 6, ".jsonl") == 0;
+        if (jsonl)
+            trace->writeJsonl(file);
+        else
+            trace->writeChromeJson(file);
+    }
 }
 
 int

@@ -111,6 +111,30 @@ void runScenario(const Scenario &scenario, ResultSink &sink, double scale,
                  const OptionSet &opts);
 
 /**
+ * Observability switches for a `rif run` invocation (`--metrics`,
+ * `--trace`). Metrics wrap every selected scenario in its own
+ * MetricsScope; the per-scenario snapshots are deterministic, so both
+ * surfaces are byte-identical at any RIF_THREADS / --jobs setting (the
+ * trace additionally requires a single-scenario selection, since
+ * concurrent scenarios may share track ids — see docs/OBSERVABILITY.md).
+ */
+struct ObservabilityOptions
+{
+    /** Append each scenario's registry table to its normal output. */
+    bool metricsTable = false;
+    /** Write all snapshots as one JSON object keyed by scenario name. */
+    std::string metricsPath;
+    /** Write the event trace (Chrome JSON, or JSONL for *.jsonl). */
+    std::string tracePath;
+
+    bool
+    wantMetrics() const
+    {
+        return metricsTable || !metricsPath.empty();
+    }
+};
+
+/**
  * Run `selected` with up to `jobs` concurrent scenario workers
  * (`rif run --jobs N`). Each scenario reports into a private buffer and
  * the buffers are emitted on `os` in selection order, so the bytes are
@@ -123,6 +147,12 @@ void runScenario(const Scenario &scenario, ResultSink &sink, double scale,
 void runScenarios(const std::vector<const Scenario *> &selected,
                   SinkFormat format, std::ostream &os, double scale,
                   const OptionSet &opts, int jobs);
+
+/** As above, with metrics/trace capture per ObservabilityOptions. */
+void runScenarios(const std::vector<const Scenario *> &selected,
+                  SinkFormat format, std::ostream &os, double scale,
+                  const OptionSet &opts, int jobs,
+                  const ObservabilityOptions &obs);
 
 /**
  * Entry point for the legacy bench shims: run the named scenario with

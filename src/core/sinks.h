@@ -125,6 +125,18 @@ class JsonlSink : public ResultSink
     std::ostream &os_;
 };
 
+/**
+ * Discards everything. `rif metrics <scenario>` runs the scenario body
+ * through a NullSink so only the registry snapshot reaches the user.
+ */
+class NullSink : public ResultSink
+{
+  public:
+    void header(const std::string &, const std::string &) override {}
+    void table(const Table &) override {}
+    void text(const std::string &) override {}
+};
+
 /** Build the sink for a format over the given stream. */
 std::unique_ptr<ResultSink> makeSink(SinkFormat format, std::ostream &os);
 

@@ -4,11 +4,29 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace rif {
 namespace ldpc {
 
 namespace {
+
+const metrics::Counter mDecodeAttempts{
+    "ldpc.decode.attempts", "ops", "ECC decoder invocations"};
+const metrics::Counter mDecodeIterations{
+    "ldpc.decode.iterations", "iters", "decoder iterations executed"};
+const metrics::Counter mDecodeFailures{
+    "ldpc.decode.failures", "ops", "decodes hitting the iteration cap"};
+
+/** Bump the decoder counters for one finished decode. */
+inline void
+noteDecode(const DecodeResult &result)
+{
+    mDecodeAttempts.inc();
+    mDecodeIterations.add(static_cast<std::uint64_t>(result.iterations));
+    if (!result.success)
+        mDecodeFailures.inc();
+}
 
 /** Build variable-major edge grouping from the code's check-major lists. */
 void
@@ -159,11 +177,13 @@ MinSumDecoder::decode(const HardWord &received, double channel_rber,
         if (hardIsCodeword(code_, ws)) {
             result.success = true;
             result.word = ws.hard;
+            noteDecode(result);
             return result;
         }
     }
 
     result.success = false;
+    noteDecode(result);
     return result;
 }
 
@@ -246,11 +266,13 @@ LayeredMinSumDecoder::decode(const HardWord &received, double channel_rber,
         if (hardIsCodeword(code_, ws)) {
             result.success = true;
             result.word = ws.hard;
+            noteDecode(result);
             return result;
         }
     }
 
     result.success = false;
+    noteDecode(result);
     return result;
 }
 
@@ -290,6 +312,7 @@ BitFlipDecoder::decode(const HardWord &received, DecodeWorkspace &ws) const
         if (ws.row.isZero()) {
             result.success = true;
             result.word = word;
+            noteDecode(result);
             return result;
         }
 
@@ -326,6 +349,7 @@ BitFlipDecoder::decode(const HardWord &received, DecodeWorkspace &ws) const
         result.success = true;
         result.word = word;
     }
+    noteDecode(result);
     return result;
 }
 

@@ -4,10 +4,19 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
 
 namespace rif {
 namespace nand {
+
+namespace {
+
+const metrics::Counter mRetentionFits{
+    "nand.characterization.retention_fits", "ops",
+    "per-population retention-threshold characterizations"};
+
+} // namespace
 
 BlockPopulation::BlockPopulation(const RberModel &model,
                                  const CharacterizationConfig &config)
@@ -27,6 +36,7 @@ BlockPopulation::BlockPopulation(const RberModel &model,
 std::vector<double>
 BlockPopulation::retentionThresholds(double pe) const
 {
+    mRetentionFits.inc();
     // Pure per-factor computation (no RNG): trivially parallel.
     std::vector<double> out(factors_.size());
     parallelFor(factors_.size(), [&](std::size_t i) {

@@ -3,11 +3,25 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "ldpc/channel.h"
 
 namespace rif {
 namespace odear {
+
+namespace {
+
+const metrics::Counter mAccuracyTrials{
+    "odear.rp.mc_trials", "ops", "Monte-Carlo RP accuracy trials"};
+const metrics::Counter mAccuracyCorrect{
+    "odear.rp.mc_correct", "ops", "trials where RP matched the decoder"};
+const metrics::Counter mAccuracyFalseRetry{
+    "odear.rp.mc_false_retries", "ops", "decodable trials flagged anyway"};
+const metrics::Counter mAccuracyMisses{
+    "odear.rp.mc_misses", "ops", "undecodable trials RP let through"};
+
+} // namespace
 
 std::vector<AccuracyPoint>
 measureRpAccuracy(const ldpc::QcLdpcCode &code, const RpModule &rp,
@@ -68,6 +82,10 @@ measureRpAccuracy(const ldpc::QcLdpcCode &code, const RpModule &rp,
                 ++miss; // undecodable but transferred off-chip
             }
         }
+        mAccuracyTrials.add(static_cast<std::uint64_t>(config.trials));
+        mAccuracyCorrect.add(static_cast<std::uint64_t>(correct));
+        mAccuracyFalseRetry.add(static_cast<std::uint64_t>(false_retry));
+        mAccuracyMisses.add(static_cast<std::uint64_t>(miss));
         const auto n = static_cast<double>(config.trials);
         pt.accuracy = correct / n;
         pt.falseRetryRate =

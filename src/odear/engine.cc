@@ -1,10 +1,24 @@
 #include "odear/engine.h"
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "ldpc/channel.h"
 
 namespace rif {
 namespace odear {
+
+namespace {
+
+const metrics::Counter mPipelineReads{
+    "odear.functional.reads", "ops", "bit-level pipeline page reads"};
+const metrics::Counter mPipelineFlagged{
+    "odear.functional.flagged", "ops",
+    "pages the RP flagged for in-die retry"};
+const metrics::Counter mPipelineDecodeFailures{
+    "odear.functional.decode_failures", "ops",
+    "pipeline reads failing controller decode"};
+
+} // namespace
 
 FunctionalPipeline::FunctionalPipeline(const ldpc::QcLdpcCode &code,
                                        const nand::VthModel &vth,
@@ -60,6 +74,7 @@ FunctionalPipeline::read(const ProgrammedPage &page, double pe,
                          double ret_days, Rng &rng) const
 {
     FunctionalReadResult out;
+    mPipelineReads.inc();
 
     // 1. Sense at the default read voltages; the V_TH model gives the
     //    wear-appropriate raw bit error rate.
@@ -77,6 +92,7 @@ FunctionalPipeline::read(const ProgrammedPage &page, double pe,
     // 3. When flagged, the RVS selects near-optimal voltages and the
     //    page is re-sensed in-die; the re-read skips the RP (§IV-C).
     if (out.predictedUncorrectable) {
+        mPipelineFlagged.inc();
         const VrefSelection sel =
             rvs_.select(page.type, pe, ret_days, rng);
         out.reReadRber = sel.predictedRber;
@@ -103,8 +119,10 @@ FunctionalPipeline::read(const ProgrammedPage &page, double pe,
         nand::Randomizer(page.scrambleSeed + i).apply(data);
         out.payloads.push_back(ldpc::toHardWord(data));
     }
-    if (!out.decodeSucceeded)
+    if (!out.decodeSucceeded) {
+        mPipelineDecodeFailures.inc();
         out.payloads.clear();
+    }
     return out;
 }
 

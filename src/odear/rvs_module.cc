@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace rif {
 namespace odear {
@@ -11,6 +12,9 @@ namespace odear {
 using nand::PageType;
 
 namespace {
+
+const metrics::Counter mRvsSelections{
+    "odear.rvs.selections", "ops", "RVS near-optimal VREF selections"};
 
 std::vector<int>
 thresholdsFor(PageType type)
@@ -41,6 +45,7 @@ RvsModule::RvsModule(const nand::VthModel &model,
 VrefSelection
 RvsModule::select(PageType type, double pe, double ret_days, Rng &rng) const
 {
+    mRvsSelections.inc();
     VrefSelection sel;
     for (int i = 1; i <= nand::kThresholds; ++i)
         sel.vref[i] = model_.defaultVref(i);

@@ -27,6 +27,8 @@ Simulator::scheduleAt(Tick when, Action action)
     RIF_ASSERT(when >= now_, "event scheduled in the past");
     const std::uint64_t seq = nextSeq_++;
     ++size_;
+    if (size_ > peakSize_)
+        peakSize_ = size_;
     if (when < l0Base_ + Tick(kL0Slots)) {
         // Hot path: construct directly in the destination slot (one
         // action move instead of two through pushL0).

@@ -63,6 +63,9 @@ class Simulator
     /** Number of events executed so far. */
     std::uint64_t eventsExecuted() const { return executed_; }
 
+    /** High-water mark of pending events (queue occupancy). */
+    std::uint64_t peakQueueSize() const { return peakSize_; }
+
     bool empty() const { return size_ == 0; }
 
   private:
@@ -113,6 +116,7 @@ class Simulator
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;
     std::uint64_t size_ = 0;
+    std::uint64_t peakSize_ = 0;
 
     /** First tick of the L0 window (multiple of kL0Slots). */
     Tick l0Base_ = 0;

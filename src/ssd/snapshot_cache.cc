@@ -1,5 +1,6 @@
 #include "ssd/snapshot_cache.h"
 
+#include "common/metrics.h"
 #include "trace/trace.h"
 
 namespace rif {
@@ -9,6 +10,11 @@ namespace {
 
 /** Bump when the snapshot semantics or key contents change. */
 constexpr int kSnapshotKeySchema = 1;
+
+const metrics::Counter mSnapshotHits{
+    "cache.snapshot.hits", "ops", "preconditioned-FTL snapshot reuses"};
+const metrics::Counter mSnapshotMisses{
+    "cache.snapshot.misses", "ops", "snapshot builds (preconditions run)"};
 
 } // namespace
 
@@ -58,8 +64,10 @@ FtlSnapshotCache::getOrBuild(const CacheKey &key,
     if (!entry->value) {
         entry->value = std::make_shared<const FtlSnapshot>(build());
         misses_.fetch_add(1, std::memory_order_relaxed);
+        mSnapshotMisses.inc();
     } else {
         hits_.fetch_add(1, std::memory_order_relaxed);
+        mSnapshotHits.inc();
     }
     return entry->value;
 }

@@ -4,6 +4,8 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "core/tracing.h"
 #include "ssd/snapshot_cache.h"
 
 namespace rif {
@@ -115,7 +117,118 @@ Ssd::runMultiQueue(const std::vector<trace::TraceSource *> &sources)
     stats_.makespan = sim_.now();
     for (auto &u : stats_.channels)
         u.finish(sim_.now());
+    tracing::complete("ssd.run", 0, stats_.makespan, 0, "requests",
+                      static_cast<std::int64_t>(stats_.hostRequests));
+    publishMetrics();
     return stats_;
+}
+
+void
+Ssd::publishMetrics() const
+{
+    namespace m = metrics;
+    m::Collector *c = m::activeCollector();
+    if (!c)
+        return;
+
+    const auto counter = [&](const char *name, const char *unit,
+                             const char *help, std::uint64_t v) {
+        c->add(m::registerMetric(name, m::Kind::Counter, unit, help), v);
+    };
+    const auto gauge = [&](const char *name, const char *unit,
+                           const char *help, std::uint64_t v) {
+        c->gaugeMax(m::registerMetric(name, m::Kind::Gauge, unit, help), v);
+    };
+    const auto dist = [&](const std::string &name, const char *help,
+                          const PercentileTracker &t) {
+        const int id =
+            m::registerMetric(name, m::Kind::Distribution, "us", help);
+        for (double x : t.samples())
+            c->observe(id, x);
+    };
+
+    counter("ssd.makespan_ticks", "ticks", "simulated run length",
+            stats_.makespan);
+    counter("ssd.host.requests", "ops", "host requests completed",
+            stats_.hostRequests);
+    counter("ssd.host.read_bytes", "bytes", "bytes read by the host",
+            stats_.hostReadBytes);
+    counter("ssd.host.write_bytes", "bytes", "bytes written by the host",
+            stats_.hostWriteBytes);
+    gauge("ssd.host.queue_peak", "reqs", "peak outstanding host requests",
+          static_cast<std::uint64_t>(outstandingPeak_));
+
+    counter("ssd.nand.page_reads", "ops", "page read operations",
+            stats_.pageReads);
+    counter("ssd.nand.page_writes", "ops", "page program operations",
+            stats_.pageWrites);
+    counter("ssd.nand.block_erases", "ops", "block erases",
+            stats_.blockErases);
+    counter("ssd.gc.page_moves", "ops", "valid pages relocated by GC",
+            stats_.gcPageMoves);
+    counter("ssd.gc.disturb_relocations", "ops",
+            "read-disturb block relocations",
+            stats_.disturbBlockRelocations);
+
+    counter("ssd.reads.retried", "ops", "host reads needing any retry",
+            stats_.retriedReads);
+    counter("ssd.reads.uncor_transfers", "ops",
+            "uncorrectable pages transferred off-chip",
+            stats_.uncorTransfers);
+    counter("ssd.reads.failed_decodes", "ops",
+            "ECC decodes hitting the iteration cap", stats_.failedDecodes);
+
+    // ODEAR RP confusion matrix. A prediction is a true positive when
+    // the in-die retry avoided an uncorrectable transfer, a false
+    // positive when the retry was unnecessary, a false negative when an
+    // uncorrectable page slipped through, and a true negative otherwise.
+    const std::uint64_t tp = stats_.avoidedTransfers;
+    const std::uint64_t fp = stats_.falseInDieRetries;
+    const std::uint64_t fn = stats_.missedPredictions;
+    const std::uint64_t tn =
+        stats_.rpPredictions >= tp + fp + fn
+            ? stats_.rpPredictions - tp - fp - fn
+            : 0;
+    counter("odear.rp.predictions", "ops", "on-die RP predictions run",
+            stats_.rpPredictions);
+    counter("odear.rp.true_positive", "ops",
+            "uncorrectable transfers avoided by early retry", tp);
+    counter("odear.rp.false_positive", "ops",
+            "unnecessary in-die retries", fp);
+    counter("odear.rp.false_negative", "ops",
+            "uncorrectable pages the RP missed", fn);
+    counter("odear.rp.true_negative", "ops",
+            "correctly predicted correctable pages", tn);
+
+    for (std::size_t ch = 0; ch < stats_.channels.size(); ++ch) {
+        static constexpr const char *kStateNames[kChannelStates] = {
+            "idle_ticks", "cor_ticks", "uncor_ticks", "eccwait_ticks",
+            "write_ticks"};
+        const ChannelUsage &u = stats_.channels[ch];
+        for (int s = 0; s < kChannelStates; ++s) {
+            counter(("ssd.chan" + std::to_string(ch) + "." + kStateNames[s])
+                        .c_str(),
+                    "ticks", "channel state residency",
+                    u.time(static_cast<ChannelState>(s)));
+        }
+    }
+
+    dist("ssd.read_latency_us", "host read latency", stats_.readLatencyUs);
+    dist("ssd.write_latency_us", "host write latency",
+         stats_.writeLatencyUs);
+    if (stats_.queueReadLatencyUs.size() > 1)
+        for (std::size_t q = 0; q < stats_.queueReadLatencyUs.size(); ++q)
+            dist("ssd.queue" + std::to_string(q) + ".read_latency_us",
+                 "per-tenant read latency", stats_.queueReadLatencyUs[q]);
+
+    counter("sim.events", "ops", "events executed by the kernel",
+            sim_.eventsExecuted());
+    gauge("sim.queue_peak", "events", "peak pending-event count",
+          sim_.peakQueueSize());
+    gauge("ssd.pool.page_ops", "objects", "PageOp pool high-water mark",
+          pageOpPool_.allocated());
+    gauge("ssd.pool.host_requests", "objects",
+          "HostRequest pool high-water mark", hostReqPool_.allocated());
 }
 
 void
@@ -130,6 +243,8 @@ Ssd::issueNextRequest(int queue)
         return;
     }
     ++qs.outstanding;
+    if (++outstanding_ > outstandingPeak_)
+        outstandingPeak_ = outstanding_;
     ++stats_.hostRequests;
     startRequest(rec, queue);
 }
@@ -177,6 +292,10 @@ Ssd::newReadOp(std::uint64_t lpn, InlineFunction<void(PageOp *)> done)
     planReadInto(config_, behavior_, tr.rber, rng_, op->script);
     op->onComplete = std::move(done);
     applyPlanStats(op->script.stats);
+    if (op->script.stats.retried)
+        tracing::instant("nand.read_retry", sim_.now(),
+                         1u + static_cast<std::uint32_t>(op->addr.channel),
+                         "lpn", static_cast<std::int64_t>(lpn));
     ++stats_.pageReads;
     return op;
 }
@@ -253,8 +372,12 @@ Ssd::finishRequest(HostRequest *req)
         stats_.hostWriteBytes += req->bytes;
         stats_.writeLatencyUs.add(latency_us);
     }
+    tracing::complete(req->isRead ? "host.read" : "host.write", req->issued,
+                      sim_.now() - req->issued, 0, "bytes",
+                      static_cast<std::int64_t>(req->bytes));
     const int queue = req->queue;
     hostReqPool_.release(req);
+    --outstanding_;
     --queues_[static_cast<std::size_t>(queue)].outstanding;
     issueNextRequest(queue);
 }
@@ -295,6 +418,9 @@ Ssd::runGcJob(const GcJob &job)
 {
     // Relocate every valid page (read via the normal retry-policy path,
     // then program elsewhere), then erase the victim.
+    tracing::instant("ssd.gc.job", sim_.now(),
+                     1u + static_cast<std::uint32_t>(job.channel), "moves",
+                     static_cast<std::int64_t>(job.lpnsToMove.size()));
     auto *moves_left = new int(static_cast<int>(job.lpnsToMove.size()));
     auto *job_copy = new GcJob(job);
 

@@ -111,6 +111,13 @@ class Ssd
     PageOp *newReadOp(std::uint64_t lpn,
                       InlineFunction<void(PageOp *)> done);
     void applyPlanStats(const ReadPlanStats &ps);
+    /**
+     * Publish the run's statistics into the active metrics collector
+     * (no-op without one): host/NAND/GC/retry counters, the ODEAR
+     * confusion matrix, per-channel state ticks, latency distributions
+     * and the kernel/pool gauges. See docs/OBSERVABILITY.md.
+     */
+    void publishMetrics() const;
 
     SsdConfig config_;
     Simulator sim_;
@@ -125,6 +132,8 @@ class Ssd
     std::unique_ptr<HostLink> hostLink_;
 
     std::vector<QueueState> queues_;
+    int outstanding_ = 0;
+    int outstandingPeak_ = 0;
     int gcJobsInFlight_ = 0;
     /** Host writes parked while GC reclaims free blocks. */
     std::deque<InlineFunction<void()>> stalledWrites_;

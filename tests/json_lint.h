@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Minimal JSON validator for the observability tests: a recursive-
+ * descent parser that accepts exactly the RFC 8259 grammar (objects,
+ * arrays, strings with escapes, numbers, true/false/null) and rejects
+ * everything else. No DOM — the tests only need "is this byte stream
+ * well-formed?".
+ */
+
+#ifndef RIF_TESTS_JSON_LINT_H
+#define RIF_TESTS_JSON_LINT_H
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace rif_test_json {
+
+class Lint
+{
+  public:
+    explicit Lint(const std::string &text)
+        : s_(text)
+    {
+    }
+
+    bool
+    valid()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return at_ == s_.size();
+    }
+
+  private:
+    bool
+    value()
+    {
+        if (at_ >= s_.size())
+            return false;
+        switch (s_[at_]) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return literal("true");
+          case 'f': return literal("false");
+          case 'n': return literal("null");
+          default: return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++at_; // '{'
+        skipWs();
+        if (peek('}'))
+            return true;
+        for (;;) {
+            skipWs();
+            if (at_ >= s_.size() || s_[at_] != '"' || !string())
+                return false;
+            skipWs();
+            if (!peek(':'))
+                return false;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek('}'))
+                return true;
+            if (!peek(','))
+                return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++at_; // '['
+        skipWs();
+        if (peek(']'))
+            return true;
+        for (;;) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek(']'))
+                return true;
+            if (!peek(','))
+                return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        ++at_; // '"'
+        while (at_ < s_.size()) {
+            const char c = s_[at_];
+            if (c == '"') {
+                ++at_;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return false;
+            if (c == '\\') {
+                ++at_;
+                if (at_ >= s_.size())
+                    return false;
+                const char e = s_[at_];
+                if (e == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        ++at_;
+                        if (at_ >= s_.size() ||
+                            !std::isxdigit(
+                                static_cast<unsigned char>(s_[at_])))
+                            return false;
+                    }
+                } else if (e != '"' && e != '\\' && e != '/' &&
+                           e != 'b' && e != 'f' && e != 'n' &&
+                           e != 'r' && e != 't') {
+                    return false;
+                }
+            }
+            ++at_;
+        }
+        return false;
+    }
+
+    bool
+    number()
+    {
+        const std::size_t start = at_;
+        if (peek('-')) {
+        }
+        if (!digits())
+            return false;
+        if (peek('.') && !digits())
+            return false;
+        if (at_ < s_.size() && (s_[at_] == 'e' || s_[at_] == 'E')) {
+            ++at_;
+            if (at_ < s_.size() && (s_[at_] == '+' || s_[at_] == '-'))
+                ++at_;
+            if (!digits())
+                return false;
+        }
+        return at_ > start;
+    }
+
+    bool
+    digits()
+    {
+        const std::size_t start = at_;
+        while (at_ < s_.size() &&
+               std::isdigit(static_cast<unsigned char>(s_[at_])))
+            ++at_;
+        return at_ > start;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        for (const char *p = word; *p; ++p, ++at_)
+            if (at_ >= s_.size() || s_[at_] != *p)
+                return false;
+        return true;
+    }
+
+    bool
+    peek(char c)
+    {
+        if (at_ < s_.size() && s_[at_] == c) {
+            ++at_;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (at_ < s_.size() &&
+               (s_[at_] == ' ' || s_[at_] == '\t' || s_[at_] == '\n' ||
+                s_[at_] == '\r'))
+            ++at_;
+    }
+
+    const std::string &s_;
+    std::size_t at_ = 0;
+};
+
+/** True when `text` is one well-formed JSON value. */
+inline bool
+validJson(const std::string &text)
+{
+    return Lint(text).valid();
+}
+
+} // namespace rif_test_json
+
+#endif // RIF_TESTS_JSON_LINT_H
