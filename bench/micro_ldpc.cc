@@ -12,6 +12,7 @@
 
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "ldpc/batch.h"
 #include "ldpc/channel.h"
 #include "ldpc/code.h"
 #include "ldpc/decoder.h"
@@ -176,6 +177,116 @@ BM_MinSumDecodeWorkspace(benchmark::State &state)
         benchmark::DoNotOptimize(dec.decode(word, rber, ws));
 }
 BENCHMARK(BM_MinSumDecodeWorkspace)->Arg(20)->Arg(80);
+
+void
+BM_SyndromeBatch(benchmark::State &state)
+{
+    // Batched full syndrome weight; Arg = lanes. Per-item time against
+    // BM_FullSyndromeWeight is the SoA datapath's speedup per word.
+    const QcLdpcCode &code = theCode();
+    const auto lanes = static_cast<std::size_t>(state.range(0));
+    Rng rng(2);
+    CodewordBatch batch(code.params().n(), lanes);
+    for (std::size_t l = 0; l < lanes; ++l) {
+        HardWord word = code.encode(randomData(code.params().k(), rng));
+        injectErrors(word, 0.005, rng);
+        batch.setLaneFromBytes(l, word.data(), word.size());
+    }
+    CodewordBatch synd;
+    std::vector<std::size_t> weights(lanes);
+    for (auto _ : state) {
+        syndromeWeightBatch(code, batch, synd, weights.data());
+        benchmark::DoNotOptimize(weights.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(lanes));
+}
+BENCHMARK(BM_SyndromeBatch)->Arg(1)->Arg(8)->Arg(64);
+
+void
+BM_PrunedSyndromeBatch(benchmark::State &state)
+{
+    // Batched pruned (block row 0) weight — the RP datapath per lane.
+    const QcLdpcCode &code = theCode();
+    const auto lanes = static_cast<std::size_t>(state.range(0));
+    Rng rng(3);
+    CodewordBatch batch(code.params().n(), lanes);
+    for (std::size_t l = 0; l < lanes; ++l) {
+        HardWord word = code.encode(randomData(code.params().k(), rng));
+        injectErrors(word, 0.005, rng);
+        batch.setLaneFromBytes(l, word.data(), word.size());
+    }
+    CodewordBatch synd;
+    std::vector<std::size_t> weights(lanes);
+    for (auto _ : state) {
+        prunedSyndromeWeightBatch(code, batch, synd, weights.data());
+        benchmark::DoNotOptimize(weights.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(lanes));
+}
+BENCHMARK(BM_PrunedSyndromeBatch)->Arg(1)->Arg(8)->Arg(64);
+
+void
+BM_DecodeBatch(benchmark::State &state)
+{
+    // Batched min-sum over `lanes` distinct words at one RBER; per-item
+    // time against BM_MinSumDecodeWorkspace at the same RBER (60 =
+    // 0.006) is the lockstep datapath's per-word speedup.
+    const QcLdpcCode &code = theCode();
+    const MinSumDecoder dec(code, 20);
+    const auto lanes = static_cast<std::size_t>(state.range(0));
+    const double rber = 0.006;
+    Rng rng(5);
+    std::vector<HardWord> words(lanes);
+    std::vector<const HardWord *> ptrs(lanes);
+    for (std::size_t l = 0; l < lanes; ++l) {
+        words[l] = code.encode(randomData(code.params().k(), rng));
+        injectErrors(words[l], rber, rng);
+        ptrs[l] = &words[l];
+    }
+    BatchDecodeWorkspace ws;
+    std::vector<DecodeResult> results(lanes);
+    for (auto _ : state) {
+        dec.decodeBatch(ptrs.data(), lanes, rber, ws, results.data());
+        benchmark::DoNotOptimize(results.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(lanes));
+}
+BENCHMARK(BM_DecodeBatch)->Arg(1)->Arg(8)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_MinSumDecodeLoop(benchmark::State &state)
+{
+    // The scalar counterpart of BM_DecodeBatch: the same words decoded
+    // one by one through a caller-owned workspace.
+    const QcLdpcCode &code = theCode();
+    const MinSumDecoder dec(code, 20);
+    const auto lanes = static_cast<std::size_t>(state.range(0));
+    const double rber = 0.006;
+    Rng rng(5);
+    std::vector<HardWord> words(lanes);
+    for (std::size_t l = 0; l < lanes; ++l) {
+        words[l] = code.encode(randomData(code.params().k(), rng));
+        injectErrors(words[l], rber, rng);
+    }
+    DecodeWorkspace ws;
+    std::vector<DecodeResult> results(lanes);
+    for (auto _ : state) {
+        for (std::size_t l = 0; l < lanes; ++l)
+            results[l] = dec.decode(words[l], rber, ws);
+        benchmark::DoNotOptimize(results.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(lanes));
+}
+BENCHMARK(BM_MinSumDecodeLoop)->Arg(8)->Unit(benchmark::kMillisecond);
 
 void
 BM_ParallelDecode(benchmark::State &state)

@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <array>
+
 #include "common/pool.h"
 #include "core/experiment.h"
 #include "ssd/devices.h"
@@ -102,6 +104,43 @@ BM_ReferenceEventQueue(benchmark::State &state)
     BM_QueueKernel<ReferenceSimulator>(state);
 }
 BENCHMARK(BM_ReferenceEventQueue)
+    ->Arg(static_cast<int>(Mix::Uniform))
+    ->Arg(static_cast<int>(Mix::SsdMix));
+
+/**
+ * The same workload through the per-channel sharded kernel: 8 device
+ * shards, every event tagged onto one of them, each incrementing only
+ * its own shard's counter (the confinement contract). Measures the
+ * merge/gather/flush overhead of sharded mode relative to
+ * BM_EventQueue — and, on multi-core hosts with dense same-tick
+ * groups, the concurrent-group payoff.
+ */
+void
+BM_ShardedEventQueue(benchmark::State &state)
+{
+    const Mix mix = static_cast<Mix>(state.range(0));
+    constexpr int kEvents = 20000;
+    constexpr int kShards = 8;
+    Simulator sim(kShards);
+    std::array<int, kShards + 1> fired{};
+    for (auto _ : state) {
+        for (int i = 0; i < kEvents / 2; ++i) {
+            const auto s = static_cast<std::uint32_t>(i % kShards + 1);
+            sim.scheduleShard(s, delayFor(mix, i), [&sim, &fired, mix, s,
+                                                    i] {
+                ++fired[s];
+                sim.scheduleShard(s, delayFor(mix, i + kEvents / 2),
+                                  [&fired, s] { ++fired[s]; });
+            });
+        }
+        sim.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kEvents);
+    state.SetLabel(mix == Mix::Uniform ? "uniform" : "ssd-mix");
+}
+BENCHMARK(BM_ShardedEventQueue)
     ->Arg(static_cast<int>(Mix::Uniform))
     ->Arg(static_cast<int>(Mix::SsdMix));
 

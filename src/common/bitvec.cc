@@ -4,10 +4,32 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/simd.h"
 
 namespace rif {
 
+// The packed storage is consumed as raw 64-bit lanes by the simd::
+// kernels (and, batch-interleaved, by ldpc::CodewordBatch).
+static_assert(sizeof(std::uint64_t) == 8 && alignof(std::uint64_t) == 8,
+              "BitVec packed storage must be 8-byte-aligned 64-bit words");
+
 namespace {
+
+/** XOR one sub-word chunk (<= 64 bits, not crossing a dst word). */
+void
+xorStep(std::uint64_t *dst, std::size_t dpos, const std::uint64_t *src,
+        std::size_t spos, std::size_t chunk)
+{
+    const std::size_t db = dpos & 63;
+    const std::size_t sw = spos >> 6;
+    const std::size_t sb = spos & 63;
+    std::uint64_t bits = src[sw] >> sb;
+    if (sb != 0 && sb + chunk > 64)
+        bits |= src[sw + 1] << (64 - sb);
+    if (chunk < 64)
+        bits &= (std::uint64_t(1) << chunk) - 1;
+    dst[dpos >> 6] ^= bits << db;
+}
 
 /**
  * XOR `len` bits of `src` starting at bit `spos` into `dst` starting at
@@ -21,31 +43,40 @@ xorBitsRaw(std::uint64_t *dst, std::size_t dpos, const std::uint64_t *src,
     // Whole-word fast path for mutually aligned ranges (the common case
     // when the circulant dimension is a multiple of 64 and the shift is
     // zero, e.g. parity segments and the rearranged on-die datapath).
-    if (((dpos | spos) & 63) == 0) {
-        std::size_t dw = dpos >> 6;
-        std::size_t sw = spos >> 6;
-        while (len >= 64) {
-            dst[dw++] ^= src[sw++];
-            len -= 64;
-        }
-        dpos = dw << 6;
-        spos = sw << 6;
+    if (((dpos | spos) & 63) == 0 && len >= 64) {
+        const std::size_t nwords = len >> 6;
+        simd::xorWords(dst + (dpos >> 6), src + (spos >> 6), nwords);
+        dpos += nwords << 6;
+        spos += nwords << 6;
+        len &= 63;
     }
-    while (len > 0) {
-        const std::size_t db = dpos & 63;
-        const std::size_t chunk = std::min<std::size_t>(64 - db, len);
-        const std::size_t sw = spos >> 6;
-        const std::size_t sb = spos & 63;
-        std::uint64_t bits = src[sw] >> sb;
-        if (sb != 0 && sb + chunk > 64)
-            bits |= src[sw + 1] << (64 - sb);
-        if (chunk < 64)
-            bits &= (std::uint64_t(1) << chunk) - 1;
-        dst[dpos >> 6] ^= bits << db;
+    // Head: one partial chunk aligns dpos to a word boundary.
+    if (len > 0 && (dpos & 63) != 0) {
+        const std::size_t chunk =
+            std::min<std::size_t>(64 - (dpos & 63), len);
+        xorStep(dst, dpos, src, spos, chunk);
         dpos += chunk;
         spos += chunk;
         len -= chunk;
     }
+    // Body: dst-aligned whole words, funnel-shifted out of src. Word w
+    // needs src bits [spos + 64w, spos + 64w + 64), i.e. src words
+    // sw + w and (when sb != 0) sw + w + 1 — the same accesses the
+    // word-at-a-time loop makes.
+    if (len >= 64) {
+        const std::size_t nwords = len >> 6;
+        const std::size_t sw = spos >> 6;
+        const unsigned sb = static_cast<unsigned>(spos & 63);
+        simd::xorFunnelWords(dst + (dpos >> 6), src + sw,
+                             sb != 0 ? src + sw + 1 : nullptr, sb,
+                             ~std::uint64_t(0), 0, nwords);
+        dpos += nwords << 6;
+        spos += nwords << 6;
+        len &= 63;
+    }
+    // Tail: at most one sub-word chunk (dpos is word-aligned here).
+    if (len > 0)
+        xorStep(dst, dpos, src, spos, len);
 }
 
 /** Zero `len` bits of `dst` starting at bit `dpos`. */
@@ -88,8 +119,7 @@ void
 BitVec::xorWith(const BitVec &other)
 {
     RIF_ASSERT(nbits_ == other.nbits_);
-    for (std::size_t i = 0; i < words_.size(); ++i)
-        words_[i] ^= other.words_[i];
+    simd::xorWords(words_.data(), other.words_.data(), words_.size());
 }
 
 void
@@ -106,10 +136,7 @@ BitVec::xorRange(std::size_t dst_start, const BitVec &src,
 std::size_t
 BitVec::popcount() const
 {
-    std::size_t n = 0;
-    for (std::uint64_t w : words_)
-        n += static_cast<std::size_t>(std::popcount(w));
-    return n;
+    return simd::popcountWords(words_.data(), words_.size());
 }
 
 bool
@@ -190,6 +217,17 @@ BitVec::assignFromBytes(const std::uint8_t *bytes, std::size_t n)
             word |= static_cast<std::uint64_t>(bytes[b] & 1) << (b - i);
         words_[i >> 6] = word;
     }
+}
+
+void
+BitVec::assignFromWords(const std::uint64_t *words, std::size_t stride,
+                        std::size_t nbits)
+{
+    nbits_ = nbits;
+    words_.resize((nbits + 63) / 64);
+    for (std::size_t w = 0; w < words_.size(); ++w)
+        words_[w] = words[w * stride];
+    trimTail();
 }
 
 void

@@ -98,6 +98,14 @@ class BitVec
      */
     void assignFromBytes(const std::uint8_t *bytes, std::size_t n);
 
+    /**
+     * Adopt nbits from strided packed words: word i is read from
+     * words[i * stride]. The gather path out of a word-interleaved
+     * ldpc::CodewordBatch lane (stride = lane count).
+     */
+    void assignFromWords(const std::uint64_t *words, std::size_t stride,
+                         std::size_t nbits);
+
     /** Unpack into size() bytes of 0/1, eight bytes per step. */
     void copyToBytes(std::uint8_t *out) const;
 

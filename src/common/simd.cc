@@ -1,0 +1,428 @@
+#include "common/simd.h"
+
+#include <bit>
+#include <cmath>
+
+#if RIF_SIMD_ENABLED && defined(__x86_64__)
+#define RIF_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define RIF_SIMD_X86 0
+#endif
+
+namespace rif {
+namespace simd {
+
+namespace {
+
+void
+xorWordsScalar(std::uint64_t *dst, const std::uint64_t *src, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] ^= src[i];
+}
+
+std::size_t
+popcountWordsScalar(const std::uint64_t *p, std::size_t n)
+{
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        total += static_cast<std::size_t>(std::popcount(p[i]));
+    return total;
+}
+
+void
+xorFunnelWordsScalar(std::uint64_t *dst, const std::uint64_t *a,
+                     const std::uint64_t *b, unsigned sb, std::uint64_t mask,
+                     unsigned db, std::size_t n)
+{
+    if (b != nullptr) {
+        const unsigned up = 64u - sb;
+        for (std::size_t i = 0; i < n; ++i)
+            dst[i] ^= (((a[i] >> sb) | (b[i] << up)) & mask) << db;
+    } else {
+        for (std::size_t i = 0; i < n; ++i)
+            dst[i] ^= ((a[i] >> sb) & mask) << db;
+    }
+}
+
+void
+minsumCheckPass8Scalar(const std::uint32_t *cs, std::size_t m,
+                       const float *v2c, float *c2v, float alpha)
+{
+    constexpr std::size_t L = 8;
+    for (std::size_t chk = 0; chk < m; ++chk) {
+        const std::uint32_t lo = cs[chk];
+        const std::uint32_t hi = cs[chk + 1];
+        float min1[L], min2[L], sgn[L];
+        std::uint32_t minE[L];
+        for (std::size_t l = 0; l < L; ++l) {
+            min1[l] = 1e30f;
+            min2[l] = 1e30f;
+            minE[l] = lo;
+            sgn[l] = 1.0f;
+        }
+        for (std::uint32_t e = lo; e < hi; ++e) {
+            const float *ve = v2c + static_cast<std::size_t>(e) * L;
+            for (std::size_t l = 0; l < L; ++l) {
+                const float v = ve[l];
+                const float mag = std::fabs(v);
+                sgn[l] = v < 0.0f ? -sgn[l] : sgn[l];
+                const bool lt1 = mag < min1[l];
+                const bool lt2 = mag < min2[l];
+                min2[l] = lt1 ? min1[l] : (lt2 ? mag : min2[l]);
+                min1[l] = lt1 ? mag : min1[l];
+                minE[l] = lt1 ? e : minE[l];
+            }
+        }
+        for (std::uint32_t e = lo; e < hi; ++e) {
+            const float *ve = v2c + static_cast<std::size_t>(e) * L;
+            float *ce = c2v + static_cast<std::size_t>(e) * L;
+            for (std::size_t l = 0; l < L; ++l) {
+                const float mag = (e == minE[l]) ? min2[l] : min1[l];
+                const float s = ve[l] < 0.0f ? -sgn[l] : sgn[l];
+                ce[l] = alpha * s * mag;
+            }
+        }
+    }
+}
+
+void
+minsumVarPass8Scalar(const float *chan, std::size_t n,
+                     const std::uint32_t *var_edge,
+                     const std::uint32_t *var_start, float *v2c,
+                     const float *c2v, std::uint64_t *hard_words)
+{
+    constexpr std::size_t L = 8;
+    std::uint64_t pack[L] = {};
+    for (std::size_t v = 0; v < n; ++v) {
+        float total[L];
+        const float *cv = chan + v * L;
+        for (std::size_t l = 0; l < L; ++l)
+            total[l] = cv[l];
+        const std::uint32_t vlo = var_start[v];
+        const std::uint32_t vhi = var_start[v + 1];
+        for (std::uint32_t i = vlo; i < vhi; ++i) {
+            const float *ce =
+                c2v + static_cast<std::size_t>(var_edge[i]) * L;
+            for (std::size_t l = 0; l < L; ++l)
+                total[l] += ce[l];
+        }
+        for (std::uint32_t i = vlo; i < vhi; ++i) {
+            const std::size_t e = var_edge[i];
+            const float *ce = c2v + e * L;
+            float *ve = v2c + e * L;
+            for (std::size_t l = 0; l < L; ++l)
+                ve[l] = total[l] - ce[l];
+        }
+        const unsigned bit = static_cast<unsigned>(v & 63);
+        for (std::size_t l = 0; l < L; ++l)
+            pack[l] |= static_cast<std::uint64_t>(total[l] < 0.0f) << bit;
+        if (bit == 63 || v + 1 == n) {
+            std::uint64_t *dst = hard_words + (v >> 6) * L;
+            for (std::size_t l = 0; l < L; ++l) {
+                dst[l] = pack[l];
+                pack[l] = 0;
+            }
+        }
+    }
+}
+
+#if RIF_SIMD_X86
+
+__attribute__((target("avx2"))) void
+minsumCheckPass8Avx2(const std::uint32_t *cs, std::size_t m,
+                     const float *v2c, float *c2v, float alpha)
+{
+    // One 256-bit vector holds all 8 lanes of a message. -x is a
+    // sign-bit XOR and the products stay left-associated mul_ps, so
+    // every lane computes the exact float sequence of the scalar path.
+    const __m256 vabs =
+        _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+    const __m256 vsign = _mm256_castsi256_ps(
+        _mm256_set1_epi32(static_cast<int>(0x80000000u)));
+    const __m256 vzero = _mm256_setzero_ps();
+    const __m256 valpha = _mm256_set1_ps(alpha);
+    for (std::size_t chk = 0; chk < m; ++chk) {
+        const std::uint32_t lo = cs[chk];
+        const std::uint32_t hi = cs[chk + 1];
+        __m256 min1 = _mm256_set1_ps(1e30f);
+        __m256 min2 = min1;
+        __m256 sgn = _mm256_set1_ps(1.0f);
+        __m256i minE = _mm256_set1_epi32(static_cast<int>(lo));
+        for (std::uint32_t e = lo; e < hi; ++e) {
+            const __m256 v =
+                _mm256_loadu_ps(v2c + static_cast<std::size_t>(e) * 8);
+            const __m256 mag = _mm256_and_ps(v, vabs);
+            const __m256 neg = _mm256_cmp_ps(v, vzero, _CMP_LT_OQ);
+            sgn = _mm256_xor_ps(sgn, _mm256_and_ps(neg, vsign));
+            const __m256 lt1 = _mm256_cmp_ps(mag, min1, _CMP_LT_OQ);
+            const __m256 lt2 = _mm256_cmp_ps(mag, min2, _CMP_LT_OQ);
+            min2 = _mm256_blendv_ps(_mm256_blendv_ps(min2, mag, lt2),
+                                    min1, lt1);
+            min1 = _mm256_blendv_ps(min1, mag, lt1);
+            minE = _mm256_blendv_epi8(
+                minE, _mm256_set1_epi32(static_cast<int>(e)),
+                _mm256_castps_si256(lt1));
+        }
+        for (std::uint32_t e = lo; e < hi; ++e) {
+            const __m256 v =
+                _mm256_loadu_ps(v2c + static_cast<std::size_t>(e) * 8);
+            const __m256 isMin = _mm256_castsi256_ps(_mm256_cmpeq_epi32(
+                minE, _mm256_set1_epi32(static_cast<int>(e))));
+            const __m256 mag = _mm256_blendv_ps(min1, min2, isMin);
+            const __m256 neg = _mm256_cmp_ps(v, vzero, _CMP_LT_OQ);
+            const __m256 s = _mm256_xor_ps(sgn, _mm256_and_ps(neg, vsign));
+            _mm256_storeu_ps(c2v + static_cast<std::size_t>(e) * 8,
+                             _mm256_mul_ps(_mm256_mul_ps(valpha, s), mag));
+        }
+    }
+}
+
+__attribute__((target("avx2"))) void
+minsumVarPass8Avx2(const float *chan, std::size_t n,
+                   const std::uint32_t *var_edge,
+                   const std::uint32_t *var_start, float *v2c,
+                   const float *c2v, std::uint64_t *hard_words)
+{
+    const __m256 vzero = _mm256_setzero_ps();
+    std::uint64_t pack[8] = {};
+    for (std::size_t v = 0; v < n; ++v) {
+        __m256 total = _mm256_loadu_ps(chan + v * 8);
+        const std::uint32_t vlo = var_start[v];
+        const std::uint32_t vhi = var_start[v + 1];
+        for (std::uint32_t i = vlo; i < vhi; ++i)
+            total = _mm256_add_ps(
+                total, _mm256_loadu_ps(
+                           c2v + static_cast<std::size_t>(var_edge[i]) * 8));
+        for (std::uint32_t i = vlo; i < vhi; ++i) {
+            const std::size_t e = var_edge[i];
+            _mm256_storeu_ps(v2c + e * 8,
+                             _mm256_sub_ps(total,
+                                           _mm256_loadu_ps(c2v + e * 8)));
+        }
+        const unsigned bit = static_cast<unsigned>(v & 63);
+        const unsigned m8 = static_cast<unsigned>(
+            _mm256_movemask_ps(_mm256_cmp_ps(total, vzero, _CMP_LT_OQ)));
+        for (std::size_t l = 0; l < 8; ++l)
+            pack[l] |= static_cast<std::uint64_t>((m8 >> l) & 1u) << bit;
+        if (bit == 63 || v + 1 == n) {
+            std::uint64_t *dst = hard_words + (v >> 6) * 8;
+            for (std::size_t l = 0; l < 8; ++l) {
+                dst[l] = pack[l];
+                pack[l] = 0;
+            }
+        }
+    }
+}
+
+__attribute__((target("avx2"))) void
+xorWordsAvx2(std::uint64_t *dst, const std::uint64_t *src, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i d = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(dst + i));
+        const __m256i s = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + i));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + i),
+                            _mm256_xor_si256(d, s));
+    }
+    for (; i < n; ++i)
+        dst[i] ^= src[i];
+}
+
+__attribute__((target("avx2"))) std::size_t
+popcountWordsAvx2(const std::uint64_t *p, std::size_t n)
+{
+    // AVX2 has no 64-bit popcount; the scalar popcnt instruction at two
+    // words per cycle already saturates the load bandwidth here, so the
+    // vector build keeps the scalar reduction (unrolled for the two
+    // execution ports).
+    std::size_t a = 0, b = 0;
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        a += static_cast<std::size_t>(std::popcount(p[i]));
+        b += static_cast<std::size_t>(std::popcount(p[i + 1]));
+    }
+    if (i < n)
+        a += static_cast<std::size_t>(std::popcount(p[i]));
+    return a + b;
+}
+
+__attribute__((target("avx2"))) void
+xorFunnelWordsAvx2(std::uint64_t *dst, const std::uint64_t *a,
+                   const std::uint64_t *b, unsigned sb, std::uint64_t mask,
+                   unsigned db, std::size_t n)
+{
+    const __m256i vmask = _mm256_set1_epi64x(static_cast<long long>(mask));
+    std::size_t i = 0;
+    if (b != nullptr) {
+        const int up = static_cast<int>(64u - sb);
+        for (; i + 4 <= n; i += 4) {
+            const __m256i lo = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(a + i));
+            const __m256i hi = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(b + i));
+            __m256i bits = _mm256_or_si256(
+                _mm256_srli_epi64(lo, static_cast<int>(sb)),
+                _mm256_slli_epi64(hi, up));
+            bits = _mm256_and_si256(bits, vmask);
+            bits = _mm256_slli_epi64(bits, static_cast<int>(db));
+            const __m256i d = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(dst + i));
+            _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + i),
+                                _mm256_xor_si256(d, bits));
+        }
+    } else {
+        for (; i + 4 <= n; i += 4) {
+            __m256i bits = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(a + i));
+            bits = _mm256_srli_epi64(bits, static_cast<int>(sb));
+            bits = _mm256_and_si256(bits, vmask);
+            bits = _mm256_slli_epi64(bits, static_cast<int>(db));
+            const __m256i d = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(dst + i));
+            _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + i),
+                                _mm256_xor_si256(d, bits));
+        }
+    }
+    if (i < n)
+        xorFunnelWordsScalar(dst + i, a + i, b ? b + i : nullptr, sb, mask,
+                             db, n - i);
+}
+
+bool
+haveAvx2()
+{
+    static const bool have = __builtin_cpu_supports("avx2");
+    return have;
+}
+
+#endif // RIF_SIMD_X86
+
+using XorWordsFn = void (*)(std::uint64_t *, const std::uint64_t *,
+                            std::size_t);
+using PopcountFn = std::size_t (*)(const std::uint64_t *, std::size_t);
+using FunnelFn = void (*)(std::uint64_t *, const std::uint64_t *,
+                          const std::uint64_t *, unsigned, std::uint64_t,
+                          unsigned, std::size_t);
+using CheckPassFn = void (*)(const std::uint32_t *, std::size_t,
+                             const float *, float *, float);
+using VarPassFn = void (*)(const float *, std::size_t,
+                           const std::uint32_t *, const std::uint32_t *,
+                           float *, const float *, std::uint64_t *);
+
+#if RIF_SIMD_X86
+XorWordsFn
+pickXorWords()
+{
+    return haveAvx2() ? xorWordsAvx2 : xorWordsScalar;
+}
+PopcountFn
+pickPopcount()
+{
+    return haveAvx2() ? popcountWordsAvx2 : popcountWordsScalar;
+}
+FunnelFn
+pickFunnel()
+{
+    return haveAvx2() ? xorFunnelWordsAvx2 : xorFunnelWordsScalar;
+}
+CheckPassFn
+pickCheckPass()
+{
+    return haveAvx2() ? minsumCheckPass8Avx2 : minsumCheckPass8Scalar;
+}
+VarPassFn
+pickVarPass()
+{
+    return haveAvx2() ? minsumVarPass8Avx2 : minsumVarPass8Scalar;
+}
+#else
+XorWordsFn
+pickXorWords()
+{
+    return xorWordsScalar;
+}
+PopcountFn
+pickPopcount()
+{
+    return popcountWordsScalar;
+}
+FunnelFn
+pickFunnel()
+{
+    return xorFunnelWordsScalar;
+}
+CheckPassFn
+pickCheckPass()
+{
+    return minsumCheckPass8Scalar;
+}
+VarPassFn
+pickVarPass()
+{
+    return minsumVarPass8Scalar;
+}
+#endif
+
+// Resolved once; plain function-pointer dispatch afterwards. The
+// kernels are called with hundreds of words per invocation, so the
+// indirect call is noise.
+const XorWordsFn gXorWords = pickXorWords();
+const PopcountFn gPopcount = pickPopcount();
+const FunnelFn gFunnel = pickFunnel();
+const CheckPassFn gCheckPass = pickCheckPass();
+const VarPassFn gVarPass = pickVarPass();
+
+} // namespace
+
+const char *
+backendName()
+{
+#if RIF_SIMD_X86
+    return haveAvx2() ? "avx2" : "scalar";
+#else
+    return "scalar";
+#endif
+}
+
+void
+xorWords(std::uint64_t *dst, const std::uint64_t *src, std::size_t n)
+{
+    gXorWords(dst, src, n);
+}
+
+std::size_t
+popcountWords(const std::uint64_t *p, std::size_t n)
+{
+    return gPopcount(p, n);
+}
+
+void
+xorFunnelWords(std::uint64_t *dst, const std::uint64_t *a,
+               const std::uint64_t *b, unsigned sb, std::uint64_t mask,
+               unsigned db, std::size_t n)
+{
+    gFunnel(dst, a, b, sb, mask, db, n);
+}
+
+void
+minsumCheckPass8(const std::uint32_t *check_offsets, std::size_t m,
+                 const float *v2c, float *c2v, float alpha)
+{
+    gCheckPass(check_offsets, m, v2c, c2v, alpha);
+}
+
+void
+minsumVarPass8(const float *chan, std::size_t n,
+               const std::uint32_t *var_edge,
+               const std::uint32_t *var_start, float *v2c,
+               const float *c2v, std::uint64_t *hard_words)
+{
+    gVarPass(chan, n, var_edge, var_start, v2c, c2v, hard_words);
+}
+
+} // namespace simd
+} // namespace rif

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The single SIMD dispatch point for the word-parallel bit kernels.
+ * Three primitives cover every inner loop of the LDPC/ODEAR datapath:
+ *
+ *  - xorWords:       dst[i] ^= src[i]                (aligned bulk XOR)
+ *  - popcountWords:  sum of std::popcount over a word range
+ *  - xorFunnelWords: dst[i] ^= (((a[i] >> sb) | (b[i] << (64 - sb)))
+ *                               & mask) << db        (the funnel-shift
+ *                    body of BitVec::xorRange and the batched circulant
+ *                    rotations)
+ *
+ * plus the two float passes of the 8-lane batched min-sum decoder
+ * (minsumCheckPass8 / minsumVarPass8), whose lane-major layout puts the
+ * eight lanes of one message in one 256-bit vector.
+ *
+ * Builds with RIF_SIMD=ON (the default) compile an AVX2 variant of each
+ * primitive with a per-function target attribute — no global -mavx2, so
+ * the binary still runs on pre-AVX2 hosts — and select it once at
+ * startup via cpuid. RIF_SIMD=OFF builds contain only the portable
+ * word-wise loops, which is the scalar-fallback CI leg. Either way the
+ * results are bit-identical: the integer kernels trivially so, and the
+ * float kernels perform the exact same IEEE operations in the same
+ * order as their scalar fallbacks (sign flips are sign-bit XORs, no FMA
+ * contraction, left-associated products).
+ */
+
+#ifndef RIF_COMMON_SIMD_H
+#define RIF_COMMON_SIMD_H
+
+#include <cstddef>
+#include <cstdint>
+
+#ifndef RIF_SIMD_ENABLED
+#define RIF_SIMD_ENABLED 1
+#endif
+
+namespace rif {
+namespace simd {
+
+/** Active backend, for logs and tests: "avx2" or "scalar". */
+const char *backendName();
+
+/** dst[i] ^= src[i] for i in [0, n). Ranges must not overlap. */
+void xorWords(std::uint64_t *dst, const std::uint64_t *src, std::size_t n);
+
+/** Total population count of words [0, n). */
+std::size_t popcountWords(const std::uint64_t *p, std::size_t n);
+
+/**
+ * The funnel-shift XOR body shared by BitVec::xorRange and the batched
+ * circulant kernels:
+ *
+ *   dst[i] ^= (((a[i] >> sb) | (b ? b[i] << (64 - sb) : 0)) & mask) << db
+ *
+ * for i in [0, n). Pass b == nullptr when sb == 0 (a shift by 64 would
+ * be undefined); callers guarantee dst does not alias a or b.
+ */
+void xorFunnelWords(std::uint64_t *dst, const std::uint64_t *a,
+                    const std::uint64_t *b, unsigned sb, std::uint64_t mask,
+                    unsigned db, std::size_t n);
+
+/**
+ * One normalized-min-sum check-node pass over 8-lane interleaved
+ * messages (lane l of edge e at index e * 8 + l). For every check chk
+ * in [0, m) with edge range [check_offsets[chk], check_offsets[chk+1])
+ * the kernel finds, per lane, the two smallest |v2c|, the edge holding
+ * the smallest and the sign product, then emits
+ *
+ *   c2v[e*8+l] = alpha * sign_excl * min_excl
+ *
+ * with the two-min exclusion trick — the same update sequence, select
+ * for select, as the scalar ladder in MinSumDecoder::decode, so the
+ * results are bit-identical lane for lane.
+ */
+void minsumCheckPass8(const std::uint32_t *check_offsets, std::size_t m,
+                      const float *v2c, float *c2v, float alpha);
+
+/**
+ * One min-sum variable-node pass over 8-lane interleaved messages: for
+ * every variable v in [0, n), total_l = chan[v*8+l] plus its edges'
+ * c2v (added in adjacency order); v2c[e*8+l] = total_l - c2v[e*8+l];
+ * and the hard decision total_l < 0 is packed into the word-interleaved
+ * hard_words (lane l of word w at hard_words[w*8+l], tail bits zero).
+ * Edges of variable v are var_edge[var_start[v] .. var_start[v+1]).
+ */
+void minsumVarPass8(const float *chan, std::size_t n,
+                    const std::uint32_t *var_edge,
+                    const std::uint32_t *var_start, float *v2c,
+                    const float *c2v, std::uint64_t *hard_words);
+
+} // namespace simd
+} // namespace rif
+
+#endif // RIF_COMMON_SIMD_H

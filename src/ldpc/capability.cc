@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "ldpc/batch.h"
 #include "ldpc/channel.h"
 
 namespace rif {
@@ -37,7 +38,34 @@ measureCapability(const QcLdpcCode &code, const MinSumDecoder &decoder,
     };
     const auto trials = static_cast<std::size_t>(config.trials);
     std::vector<Trial> slots(trials);
-    std::vector<DecodeWorkspace> scratch(globalThreadCount());
+
+    // Trials run through the batched SoA datapath (batch.h) in fixed
+    // index-based chunks: chunk c always covers trials [cB, cB + B), so
+    // batch composition — and with it every weight and decode outcome —
+    // is independent of the thread count. Per-trial RNG streams are
+    // forked before the parallel region and the batched kernels are
+    // bit-identical lane for lane to their scalar forms, so the results
+    // match the unbatched harness exactly.
+    constexpr std::size_t kBatch = 8;
+    const std::size_t chunks = (trials + kBatch - 1) / kBatch;
+    struct Scratch
+    {
+        BatchDecodeWorkspace ws;
+        CodewordBatch batch; ///< corrupted words, one lane per trial
+        CodewordBatch synd;  ///< syndrome accumulator
+        std::vector<HardWord> words;
+        std::vector<const HardWord *> ptrs;
+        std::vector<DecodeResult> results;
+        std::vector<std::size_t> weights, pruned;
+    };
+    std::vector<Scratch> scratch(globalThreadCount());
+    for (Scratch &s : scratch) {
+        s.words.resize(kBatch);
+        s.ptrs.resize(kBatch);
+        s.results.resize(kBatch);
+        s.weights.resize(kBatch);
+        s.pruned.resize(kBatch);
+    }
 
     for (double rber : config.rbers) {
         CapabilityPoint pt;
@@ -45,18 +73,33 @@ measureCapability(const QcLdpcCode &code, const MinSumDecoder &decoder,
         // Stream i is forked before the parallel region, so results are
         // bit-identical at any thread count.
         std::vector<Rng> streams = forkStreams(master, trials);
-        parallelForWorker(trials, [&](std::size_t i, int worker) {
-            Rng &rng = streams[i];
-            HardWord data = randomData(code.params().k(), rng);
-            HardWord word = code.encode(data);
-            injectErrors(word, rber, rng);
-            Trial &s = slots[i];
-            s.syndromeWeight = code.syndromeWeight(word);
-            s.prunedWeight = code.prunedSyndromeWeight(word);
-            const DecodeResult res =
-                decoder.decode(word, rber, scratch[worker]);
-            s.failed = !res.success;
-            s.iterations = res.iterations;
+        parallelForWorker(chunks, [&](std::size_t c, int worker) {
+            const std::size_t begin = c * kBatch;
+            const std::size_t lanes = std::min(kBatch, trials - begin);
+            Scratch &s = scratch[worker];
+            s.batch.reset(code.params().n(), lanes);
+            for (std::size_t l = 0; l < lanes; ++l) {
+                Rng &rng = streams[begin + l];
+                HardWord data = randomData(code.params().k(), rng);
+                s.words[l] = code.encode(data);
+                injectErrors(s.words[l], rber, rng);
+                s.batch.setLaneFromBytes(l, s.words[l].data(),
+                                         s.words[l].size());
+                s.ptrs[l] = &s.words[l];
+            }
+            syndromeWeightBatch(code, s.batch, s.synd, s.weights.data());
+            prunedSyndromeWeightBatch(code, s.batch, s.synd,
+                                      s.pruned.data());
+            decoder.decodeBatch(s.ptrs.data(), lanes, rber, s.ws,
+                                s.results.data());
+            for (std::size_t l = 0; l < lanes; ++l) {
+                Trial &t = slots[begin + l];
+                t.failed = !s.results[l].success;
+                t.iterations = s.results[l].iterations;
+                t.syndromeWeight = s.weights[l];
+                t.prunedWeight = s.pruned[l];
+            }
+            noteBatchFormed(lanes, kBatch);
         });
 
         std::uint64_t failures = 0;

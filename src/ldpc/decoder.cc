@@ -5,6 +5,8 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/simd.h"
+#include "ldpc/batch.h"
 
 namespace rif {
 namespace ldpc {
@@ -185,6 +187,139 @@ MinSumDecoder::decode(const HardWord &received, double channel_rber,
     result.success = false;
     noteDecode(result);
     return result;
+}
+
+void
+MinSumDecoder::decodeBatch(const HardWord *const *received,
+                           std::size_t lanes, double channel_rber,
+                           BatchDecodeWorkspace &ws,
+                           DecodeResult *results) const
+{
+    RIF_ASSERT(lanes > 0);
+    // Fixed-width chunks: the kernel below is compiled for exactly
+    // kBatchLanes lanes so every per-lane loop vectorizes at full
+    // register width. Lane results are independent, so chunking cannot
+    // change them.
+    for (std::size_t at = 0; at < lanes; at += kBatchLanes) {
+        const std::size_t chunk = std::min(kBatchLanes, lanes - at);
+        decodeBatchChunk(received + at, chunk, channel_rber, ws,
+                         results + at);
+    }
+}
+
+void
+MinSumDecoder::decodeBatchChunk(const HardWord *const *received,
+                                std::size_t lanes, double channel_rber,
+                                BatchDecodeWorkspace &ws,
+                                DecodeResult *results) const
+{
+    // L is a compile-time constant: every `for l < L` loop below has a
+    // fixed trip count of 8 floats — one 256-bit vector — and the
+    // two-min ladder's select form compiles to cmp/blend chains with
+    // the lane state held in registers, not memory. Because the vector
+    // ops always run at full width, lanes that converged early (and the
+    // all-zero pad lanes of a short chunk) cost nothing extra: chunk
+    // cost is max-over-lanes iterations, not sum.
+    constexpr std::size_t L = kBatchLanes;
+    const auto &params = code_.params();
+    const std::size_t n = params.n();
+    const std::size_t m = params.m();
+    const auto t = static_cast<std::size_t>(params.circulant);
+    const auto &ev = code_.checkAdjacency();
+    const auto &cs = code_.checkOffsets();
+    const std::size_t edges = ev.size();
+    RIF_ASSERT(lanes > 0 && lanes <= L);
+    for (std::size_t l = 0; l < lanes; ++l)
+        RIF_ASSERT(received[l]->size() == n);
+
+    const float llr0 = ws.llrMagnitude(channel_rber);
+
+    // Pad lanes carry the all-zero word: their messages stay finite and
+    // they are excluded from all result/metric bookkeeping below.
+    ws.chan.resize(n * L);
+    for (std::size_t v = 0; v < n; ++v) {
+        float *cv = ws.chan.data() + v * L;
+        for (std::size_t l = 0; l < L; ++l)
+            cv[l] = l < lanes && (*received[l])[v] ? -llr0 : llr0;
+    }
+
+    ws.v2c.resize(edges * L);
+    ws.c2v.assign(edges * L, 0.0f);
+    for (std::size_t e = 0; e < edges; ++e) {
+        const float *cv =
+            ws.chan.data() + static_cast<std::size_t>(ev[e]) * L;
+        float *ve = ws.v2c.data() + e * L;
+        for (std::size_t l = 0; l < L; ++l)
+            ve[l] = cv[l];
+    }
+
+    ws.hard.reset(n, L);
+
+    std::uint8_t converged[L];
+    std::uint8_t rowOk[L];
+    for (std::size_t l = 0; l < L; ++l) {
+        converged[l] = l < lanes ? 0 : 1;
+        if (l < lanes)
+            results[l] = DecodeResult{};
+    }
+
+    std::size_t remaining = lanes;
+
+    for (int iter = 1; iter <= maxIterations_ && remaining > 0; ++iter) {
+        // Check-node pass: the scalar two-min trick per lane with the
+        // if/else ladder as selects — one 256-bit vector per message in
+        // the AVX2 backend, the identical operation sequence either way
+        // (see simd.h), so every lane matches MinSumDecoder::decode.
+        simd::minsumCheckPass8(cs.data(), m, ws.v2c.data(),
+                               ws.c2v.data(), alpha_);
+
+        // Variable-node pass, packing hard decisions word by word
+        // straight into the batch (no per-bit stores).
+        simd::minsumVarPass8(ws.chan.data(), n, varEdge_.data(),
+                             varStart_.data(), ws.v2c.data(),
+                             ws.c2v.data(), ws.hard.words());
+
+        // Parity check: block rows are shared across lanes; a lane drops
+        // out at its first non-zero row word. Rows stop once every
+        // still-running lane has failed this iteration.
+        for (std::size_t l = 0; l < L; ++l)
+            rowOk[l] = converged[l] ? 0 : 1;
+        std::size_t pending_ok = remaining;
+        for (int i = 0; i < params.blockRows && pending_ok > 0; ++i) {
+            ws.row.reset(t, L);
+            xorRowSyndromeBatch(code_, ws.hard, i, ws.row, 0);
+            const std::size_t wpl = ws.row.wordsPerLane();
+            const std::uint64_t *rw = ws.row.words();
+            for (std::size_t l = 0; l < lanes; ++l) {
+                if (!rowOk[l])
+                    continue;
+                for (std::size_t w = 0; w < wpl; ++w) {
+                    if (rw[w * L + l] != 0) {
+                        rowOk[l] = 0;
+                        --pending_ok;
+                        break;
+                    }
+                }
+            }
+        }
+
+        for (std::size_t l = 0; l < lanes; ++l) {
+            if (converged[l])
+                continue;
+            results[l].iterations = iter;
+            if (rowOk[l]) {
+                converged[l] = 1;
+                --remaining;
+                results[l].success = true;
+                ws.hard.extractLane(l, ws.lane);
+                results[l].word.resize(n);
+                ws.lane.copyToBytes(results[l].word.data());
+            }
+        }
+    }
+
+    for (std::size_t l = 0; l < lanes; ++l)
+        noteDecode(results[l]);
 }
 
 LayeredMinSumDecoder::LayeredMinSumDecoder(const QcLdpcCode &code,

@@ -25,6 +25,8 @@
 namespace rif {
 namespace ldpc {
 
+struct BatchDecodeWorkspace;
+
 /** Outcome of one decode attempt. */
 struct DecodeResult
 {
@@ -88,9 +90,36 @@ class MinSumDecoder
     DecodeResult decode(const HardWord &received, double channel_rber,
                         DecodeWorkspace &ws) const;
 
+    /**
+     * Lanes per internal decode chunk: the batched kernel is compiled
+     * for exactly this width so every per-lane loop vectorizes at full
+     * register width (8 floats = one 256-bit vector). Harnesses get the
+     * best throughput by batching in multiples of this.
+     */
+    static constexpr std::size_t kBatchLanes = 8;
+
+    /**
+     * Decode `lanes` received words in lockstep over the batched SoA
+     * datapath (see batch.h). Bit-identical, lane for lane, to calling
+     * decode() on each word separately: same corrected words, same
+     * iteration counts, same metric totals. results[] receives `lanes`
+     * entries. Internally runs kBatchLanes-wide chunks; any lane count
+     * is accepted (short chunks are padded with an implicit all-zero
+     * word that never surfaces in results or metrics).
+     */
+    void decodeBatch(const HardWord *const *received, std::size_t lanes,
+                     double channel_rber, BatchDecodeWorkspace &ws,
+                     DecodeResult *results) const;
+
     int maxIterations() const { return maxIterations_; }
 
   private:
+    /** One fixed-width chunk of decodeBatch (lanes <= kBatchLanes). */
+    void decodeBatchChunk(const HardWord *const *received,
+                          std::size_t lanes, double channel_rber,
+                          BatchDecodeWorkspace &ws,
+                          DecodeResult *results) const;
+
     const QcLdpcCode &code_;
     int maxIterations_;
     float alpha_;

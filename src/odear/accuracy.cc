@@ -1,10 +1,12 @@
 #include "odear/accuracy.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/parallel.h"
+#include "ldpc/batch.h"
 #include "ldpc/channel.h"
 
 namespace rif {
@@ -47,7 +49,29 @@ measureRpAccuracy(const ldpc::QcLdpcCode &code, const RpModule &rp,
     };
     const auto trials = static_cast<std::size_t>(config.trials);
     std::vector<Trial> slots(trials);
-    std::vector<ldpc::DecodeWorkspace> scratch(globalThreadCount());
+
+    // The decoder — the expensive half of each trial — runs through the
+    // batched SoA datapath in fixed index-based chunks (chunk c = trials
+    // [cB, cB + B)), so batch composition is thread-count independent;
+    // the RP prediction stays scalar per trial (it models the on-die
+    // hardware and is a single pruned weight). decodeBatch is
+    // bit-identical lane for lane to decode(), so the confusion matrix
+    // matches the unbatched harness exactly.
+    constexpr std::size_t kBatch = 8;
+    const std::size_t chunks = (trials + kBatch - 1) / kBatch;
+    struct Scratch
+    {
+        ldpc::BatchDecodeWorkspace ws;
+        std::vector<ldpc::HardWord> words;
+        std::vector<const ldpc::HardWord *> ptrs;
+        std::vector<ldpc::DecodeResult> results;
+    };
+    std::vector<Scratch> scratch(globalThreadCount());
+    for (Scratch &s : scratch) {
+        s.words.resize(kBatch);
+        s.ptrs.resize(kBatch);
+        s.results.resize(kBatch);
+    }
 
     for (double rber : config.rbers) {
         AccuracyPoint pt;
@@ -55,16 +79,26 @@ measureRpAccuracy(const ldpc::QcLdpcCode &code, const RpModule &rp,
         // Per-trial RNG streams forked serially so counters are identical
         // at any thread count.
         std::vector<Rng> streams = forkStreams(master, trials);
-        parallelForWorker(trials, [&](std::size_t i, int worker) {
-            Rng &rng = streams[i];
-            ldpc::HardWord data = ldpc::randomData(code.params().k(), rng);
-            ldpc::HardWord word = code.encode(data);
-            ldpc::injectErrors(word, rber, rng);
-            const BitVec flash =
-                rearranger.toFlashLayout(ldpc::toBitVec(word));
-            slots[i].predictedRetry = rp.predictRetry(flash);
-            slots[i].decodable =
-                decoder.decode(word, rber, scratch[worker]).success;
+        parallelForWorker(chunks, [&](std::size_t c, int worker) {
+            const std::size_t begin = c * kBatch;
+            const std::size_t lanes = std::min(kBatch, trials - begin);
+            Scratch &s = scratch[worker];
+            for (std::size_t l = 0; l < lanes; ++l) {
+                Rng &rng = streams[begin + l];
+                ldpc::HardWord data =
+                    ldpc::randomData(code.params().k(), rng);
+                s.words[l] = code.encode(data);
+                ldpc::injectErrors(s.words[l], rber, rng);
+                const BitVec flash =
+                    rearranger.toFlashLayout(ldpc::toBitVec(s.words[l]));
+                slots[begin + l].predictedRetry = rp.predictRetry(flash);
+                s.ptrs[l] = &s.words[l];
+            }
+            decoder.decodeBatch(s.ptrs.data(), lanes, rber, s.ws,
+                                s.results.data());
+            for (std::size_t l = 0; l < lanes; ++l)
+                slots[begin + l].decodable = s.results[l].success;
+            ldpc::noteBatchFormed(lanes, kBatch);
         });
 
         int correct = 0, false_retry = 0, miss = 0;

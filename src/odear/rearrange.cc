@@ -1,6 +1,7 @@
 #include "odear/rearrange.h"
 
 #include "common/logging.h"
+#include "ldpc/batch.h"
 
 namespace rif {
 namespace odear {
@@ -82,6 +83,24 @@ CodewordRearranger::onDieSyndromeWeight(const BitVec &flash_word) const
     for (int j = 0; j <= d; ++j)
         acc.xorRange(0, flash_word, static_cast<std::size_t>(j) * t, t);
     return acc.popcount();
+}
+
+void
+CodewordRearranger::onDieSyndromeWeightBatch(const ldpc::CodewordBatch &flash,
+                                             ldpc::CodewordBatch &scratch,
+                                             std::size_t *weights) const
+{
+    const auto &p = code_.params();
+    RIF_ASSERT(flash.bits() == p.n());
+    const auto t = static_cast<std::size_t>(p.circulant);
+    const int d = p.dataBlocks();
+
+    // Same segment-XOR datapath as onDieSyndromeWeight, one interleaved
+    // pass per segment covering every lane at once.
+    scratch.reset(t, flash.lanes());
+    for (int j = 0; j <= d; ++j)
+        scratch.xorRange(0, flash, static_cast<std::size_t>(j) * t, t);
+    scratch.popcountLanes(weights);
 }
 
 } // namespace odear

@@ -16,6 +16,10 @@
 #include "ldpc/code.h"
 
 namespace rif {
+namespace ldpc {
+class CodewordBatch;
+} // namespace ldpc
+
 namespace odear {
 
 /** Rotation-based layout transform tied to one QC-LDPC code. */
@@ -42,6 +46,16 @@ class CodewordRearranger
      * QcLdpcCode::prunedSyndromeWeight of the restored layout.
      */
     std::size_t onDieSyndromeWeight(const BitVec &flash_word) const;
+
+    /**
+     * Batched on-die weight: one flash-layout word per lane of `flash`
+     * (see ldpc/batch.h). `scratch` is the caller-owned XOR accumulator
+     * (grown on first use, then reused); weights[] receives lanes()
+     * values, each bit-identical to onDieSyndromeWeight of that lane.
+     */
+    void onDieSyndromeWeightBatch(const ldpc::CodewordBatch &flash,
+                                  ldpc::CodewordBatch &scratch,
+                                  std::size_t *weights) const;
 
   private:
     const ldpc::QcLdpcCode &code_;

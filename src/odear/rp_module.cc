@@ -1,8 +1,11 @@
 #include "odear/rp_module.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "ldpc/batch.h"
 #include "ldpc/channel.h"
 
 namespace rif {
@@ -62,27 +65,60 @@ RpModule::calibrateThreshold(const ldpc::QcLdpcCode &code,
     // Reuse the module's own layout transform rather than constructing a
     // second (identical) rearranger.
     const CodewordRearranger &rearranger = rp.rearranger();
-    std::vector<Rng> streams =
-        forkStreams(seed, static_cast<std::size_t>(trials));
-    std::vector<std::size_t> weights(static_cast<std::size_t>(trials), 0);
-    // Per-worker data buffer: the in-place fill draws the same bits as
-    // randomData but without a fresh allocation per trial.
-    std::vector<ldpc::HardWord> data_scratch(
-        static_cast<std::size_t>(globalThreadCount()),
-        ldpc::HardWord(code.params().k()));
-    parallelForWorker(
-        static_cast<std::size_t>(trials),
-        [&](std::size_t i, int worker) {
-            Rng &rng = streams[i];
-            ldpc::HardWord &data =
-                data_scratch[static_cast<std::size_t>(worker)];
-            ldpc::randomDataInto(data, rng);
-            ldpc::HardWord word = code.encode(data);
+    const auto trials_n = static_cast<std::size_t>(trials);
+    std::vector<Rng> streams = forkStreams(seed, trials_n);
+    std::vector<std::size_t> weights(trials_n, 0);
+    // Trials run through the batched weight kernels in fixed
+    // index-based chunks (chunk c = trials [cB, cB + B)), so batch
+    // composition is thread-count independent. With pruning the lanes
+    // hold flash-layout words and the rearranger's batched on-die
+    // datapath computes the weights; without pruning computedWeight is
+    // syndromeWeight(toControllerLayout(toFlashLayout(w))) == the full
+    // syndrome weight of w itself, so the lanes hold the codewords
+    // directly. Either way each lane's value is bit-identical to the
+    // scalar computedWeight of that trial.
+    constexpr std::size_t kBatch = 8;
+    const std::size_t chunks = (trials_n + kBatch - 1) / kBatch;
+    struct Scratch
+    {
+        ldpc::CodewordBatch batch;
+        ldpc::CodewordBatch synd;
+        ldpc::HardWord data;
+        std::vector<std::size_t> w;
+    };
+    std::vector<Scratch> scratch(
+        static_cast<std::size_t>(globalThreadCount()));
+    for (Scratch &s : scratch) {
+        // In-place data fill draws the same bits as randomData but
+        // without a fresh allocation per trial.
+        s.data = ldpc::HardWord(code.params().k());
+        s.w.resize(kBatch);
+    }
+    parallelForWorker(chunks, [&](std::size_t c, int worker) {
+        const std::size_t begin = c * kBatch;
+        const std::size_t lanes = std::min(kBatch, trials_n - begin);
+        Scratch &s = scratch[static_cast<std::size_t>(worker)];
+        s.batch.reset(code.params().n(), lanes);
+        for (std::size_t l = 0; l < lanes; ++l) {
+            Rng &rng = streams[begin + l];
+            ldpc::randomDataInto(s.data, rng);
+            ldpc::HardWord word = code.encode(s.data);
             ldpc::injectErrors(word, capability_rber, rng);
-            const BitVec flash =
-                rearranger.toFlashLayout(ldpc::toBitVec(word));
-            weights[i] = rp.computedWeight(flash);
-        });
+            if (config.usePruning)
+                s.batch.setLane(
+                    l, rearranger.toFlashLayout(ldpc::toBitVec(word)));
+            else
+                s.batch.setLaneFromBytes(l, word.data(), word.size());
+        }
+        if (config.usePruning)
+            rearranger.onDieSyndromeWeightBatch(s.batch, s.synd,
+                                                s.w.data());
+        else
+            ldpc::syndromeWeightBatch(code, s.batch, s.synd, s.w.data());
+        for (std::size_t l = 0; l < lanes; ++l)
+            weights[begin + l] = s.w[l];
+        ldpc::noteBatchFormed(lanes, kBatch);
+    });
     std::size_t sum = 0;
     for (std::size_t w : weights)
         sum += w;

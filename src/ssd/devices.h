@@ -77,11 +77,27 @@ struct PageOp
 class DieModel
 {
   public:
+    /**
+     * `shard` tags the die's shard-confined events in a sharded
+     * Simulator (1 + channel index in the SSD model); 0 keeps
+     * everything on the serial lane.
+     */
     DieModel(Simulator &sim, const SsdConfig &config, ChannelModel &channel,
-             EccEngine &ecc);
+             EccEngine &ecc, std::uint32_t shard = 0);
 
     /** Queue an operation whose next phase runs on this die. */
     void enqueue(PageOp *op);
+
+    /**
+     * Queue without scheduling the batch-formation poke. A dispatcher
+     * placing several ops on one die at the same tick calls this per
+     * op and kick() once per touched die — identical batching with one
+     * zero-delay event instead of one per op.
+     */
+    void enqueueQuiet(PageOp *op) { queue_.push_back(op); }
+
+    /** Schedule the deferred batch-formation poke (see enqueue). */
+    void kick();
 
     bool idle() const { return !busy_; }
     std::size_t queued() const { return queue_.size(); }
@@ -94,6 +110,7 @@ class DieModel
     const SsdConfig &config_;
     ChannelModel &channel_;
     EccEngine &ecc_;
+    std::uint32_t shard_ = 0;
     std::deque<PageOp *> queue_;
     /** Scratch for batch formation, reused across tryStart calls. */
     std::vector<PageOp *> batch_;
@@ -108,8 +125,10 @@ class DieModel
 class ChannelModel
 {
   public:
+    /** `shard` as in DieModel; transfers completing to the host stay
+     *  on the serial lane regardless. */
     ChannelModel(Simulator &sim, const SsdConfig &config, EccEngine &ecc,
-                 ChannelUsage &usage);
+                 ChannelUsage &usage, std::uint32_t shard = 0);
 
     /** Queue an operation whose next phase is a channel transfer. */
     void enqueue(PageOp *op);
@@ -129,6 +148,7 @@ class ChannelModel
     const SsdConfig &config_;
     EccEngine &ecc_;
     ChannelUsage &usage_;
+    std::uint32_t shard_ = 0;
     DieLookup dieLookup_;
     std::deque<PageOp *> queue_;
     bool busy_ = false;
@@ -143,7 +163,10 @@ class ChannelModel
 class EccEngine
 {
   public:
-    EccEngine(Simulator &sim, const SsdConfig &config);
+    /** `shard` as in DieModel; successful decodes complete to the host
+     *  and stay on the serial lane regardless. */
+    EccEngine(Simulator &sim, const SsdConfig &config,
+              std::uint32_t shard = 0);
 
     /** Wire the owning channel (poked when buffer space frees). */
     void setChannel(ChannelModel *channel) { channel_ = channel; }
@@ -167,6 +190,7 @@ class EccEngine
 
     Simulator &sim_;
     const SsdConfig &config_;
+    std::uint32_t shard_ = 0;
     ChannelModel *channel_ = nullptr;
     DieLookup dieLookup_;
     std::deque<PageOp *> queue_;

@@ -1,13 +1,17 @@
 #include "ssd/sim.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 
 namespace rif {
 namespace ssd {
 
-Simulator::Simulator()
+thread_local Simulator::PostBuffer *Simulator::tlsPost_ = nullptr;
+
+Simulator::CalendarQueue::CalendarQueue()
     : l0_(kL0Slots),
       l1_(kL1Slots),
       l0Bits_(kL0Slots / 64, 0),
@@ -15,43 +19,109 @@ Simulator::Simulator()
 {
 }
 
+Simulator::Simulator(int shards) : shards_(std::max(shards, 0))
+{
+    // One queue per shard plus the serial lane; a single shard would
+    // only ever merge with the serial lane, so it stays on the classic
+    // single-queue path.
+    queues_.resize(shards_ > 1 ? static_cast<std::size_t>(shards_) + 1 : 1);
+    if (const char *env = std::getenv("RIF_SIM_PARALLEL_MIN")) {
+        const unsigned long v = std::strtoul(env, nullptr, 10);
+        parallelMin_ = v > 0 ? static_cast<std::size_t>(v) : 1;
+    }
+}
+
 void
 Simulator::schedule(Tick delay, Action action)
 {
-    scheduleAt(now_ + delay, std::move(action));
+    scheduleShardAt(0, now_ + delay, std::move(action));
 }
 
 void
 Simulator::scheduleAt(Tick when, Action action)
 {
+    scheduleShardAt(0, when, std::move(action));
+}
+
+void
+Simulator::scheduleShard(std::uint32_t shard, Tick delay, Action action)
+{
+    scheduleShardAt(shard, now_ + delay, std::move(action));
+}
+
+void
+Simulator::scheduleShardAt(std::uint32_t shard, Tick when, Action action)
+{
+    if (PostBuffer *pb = tlsPost_) {
+        // Inside a shard group: buffer, flushed after the group in
+        // (origin, emit) order so seq assignment matches a serial run.
+        RIF_ASSERT(when >= now_, "event scheduled in the past");
+        pb->recs.push_back(
+            PostRec{pb->origSeq, pb->emit++, shard, when, std::move(action)});
+        return;
+    }
+    pushEvent(shard, when, std::move(action));
+}
+
+void
+Simulator::pushEvent(std::uint32_t shard, Tick when, Action action)
+{
     RIF_ASSERT(when >= now_, "event scheduled in the past");
+    const std::size_t qi =
+        queues_.size() == 1 ? 0 : static_cast<std::size_t>(shard);
+    RIF_ASSERT(qi < queues_.size(), "shard out of range");
     const std::uint64_t seq = nextSeq_++;
     ++size_;
     if (size_ > peakSize_)
         peakSize_ = size_;
+    queues_[qi].push(when, seq, std::move(action));
+}
+
+void
+Simulator::CalendarQueue::push(Tick when, std::uint64_t seq, Action &&action)
+{
+    // Keep a valid cached earliest() current: a push can only lower
+    // it, and the lowered hint is exact iff the push landed in the L0
+    // window. An invalid hint stays invalid (the queue may hold
+    // earlier events this push knows nothing about); earliest()
+    // rescans then. L1/overflow events always lie at or beyond the L0
+    // window's end, so an undercutting push below an inexact hint is
+    // itself out-of-window — l0Count_ stays 0 and refill()'s
+    // precondition holds whenever the hint is inexact.
+    const bool undercut = hintValid_ && when < hintTick_;
     if (when < l0Base_ + Tick(kL0Slots)) {
         // Hot path: construct directly in the destination slot (one
         // action move instead of two through pushL0).
-        const std::size_t slot =
-            static_cast<std::size_t>(when - l0Base_);
+        const std::size_t slot = static_cast<std::size_t>(when - l0Base_);
         l0_[slot].emplace_back(when, seq, std::move(action));
         l0Bits_[slot >> 6] |= std::uint64_t(1) << (slot & 63);
         ++l0Count_;
         if (slot < l0Cursor_)
             l0Cursor_ = slot;
-    } else if (when < l1Base_ + kL1Span) {
-        pushL1(Event{when, seq, std::move(action)});
+        if (undercut) {
+            hintTick_ = when;
+            hintExact_ = true;
+            hintValid_ = true;
+        }
     } else {
-        overflow_.push_back(Event{when, seq, std::move(action)});
-        std::push_heap(overflow_.begin(), overflow_.end(), Later{});
+        if (when < l1Base_ + kL1Span) {
+            pushL1(Event{when, seq, std::move(action)});
+        } else {
+            overflow_.push_back(Event{when, seq, std::move(action)});
+            std::push_heap(overflow_.begin(), overflow_.end(), Later{});
+        }
+        if (undercut) {
+            hintTick_ = when;
+            hintExact_ = false;
+            hintValid_ = true;
+        }
     }
 }
 
 void
-Simulator::pushL0(Event ev)
+Simulator::CalendarQueue::pushL0(Event ev)
 {
-    const std::size_t slot =
-        static_cast<std::size_t>(ev.when - l0Base_);
+    const std::size_t slot = static_cast<std::size_t>(ev.when - l0Base_);
     l0_[slot].push_back(std::move(ev));
     l0Bits_[slot >> 6] |= std::uint64_t(1) << (slot & 63);
     ++l0Count_;
@@ -63,7 +133,7 @@ Simulator::pushL0(Event ev)
 }
 
 void
-Simulator::pushL1(Event ev)
+Simulator::CalendarQueue::pushL1(Event ev)
 {
     const std::size_t slot =
         static_cast<std::size_t>((ev.when - l1Base_) >> kL0Bits);
@@ -97,9 +167,10 @@ Simulator::findSetBit(const std::vector<std::uint64_t> &bits,
 }
 
 void
-Simulator::refillL0()
+Simulator::CalendarQueue::refill()
 {
     RIF_ASSERT(l0Count_ == 0);
+    hintValid_ = false;
     while (true) {
         if (l1Count_ > 0) {
             const std::size_t slot =
@@ -116,8 +187,8 @@ Simulator::refillL0()
             auto &bucket = l1_[slot];
             l1Count_ -= bucket.size();
             // Cascade: scatter to exact-tick slots. Bucket order is
-            // (when, seq)-consistent per tick (see scheduleAt /
-            // overflow migration), so per-slot FIFO is preserved.
+            // (when, seq)-consistent per tick (see push / overflow
+            // migration), so per-slot FIFO is preserved.
             for (auto &ev : bucket)
                 pushL0(std::move(ev));
             bucket.clear();
@@ -142,18 +213,66 @@ Simulator::refillL0()
             }
             continue;
         }
-        panic("refillL0 with no pending events");
+        panic("refill with no pending events");
     }
 }
 
-void
-Simulator::drainSlot(std::size_t slot, std::uint64_t &budget)
+Tick
+Simulator::CalendarQueue::earliest(bool &exact)
 {
+    RIF_ASSERT(hasEvents());
+    if (hintValid_) {
+        exact = hintExact_;
+        return hintTick_;
+    }
+    if (l0Count_ > 0) {
+        const std::size_t slot = findSetBit(l0Bits_, l0Cursor_, kL0Slots);
+        RIF_ASSERT(slot != kNoSlot);
+        hintTick_ = l0Base_ + Tick(slot);
+        hintExact_ = true;
+    } else if (l1Count_ > 0) {
+        const std::size_t slot = findSetBit(l1Bits_, l1Cursor_, kL1Slots);
+        RIF_ASSERT(slot != kNoSlot);
+        // Lower bound: the slot's first tick, not the event's.
+        hintTick_ = l1Base_ + Tick(slot) * kL1SlotTicks;
+        hintExact_ = false;
+    } else {
+        // The heap top is the true minimum, but the window has to be
+        // repositioned before takeTick can extract it.
+        hintTick_ = overflow_.front().when;
+        hintExact_ = false;
+    }
+    hintValid_ = true;
+    exact = hintExact_;
+    return hintTick_;
+}
+
+void
+Simulator::CalendarQueue::takeTick(Tick t, std::uint32_t shard,
+                                   std::vector<Pending> &out)
+{
+    const std::size_t slot = static_cast<std::size_t>(t - l0Base_);
+    RIF_ASSERT(l0Count_ > 0 && slot < kL0Slots, "takeTick needs an exact tick");
+    RIF_ASSERT((l0Bits_[slot >> 6] >> (slot & 63)) & 1);
     auto &bucket = l0_[slot];
+    for (auto &ev : bucket)
+        out.push_back(Pending{ev.seq, shard, std::move(ev.action)});
+    l0Count_ -= bucket.size();
+    bucket.clear();
+    l0Bits_[slot >> 6] &= ~(std::uint64_t(1) << (slot & 63));
+    l0Cursor_ = slot + 1;
+    hintValid_ = false;
+}
+
+void
+Simulator::drainSlot(CalendarQueue &q, std::size_t slot,
+                     std::uint64_t &budget)
+{
+    auto &bucket = q.l0_[slot];
     // Every event in an L0 bucket carries the slot's tick, so the
     // clock and the executed/pending counters move once per slot, and
     // only the action leaves the bucket per event.
-    now_ = l0Base_ + Tick(slot);
+    now_ = q.l0Base_ + Tick(slot);
     std::size_t idx = 0;
     // Index-based iteration: an action may append same-tick events to
     // this bucket (zero-delay scheduling), possibly reallocating it.
@@ -165,16 +284,184 @@ Simulator::drainSlot(std::size_t slot, std::uint64_t &budget)
     }
     executed_ += idx;
     size_ -= idx;
-    l0Count_ -= idx;
+    q.l0Count_ -= idx;
+    q.hintValid_ = false;
     if (idx >= bucket.size()) {
         bucket.clear();
-        l0Bits_[slot >> 6] &= ~(std::uint64_t(1) << (slot & 63));
-        l0Cursor_ = slot + 1;
+        q.l0Bits_[slot >> 6] &= ~(std::uint64_t(1) << (slot & 63));
+        q.l0Cursor_ = slot + 1;
     } else {
         // Watchdog budget ran out mid-slot: keep the unexecuted tail.
         bucket.erase(bucket.begin(),
                      bucket.begin() + static_cast<std::ptrdiff_t>(idx));
-        l0Cursor_ = slot;
+        q.l0Cursor_ = slot;
+    }
+}
+
+Tick
+Simulator::nextTick()
+{
+    // Find the minimum earliest() hint; whenever the argmin is only a
+    // lower bound, reposition that queue's window and rescan. A tick
+    // is returned only once every queue whose minimum equals it is
+    // exact, so gatherTick misses nothing. Advancing only argmin
+    // queues keeps every window at or below the global minimum tick —
+    // the invariant that makes later pushes (always >= now) land
+    // inside or beyond their queue's window, never before it.
+    while (true) {
+        Tick best = ~Tick(0);
+        CalendarQueue *best_inexact = nullptr;
+        for (auto &q : queues_) {
+            if (!q.hasEvents())
+                continue;
+            bool exact;
+            const Tick h = q.earliest(exact);
+            if (h < best) {
+                best = h;
+                best_inexact = exact ? nullptr : &q;
+            } else if (h == best && !exact && best_inexact == nullptr) {
+                best_inexact = &q;
+            }
+        }
+        RIF_ASSERT(best != ~Tick(0), "nextTick with no pending events");
+        if (best_inexact == nullptr)
+            return best;
+        best_inexact->refill();
+    }
+}
+
+void
+Simulator::gatherTick(Tick t)
+{
+    pending_.clear();
+    pendingIdx_ = 0;
+    for (std::size_t qi = 0; qi < queues_.size(); ++qi) {
+        CalendarQueue &q = queues_[qi];
+        if (!q.hasEvents())
+            continue;
+        bool exact;
+        if (q.earliest(exact) != t)
+            continue;
+        RIF_ASSERT(exact, "gatherTick on an unadvanced queue");
+        q.takeTick(t, static_cast<std::uint32_t>(qi), pending_);
+    }
+    RIF_ASSERT(!pending_.empty());
+    // Seqs are globally unique and assigned in schedule order, so the
+    // merged tick replays exactly the single-queue bucket order.
+    std::sort(pending_.begin(), pending_.end(),
+              [](const Pending &a, const Pending &b) {
+                  return a.seq < b.seq;
+              });
+}
+
+void
+Simulator::runGroup(std::size_t begin, std::size_t end)
+{
+    const int workers = std::max(globalThreadCount(), 1);
+    if (postBufs_.size() < static_cast<std::size_t>(workers))
+        postBufs_.resize(static_cast<std::size_t>(workers));
+
+    bool parallel = workers > 1 && end - begin >= parallelMin_;
+    if (parallel) {
+        // Partition by shard, preserving seq order within each shard.
+        if (groupLists_.size() < queues_.size())
+            groupLists_.resize(queues_.size());
+        groupUsed_.clear();
+        for (std::size_t i = begin; i < end; ++i) {
+            const std::uint32_t s = pending_[i].shard;
+            if (groupLists_[s].empty())
+                groupUsed_.push_back(s);
+            groupLists_[s].push_back(i);
+        }
+        if (groupUsed_.size() > 1) {
+            parallelForWorker(
+                groupUsed_.size(), [this](std::size_t gi, int w) {
+                    PostBuffer *prev = tlsPost_;
+                    tlsPost_ = &postBufs_[static_cast<std::size_t>(w)];
+                    for (std::size_t idx : groupLists_[groupUsed_[gi]]) {
+                        tlsPost_->origSeq = pending_[idx].seq;
+                        tlsPost_->emit = 0;
+                        Action act = std::move(pending_[idx].action);
+                        act();
+                    }
+                    tlsPost_ = prev;
+                });
+        } else {
+            parallel = false;
+        }
+        for (std::uint32_t s : groupUsed_)
+            groupLists_[s].clear();
+    }
+    if (!parallel) {
+        // Below the parallel threshold (or one shard, or one thread):
+        // run inline in seq order, still buffering schedules so the
+        // size/seq trajectories are identical to a pooled execution.
+        PostBuffer *prev = tlsPost_;
+        tlsPost_ = &postBufs_[0];
+        for (std::size_t i = begin; i < end; ++i) {
+            tlsPost_->origSeq = pending_[i].seq;
+            tlsPost_->emit = 0;
+            Action act = std::move(pending_[i].action);
+            act();
+        }
+        tlsPost_ = prev;
+    }
+    flushPosts();
+}
+
+void
+Simulator::flushPosts()
+{
+    flushOrder_.clear();
+    for (auto &pb : postBufs_)
+        for (auto &r : pb.recs)
+            flushOrder_.push_back(&r);
+    if (flushOrder_.empty())
+        return;
+    std::sort(flushOrder_.begin(), flushOrder_.end(),
+              [](const PostRec *a, const PostRec *b) {
+                  if (a->origSeq != b->origSeq)
+                      return a->origSeq < b->origSeq;
+                  return a->emitIdx < b->emitIdx;
+              });
+    for (PostRec *r : flushOrder_)
+        pushEvent(r->shard, r->when, std::move(r->action));
+    for (auto &pb : postBufs_)
+        pb.recs.clear();
+}
+
+void
+Simulator::executePending(std::uint64_t &budget)
+{
+    std::uint64_t done = 0;
+    while (pendingIdx_ < pending_.size() && budget > 0) {
+        Pending &head = pending_[pendingIdx_];
+        if (head.shard == 0) {
+            // Serial events run alone (never concurrently with a
+            // group), so they may touch any state and push directly.
+            Action act = std::move(head.action);
+            ++pendingIdx_;
+            --budget;
+            ++done;
+            act();
+            continue;
+        }
+        std::size_t e = pendingIdx_ + 1;
+        while (e < pending_.size() && pending_[e].shard != 0)
+            ++e;
+        std::size_t n = e - pendingIdx_;
+        if (static_cast<std::uint64_t>(n) > budget)
+            n = static_cast<std::size_t>(budget);
+        runGroup(pendingIdx_, pendingIdx_ + n);
+        pendingIdx_ += n;
+        budget -= n;
+        done += n;
+    }
+    executed_ += done;
+    size_ -= done;
+    if (pendingIdx_ >= pending_.size()) {
+        pending_.clear();
+        pendingIdx_ = 0;
     }
 }
 
@@ -188,19 +475,40 @@ Tick
 Simulator::run(std::uint64_t max_events)
 {
     std::uint64_t budget = max_events;
-    while (size_ > 0 && budget > 0) {
-        if (l0Count_ == 0) {
-            refillL0();
+    if (queues_.size() == 1) {
+        CalendarQueue &q = queues_[0];
+        while (size_ > 0 && budget > 0) {
+            if (q.l0Count_ == 0) {
+                q.refill();
+                continue;
+            }
+            const std::size_t slot =
+                findSetBit(q.l0Bits_, q.l0Cursor_, kL0Slots);
+            if (slot == kNoSlot) {
+                // L0 window exhausted but events remain further out.
+                q.refill();
+                continue;
+            }
+            drainSlot(q, slot, budget);
+        }
+        return now_;
+    }
+
+    while (budget > 0) {
+        if (pendingIdx_ < pending_.size()) {
+            // Either fresh events gathered below or the tail kept from
+            // a budget-exhausted previous run().
+            executePending(budget);
             continue;
         }
-        const std::size_t slot =
-            findSetBit(l0Bits_, l0Cursor_, kL0Slots);
-        if (slot == kNoSlot) {
-            // L0 window exhausted but events remain further out.
-            refillL0();
-            continue;
-        }
-        drainSlot(slot, budget);
+        if (size_ == 0)
+            break;
+        // A tick executed to completion may have flushed zero-delay
+        // schedules back onto itself; nextTick then returns the same
+        // tick again, replaying the single-queue same-tick-append
+        // semantics (new events carry higher seqs).
+        now_ = nextTick();
+        gatherTick(now_);
     }
     return now_;
 }

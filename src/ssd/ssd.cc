@@ -13,6 +13,7 @@ namespace ssd {
 
 Ssd::Ssd(const SsdConfig &config)
     : config_(config),
+      sim_(config.geometry.channels),
       rng_(config.seed),
       behavior_(makeBehaviorModel(config)),
       ftl_(std::make_unique<Ftl>(config, Rng(config.seed ^ 0xf71))),
@@ -22,19 +23,25 @@ Ssd::Ssd(const SsdConfig &config)
     const auto &g = config_.geometry;
     stats_.channels.resize(g.channels);
 
+    // Shard the event kernel by channel: shard 1 + c owns channel c's
+    // dies, channel and ECC engine, so their events may execute
+    // concurrently; anything touching host-side state stays on the
+    // serial lane (shard 0).
     eccs_.reserve(g.channels);
     channels_.reserve(g.channels);
     for (int c = 0; c < g.channels; ++c) {
-        eccs_.push_back(std::make_unique<EccEngine>(sim_, config_));
+        const auto shard = static_cast<std::uint32_t>(c + 1);
+        eccs_.push_back(std::make_unique<EccEngine>(sim_, config_, shard));
         channels_.push_back(std::make_unique<ChannelModel>(
-            sim_, config_, *eccs_[c], stats_.channels[c]));
+            sim_, config_, *eccs_[c], stats_.channels[c], shard));
         eccs_[c]->setChannel(channels_[c].get());
     }
     dies_.reserve(g.totalDies());
     for (int c = 0; c < g.channels; ++c) {
         for (int d = 0; d < g.diesPerChannel; ++d) {
             dies_.push_back(std::make_unique<DieModel>(
-                sim_, config_, *channels_[c], *eccs_[c]));
+                sim_, config_, *channels_[c], *eccs_[c],
+                static_cast<std::uint32_t>(c + 1)));
         }
     }
     auto lookup = [this](const nand::PhysAddr &a) -> DieModel & {
@@ -169,6 +176,13 @@ Ssd::publishMetrics() const
     counter("ssd.gc.disturb_relocations", "ops",
             "read-disturb block relocations",
             stats_.disturbBlockRelocations);
+
+    counter("ssd.read.gather.pages", "ops",
+            "read pages dispatched through gathered batches",
+            gatherPages_);
+    counter("ssd.read.gather.kicks", "ops",
+            "die batch-formation pokes scheduled by gathered dispatch",
+            gatherKicks_);
 
     counter("ssd.reads.retried", "ops", "host reads needing any retry",
             stats_.retriedReads);
@@ -317,6 +331,12 @@ void
 Ssd::dispatchReadPages(HostRequest *req, std::uint64_t lpn,
                        std::uint32_t pages)
 {
+    // Gather: enqueue every page quietly, then poke each touched die
+    // exactly once. The pokes run after all same-tick enqueues either
+    // way, so batch formation is identical — with one zero-delay event
+    // per die instead of one per page.
+    auto &kicks = gatherDies_;
+    kicks.clear();
     for (std::uint32_t i = 0; i < pages; ++i) {
         PageOp *op = newReadOp(lpn + i, [this, req](PageOp *done_op) {
             freeOp(done_op);
@@ -326,8 +346,15 @@ Ssd::dispatchReadPages(HostRequest *req, std::uint64_t lpn,
                                     [this, req] { finishRequest(req); });
             }
         });
-        dieAt(op->addr).enqueue(op);
+        DieModel &die = dieAt(op->addr);
+        die.enqueueQuiet(op);
+        if (std::find(kicks.begin(), kicks.end(), &die) == kicks.end())
+            kicks.push_back(&die);
     }
+    for (DieModel *die : kicks)
+        die->kick();
+    gatherPages_ += pages;
+    gatherKicks_ += kicks.size();
     maybeStartGc(); // reads can trip the read-disturb threshold
 }
 
@@ -453,6 +480,10 @@ Ssd::runGcJob(const GcJob &job)
         return;
     }
 
+    // Same gathered dispatch as host reads: quiet enqueues, one poke
+    // per touched die.
+    auto &kicks = gatherDies_;
+    kicks.clear();
     for (std::uint64_t lpn : job.lpnsToMove) {
         PageOp *read_op =
             newReadOp(lpn, [this, lpn, finish_moves](PageOp *done_op) {
@@ -469,8 +500,15 @@ Ssd::runGcJob(const GcJob &job)
                 };
                 channels_[write_op->addr.channel]->enqueue(write_op);
             });
-        dieAt(read_op->addr).enqueue(read_op);
+        DieModel &die = dieAt(read_op->addr);
+        die.enqueueQuiet(read_op);
+        if (std::find(kicks.begin(), kicks.end(), &die) == kicks.end())
+            kicks.push_back(&die);
     }
+    for (DieModel *die : kicks)
+        die->kick();
+    gatherPages_ += job.lpnsToMove.size();
+    gatherKicks_ += kicks.size();
 }
 
 } // namespace ssd

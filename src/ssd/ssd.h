@@ -132,6 +132,11 @@ class Ssd
     std::unique_ptr<HostLink> hostLink_;
 
     std::vector<QueueState> queues_;
+    /** Scratch for gathered read dispatch: dies touched this call. */
+    std::vector<DieModel *> gatherDies_;
+    /** Gathered-dispatch accounting (ssd.read.gather.* metrics). */
+    std::uint64_t gatherPages_ = 0;
+    std::uint64_t gatherKicks_ = 0;
     int outstanding_ = 0;
     int outstandingPeak_ = 0;
     int gcJobsInFlight_ = 0;

@@ -1,5 +1,9 @@
 # ctest script: run one simulation scenario through the real `rif`
 # driver at RIF_THREADS=1/2/8 and require byte-identical CSV output.
+# Each thread count runs twice: once with the default sharded-kernel
+# threshold and once with RIF_SIM_PARALLEL_MIN=1, which forces every
+# shard group — however small — through the buffered thread-pool path,
+# so the (origin seq, emit index) flush order is exercised end to end.
 # Invoked as:
 #   cmake -DRIF_BIN=<path to rif> -P rif_determinism.cmake
 
@@ -10,18 +14,24 @@ endif()
 set(scenario ablation_tpred)
 set(outs "")
 foreach(threads 1 2 8)
-    set(out ${CMAKE_CURRENT_BINARY_DIR}/rif_det_${threads}.csv)
-    execute_process(
-        COMMAND ${CMAKE_COMMAND} -E env RIF_THREADS=${threads}
-                ${RIF_BIN} run ${scenario} --scale 0.02 --format=csv
-                --out ${out}
-        RESULT_VARIABLE rc)
-    if(NOT rc EQUAL 0)
-        message(FATAL_ERROR
-            "rif run ${scenario} failed at RIF_THREADS=${threads} "
-            "(rc=${rc})")
-    endif()
-    list(APPEND outs ${out})
+    foreach(pmin default 1)
+        set(out ${CMAKE_CURRENT_BINARY_DIR}/rif_det_${threads}_${pmin}.csv)
+        set(envs RIF_THREADS=${threads})
+        if(NOT pmin STREQUAL "default")
+            list(APPEND envs RIF_SIM_PARALLEL_MIN=${pmin})
+        endif()
+        execute_process(
+            COMMAND ${CMAKE_COMMAND} -E env ${envs}
+                    ${RIF_BIN} run ${scenario} --scale 0.02 --format=csv
+                    --out ${out}
+            RESULT_VARIABLE rc)
+        if(NOT rc EQUAL 0)
+            message(FATAL_ERROR
+                "rif run ${scenario} failed at RIF_THREADS=${threads} "
+                "RIF_SIM_PARALLEL_MIN=${pmin} (rc=${rc})")
+        endif()
+        list(APPEND outs ${out})
+    endforeach()
 endforeach()
 
 list(GET outs 0 ref)
@@ -37,4 +47,5 @@ foreach(out ${outs})
 endforeach()
 
 message(STATUS
-    "rif determinism: ${scenario} identical at RIF_THREADS=1/2/8")
+    "rif determinism: ${scenario} identical at RIF_THREADS=1/2/8 "
+    "x RIF_SIM_PARALLEL_MIN={default,1}")

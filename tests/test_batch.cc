@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Equivalence tests for the batched SoA datapath: CodewordBatch
+ * scatter/gather, batched syndrome kernels against the single-codeword
+ * oracles, batched min-sum decode against per-lane decode (results,
+ * iteration counts and metric totals), and the simd:: dispatch layer
+ * against plain word loops. These are the tests the scalar-fallback CI
+ * leg (-DRIF_SIMD=OFF) runs to pin both backends to the same bits.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/simd.h"
+#include "ldpc/batch.h"
+#include "ldpc/channel.h"
+#include "ldpc/code.h"
+#include "ldpc/decoder.h"
+
+namespace rif {
+namespace ldpc {
+namespace {
+
+CodeParams
+smallParams(int t = 64)
+{
+    CodeParams p;
+    p.circulant = t;
+    return p;
+}
+
+TEST(SimdDispatch, BackendNameIsKnown)
+{
+    const std::string name = simd::backendName();
+    EXPECT_TRUE(name == "avx2" || name == "scalar") << name;
+}
+
+TEST(SimdDispatch, XorWordsMatchesPlainLoop)
+{
+    Rng rng(1);
+    for (std::size_t n : {0u, 1u, 3u, 4u, 7u, 64u, 129u}) {
+        std::vector<std::uint64_t> dst(n), src(n), want(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            dst[i] = rng.next();
+            src[i] = rng.next();
+            want[i] = dst[i] ^ src[i];
+        }
+        simd::xorWords(dst.data(), src.data(), n);
+        EXPECT_EQ(dst, want) << "n=" << n;
+    }
+}
+
+TEST(SimdDispatch, PopcountWordsMatchesPlainLoop)
+{
+    Rng rng(2);
+    for (std::size_t n : {0u, 1u, 2u, 5u, 64u, 131u}) {
+        std::vector<std::uint64_t> p(n);
+        std::size_t want = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            p[i] = rng.next();
+            want += static_cast<std::size_t>(std::popcount(p[i]));
+        }
+        EXPECT_EQ(simd::popcountWords(p.data(), n), want) << "n=" << n;
+    }
+}
+
+TEST(SimdDispatch, XorFunnelWordsMatchesPlainLoop)
+{
+    Rng rng(3);
+    const std::size_t n = 67; // exercises the vector body and the tail
+    std::vector<std::uint64_t> a(n + 1), dst(n), want(n);
+    for (auto &w : a)
+        w = rng.next();
+    for (unsigned sb : {0u, 1u, 13u, 63u}) {
+        for (std::uint64_t mask :
+             {~std::uint64_t(0), std::uint64_t(0xffff), std::uint64_t(1)}) {
+            for (unsigned db : {0u, 5u}) {
+                for (std::size_t i = 0; i < n; ++i)
+                    dst[i] = want[i] = rng.next();
+                const std::uint64_t *hi = sb != 0 ? a.data() + 1 : nullptr;
+                for (std::size_t i = 0; i < n; ++i) {
+                    std::uint64_t bits = a[i] >> sb;
+                    if (hi)
+                        bits |= hi[i] << (64 - sb);
+                    want[i] ^= (bits & mask) << db;
+                }
+                simd::xorFunnelWords(dst.data(), a.data(), hi, sb, mask, db,
+                                     n);
+                EXPECT_EQ(dst, want)
+                    << "sb=" << sb << " mask=" << mask << " db=" << db;
+            }
+        }
+    }
+}
+
+TEST(CodewordBatch, LaneRoundTrip)
+{
+    Rng rng(10);
+    const std::size_t nbits = 777; // non-word-aligned tail
+    const std::size_t lanes = 5;
+    CodewordBatch batch(nbits, lanes);
+    std::vector<HardWord> words(lanes);
+    for (std::size_t l = 0; l < lanes; ++l) {
+        words[l] = randomData(nbits, rng);
+        if (l % 2 == 0)
+            batch.setLane(l, toBitVec(words[l]));
+        else
+            batch.setLaneFromBytes(l, words[l].data(), words[l].size());
+    }
+    BitVec out;
+    for (std::size_t l = 0; l < lanes; ++l) {
+        batch.extractLane(l, out);
+        EXPECT_EQ(out, toBitVec(words[l])) << "lane " << l;
+        for (std::size_t b = 0; b < nbits; b += 97)
+            EXPECT_EQ(batch.get(l, b), words[l][b] != 0);
+    }
+}
+
+TEST(CodewordBatch, XorRangeMatchesBitVecPerLane)
+{
+    Rng rng(11);
+    const std::size_t nbits = 1000;
+    const std::size_t lanes = 3;
+    CodewordBatch dst(nbits, lanes), src(nbits, lanes);
+    std::vector<BitVec> dref(lanes), sref(lanes);
+    for (std::size_t l = 0; l < lanes; ++l) {
+        dref[l] = toBitVec(randomData(nbits, rng));
+        sref[l] = toBitVec(randomData(nbits, rng));
+        dst.setLane(l, dref[l]);
+        src.setLane(l, sref[l]);
+    }
+    // Mix of alignments: aligned, unaligned src, unaligned dst, short.
+    const struct
+    {
+        std::size_t d, s, len;
+    } cases[] = {{0, 0, 960}, {64, 3, 500}, {7, 64, 700}, {13, 29, 40},
+                 {1, 1, 999}};
+    BitVec out;
+    for (const auto &c : cases) {
+        dst.xorRange(c.d, src, c.s, c.len);
+        for (std::size_t l = 0; l < lanes; ++l)
+            dref[l].xorRange(c.d, sref[l], c.s, c.len);
+    }
+    for (std::size_t l = 0; l < lanes; ++l) {
+        dst.extractLane(l, out);
+        EXPECT_EQ(out, dref[l]) << "lane " << l;
+    }
+}
+
+class BatchSyndromeEquivalence : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BatchSyndromeEquivalence, WeightsMatchSingleKernels)
+{
+    const QcLdpcCode code(smallParams(GetParam()));
+    Rng rng(100 + GetParam());
+    const std::size_t lanes = 6;
+    CodewordBatch batch(code.params().n(), lanes);
+    std::vector<HardWord> words(lanes);
+    for (std::size_t l = 0; l < lanes; ++l) {
+        words[l] = code.encode(randomData(code.params().k(), rng));
+        injectErrors(words[l], 0.003 * static_cast<double>(l), rng);
+        batch.setLaneFromBytes(l, words[l].data(), words[l].size());
+    }
+
+    CodewordBatch scratch;
+    std::vector<std::size_t> weights(lanes);
+    syndromeWeightBatch(code, batch, scratch, weights.data());
+    for (std::size_t l = 0; l < lanes; ++l)
+        EXPECT_EQ(weights[l], code.syndromeWeight(words[l])) << "lane " << l;
+
+    prunedSyndromeWeightBatch(code, batch, scratch, weights.data());
+    for (std::size_t l = 0; l < lanes; ++l)
+        EXPECT_EQ(weights[l], code.prunedSyndromeWeight(words[l]))
+            << "lane " << l;
+
+    CodewordBatch synd;
+    syndromeBatchInto(code, batch, synd);
+    BitVec lane;
+    for (std::size_t l = 0; l < lanes; ++l) {
+        synd.extractLane(l, lane);
+        EXPECT_EQ(toHardWord(lane), code.syndrome(words[l])) << "lane " << l;
+    }
+}
+
+// t = 96 exercises non-word-aligned segment boundaries in every kernel.
+INSTANTIATE_TEST_SUITE_P(CirculantSizes, BatchSyndromeEquivalence,
+                         ::testing::Values(64, 96, 128));
+
+class BatchDecodeEquivalence : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BatchDecodeEquivalence, MatchesPerLaneDecode)
+{
+    const std::size_t lanes = static_cast<std::size_t>(GetParam());
+    const QcLdpcCode code(smallParams());
+    const MinSumDecoder dec(code, 12);
+    Rng rng(200 + GetParam());
+
+    // Mixed difficulty so lanes converge at different iterations and
+    // some fail outright.
+    std::vector<HardWord> words(lanes);
+    std::vector<const HardWord *> ptrs(lanes);
+    for (std::size_t l = 0; l < lanes; ++l) {
+        words[l] = code.encode(randomData(code.params().k(), rng));
+        const double rber = (l % 4 == 3) ? 0.08 : 0.001 + 0.002 * (l % 3);
+        injectErrors(words[l], rber, rng);
+        ptrs[l] = &words[l];
+    }
+
+    metrics::MetricsScope batch_scope;
+    BatchDecodeWorkspace bws;
+    std::vector<DecodeResult> got(lanes);
+    dec.decodeBatch(ptrs.data(), lanes, 0.004, bws, got.data());
+    const metrics::Snapshot batch_snap = batch_scope.finish();
+
+    metrics::MetricsScope single_scope;
+    DecodeWorkspace ws;
+    int failures = 0;
+    for (std::size_t l = 0; l < lanes; ++l) {
+        const DecodeResult want = dec.decode(words[l], 0.004, ws);
+        EXPECT_EQ(got[l].success, want.success) << "lane " << l;
+        EXPECT_EQ(got[l].iterations, want.iterations) << "lane " << l;
+        EXPECT_EQ(got[l].word, want.word) << "lane " << l;
+        failures += !want.success;
+    }
+    const metrics::Snapshot single_snap = single_scope.finish();
+
+    // Same metric totals as lanes-many single decodes.
+    for (const char *name : {"ldpc.decode.attempts", "ldpc.decode.iterations",
+                             "ldpc.decode.failures"}) {
+        EXPECT_EQ(batch_snap.value(name), single_snap.value(name)) << name;
+    }
+    if (lanes >= 8) {
+        EXPECT_GT(failures, 0) << "mix should include failing lanes";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(BatchSizes, BatchDecodeEquivalence,
+                         ::testing::Values(1, 3, 8, 64));
+
+TEST(BatchDecode, UnalignedCirculantMatchesPerLaneDecode)
+{
+    const QcLdpcCode code(smallParams(96));
+    const MinSumDecoder dec(code, 10);
+    Rng rng(300);
+    const std::size_t lanes = 4;
+    std::vector<HardWord> words(lanes);
+    std::vector<const HardWord *> ptrs(lanes);
+    for (std::size_t l = 0; l < lanes; ++l) {
+        words[l] = code.encode(randomData(code.params().k(), rng));
+        injectErrors(words[l], 0.004, rng);
+        ptrs[l] = &words[l];
+    }
+    BatchDecodeWorkspace bws;
+    std::vector<DecodeResult> got(lanes);
+    dec.decodeBatch(ptrs.data(), lanes, 0.004, bws, got.data());
+    DecodeWorkspace ws;
+    for (std::size_t l = 0; l < lanes; ++l) {
+        const DecodeResult want = dec.decode(words[l], 0.004, ws);
+        EXPECT_EQ(got[l].success, want.success) << "lane " << l;
+        EXPECT_EQ(got[l].iterations, want.iterations) << "lane " << l;
+        EXPECT_EQ(got[l].word, want.word) << "lane " << l;
+    }
+}
+
+TEST(BatchDecode, WorkspaceReuseAcrossBatchSizes)
+{
+    const QcLdpcCode code(smallParams());
+    const MinSumDecoder dec(code, 10);
+    Rng rng(400);
+    BatchDecodeWorkspace bws;
+    DecodeWorkspace ws;
+    // Shrinking and regrowing the lane count through one workspace must
+    // not leak state between calls.
+    for (std::size_t lanes : {5u, 2u, 7u, 1u}) {
+        std::vector<HardWord> words(lanes);
+        std::vector<const HardWord *> ptrs(lanes);
+        for (std::size_t l = 0; l < lanes; ++l) {
+            words[l] = code.encode(randomData(code.params().k(), rng));
+            injectErrors(words[l], 0.003, rng);
+            ptrs[l] = &words[l];
+        }
+        std::vector<DecodeResult> got(lanes);
+        dec.decodeBatch(ptrs.data(), lanes, 0.004, bws, got.data());
+        for (std::size_t l = 0; l < lanes; ++l) {
+            const DecodeResult want = dec.decode(words[l], 0.004, ws);
+            EXPECT_EQ(got[l].success, want.success);
+            EXPECT_EQ(got[l].iterations, want.iterations);
+            EXPECT_EQ(got[l].word, want.word);
+        }
+    }
+}
+
+} // namespace
+} // namespace ldpc
+} // namespace rif
