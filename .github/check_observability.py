@@ -11,11 +11,39 @@ simulated_ns clock with monotone non-negative timestamps per track.
 """
 
 import json
+import re
 import sys
 
 KINDS = {"counter", "gauge", "distribution"}
 DIST_KEYS = {"count", "min", "max", "mean", "p50", "p90", "p99",
              "p99.9", "p99.99"}
+DRIVE_RE = re.compile(r"^ssd(\d+)\.(.+)$")
+
+
+def check_drive_prefixes(path, scenario, snap):
+    """Fleet runs re-home each drive's ssd.* metrics under ssd<i>.
+    (docs/OBSERVABILITY.md naming scheme). When any per-drive names are
+    present, the drive indices must be dense 0..N-1 and every drive
+    must publish the identical suffix set — a missing or extra suffix
+    means one drive's instrumentation silently diverged."""
+    per_drive = {}
+    for name in snap:
+        m = DRIVE_RE.match(name)
+        if m:
+            per_drive.setdefault(int(m.group(1)), set()).add(m.group(2))
+    if not per_drive:
+        return 0
+    drives = sorted(per_drive)
+    if drives != list(range(len(drives))):
+        fail(f"{path}: {scenario!r} drive indices {drives} are not "
+             f"dense 0..{len(drives) - 1}")
+    suffixes = per_drive[0]
+    for d, have in per_drive.items():
+        if have != suffixes:
+            diff = sorted(suffixes ^ have)
+            fail(f"{path}: {scenario!r} ssd{d}.* suffixes differ from "
+                 f"ssd0.* by {diff}")
+    return len(drives)
 
 
 def fail(msg):
@@ -45,12 +73,16 @@ def check_metrics(path):
                     fail(f"{path}: {name!r} lacks {sorted(missing)}")
             elif not isinstance(e.get("value"), int):
                 fail(f"{path}: {name!r} lacks an integer value")
-    # The run that produced this must have simulated something.
+    fleets = 0
+    for scenario, snap in doc.items():
+        fleets += check_drive_prefixes(path, scenario, snap) > 0
+    # The run that produced this must have simulated something: a bare
+    # drive publishes ssd.*, a fleet run re-homes them under ssd<i>.*.
     snap = next(iter(doc.values()))
-    if not any(n.startswith("ssd.") for n in snap):
+    if not any(n.startswith("ssd.") or DRIVE_RE.match(n) for n in snap):
         fail(f"{path}: no ssd.* metrics — instrumentation missing?")
     print(f"{path}: {sum(len(s) for s in doc.values())} metrics over "
-          f"{len(doc)} scenario(s) ok")
+          f"{len(doc)} scenario(s) ({fleets} fleet) ok")
 
 
 def check_trace(path):

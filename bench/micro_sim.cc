@@ -9,7 +9,9 @@
 #include <benchmark/benchmark.h>
 
 #include <array>
+#include <string>
 
+#include "common/parallel.h"
 #include "common/pool.h"
 #include "core/experiment.h"
 #include "ssd/devices.h"
@@ -141,6 +143,45 @@ BM_ShardedEventQueue(benchmark::State &state)
     state.SetLabel(mix == Mix::Uniform ? "uniform" : "ssd-mix");
 }
 BENCHMARK(BM_ShardedEventQueue)
+    ->Arg(static_cast<int>(Mix::Uniform))
+    ->Arg(static_cast<int>(Mix::SsdMix));
+
+/**
+ * The same sharded script on a 1-worker thread budget: the kernel
+ * auto-collapses to the single-queue path at construction (shard tags
+ * route to the one queue), so throughput should match BM_EventQueue
+ * rather than paying the merge/gather/flush layer for nothing.
+ */
+void
+BM_ShardedEventQueueCollapsed(benchmark::State &state)
+{
+    const Mix mix = static_cast<Mix>(state.range(0));
+    constexpr int kEvents = 20000;
+    constexpr int kShards = 8;
+    setGlobalThreadCount(1);
+    Simulator sim(kShards);
+    std::array<int, kShards + 1> fired{};
+    for (auto _ : state) {
+        for (int i = 0; i < kEvents / 2; ++i) {
+            const auto s = static_cast<std::uint32_t>(i % kShards + 1);
+            sim.scheduleShard(s, delayFor(mix, i), [&sim, &fired, mix, s,
+                                                    i] {
+                ++fired[s];
+                sim.scheduleShard(s, delayFor(mix, i + kEvents / 2),
+                                  [&fired, s] { ++fired[s]; });
+            });
+        }
+        sim.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    setGlobalThreadCount(0);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kEvents);
+    state.SetLabel(std::string(mix == Mix::Uniform ? "uniform"
+                                                   : "ssd-mix") +
+                   " collapsed=" + (sim.sharded() ? "no" : "yes"));
+}
+BENCHMARK(BM_ShardedEventQueueCollapsed)
     ->Arg(static_cast<int>(Mix::Uniform))
     ->Arg(static_cast<int>(Mix::SsdMix));
 

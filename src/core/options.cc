@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "common/logging.h"
+#include "fabric/config.h"
 #include "trace/trace.h"
 
 namespace rif {
@@ -92,6 +93,9 @@ struct Field
         makeSsd;
     std::function<std::function<void(RunScale &)>(const std::string &)>
         makeRun;
+    std::function<
+        std::function<void(fabric::FleetConfig &)>(const std::string &)>
+        makeFleet;
 };
 
 std::vector<Field>
@@ -360,6 +364,89 @@ makeFields()
                      return [parsed](RunScale &s) { s.seed = parsed; };
                  }});
 
+    // --- fleet.* -------------------------------------------------------
+    auto addFleetInt = [&f](const char *key, const char *help,
+                            void (*set)(fabric::FleetConfig &, long long),
+                            long long min, long long max) {
+        f.push_back({key, help, nullptr, nullptr,
+                     [key, set, min, max](const std::string &v) {
+                         const long long parsed =
+                             parseIntValue(key, v, min, max);
+                         return [set, parsed](fabric::FleetConfig &c) {
+                             set(c, parsed);
+                         };
+                     }});
+    };
+    auto addFleetDouble = [&f](const char *key, const char *help,
+                               void (*set)(fabric::FleetConfig &, double),
+                               double min, double max,
+                               bool min_exclusive = false) {
+        f.push_back(
+            {key, help, nullptr, nullptr,
+             [key, set, min, max, min_exclusive](const std::string &v) {
+                 const double parsed =
+                     parseDoubleValue(key, v, min, max, min_exclusive);
+                 return [set, parsed](fabric::FleetConfig &c) {
+                     set(c, parsed);
+                 };
+             }});
+    };
+    addFleetInt("fleet.drives", "drives in the fleet",
+                [](fabric::FleetConfig &c, long long v) {
+                    c.drives = static_cast<int>(v);
+                },
+                1, 4096);
+    f.push_back({"fleet.placement",
+                 "page placement across drives: striped|replicated",
+                 nullptr, nullptr,
+                 [](const std::string &v) {
+                     const auto parsed = fabric::parsePlacement(v);
+                     if (!parsed)
+                         badValue("fleet.placement", v,
+                                  "striped|replicated");
+                     return [kind = *parsed](fabric::FleetConfig &c) {
+                         c.placement = kind;
+                     };
+                 }});
+    addFleetInt("fleet.replicas",
+                "copies per chunk under replicated placement",
+                [](fabric::FleetConfig &c, long long v) {
+                    c.replicas = static_cast<int>(v);
+                },
+                1, 64);
+    addFleetInt("fleet.stripePages", "placement chunk size in pages",
+                [](fabric::FleetConfig &c, long long v) {
+                    c.stripePages = static_cast<std::uint32_t>(v);
+                },
+                1, 1 << 20);
+    addFleetInt("fleet.qd", "fleet-wide outstanding host commands",
+                [](fabric::FleetConfig &c, long long v) {
+                    c.qd = static_cast<int>(v);
+                },
+                1, 1 << 20);
+    addFleetDouble("fleet.linkUs",
+                   "one-way interconnect latency per drive (us)",
+                   [](fabric::FleetConfig &c, double v) { c.linkUs = v; },
+                   0.0, 1e6);
+    addFleetDouble("fleet.linkGBps",
+                   "per-direction link bandwidth per drive (GB/s)",
+                   [](fabric::FleetConfig &c, double v) {
+                       c.linkGBps = v;
+                   },
+                   0.0, 1e4, true);
+    addFleetInt("fleet.agedDrives",
+                "drives pinned at fleet.agedPeCycles wear",
+                [](fabric::FleetConfig &c, long long v) {
+                    c.agedDrives = static_cast<int>(v);
+                },
+                0, 4096);
+    addFleetDouble("fleet.agedPeCycles",
+                   "P/E cycles of the aged drives",
+                   [](fabric::FleetConfig &c, double v) {
+                       c.agedPeCycles = v;
+                   },
+                   0.0, 1e7);
+
     return f;
 }
 
@@ -386,6 +473,8 @@ OptionSet::addSet(const std::string &key_value)
             continue;
         if (field.makeSsd)
             ssdOps_.push_back(field.makeSsd(value));
+        else if (field.makeFleet)
+            fleetOps_.push_back(field.makeFleet(value));
         else
             runOps_.push_back(field.makeRun(value));
         return;
@@ -424,6 +513,15 @@ OptionSet::applyTo(RunScale &scale) const
 {
     for (const auto &op : runOps_)
         op(scale);
+}
+
+void
+OptionSet::applyTo(fabric::FleetConfig &cfg) const
+{
+    for (const auto &op : fleetOps_)
+        op(cfg);
+    if (!fleetOps_.empty())
+        cfg.validate();
 }
 
 std::vector<OptionKey>

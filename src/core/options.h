@@ -22,6 +22,11 @@
 #include "ssd/config.h"
 
 namespace rif {
+
+namespace fabric {
+struct FleetConfig;
+} // namespace fabric
+
 namespace core {
 
 /** One settable key and its help string, for `rif help set`. */
@@ -60,9 +65,13 @@ class OptionSet
     /** Apply the run.* overrides in command-line order. */
     void applyTo(RunScale &scale) const;
 
+    /** Apply the fleet.* overrides in command-line order and validate. */
+    void applyTo(fabric::FleetConfig &cfg) const;
+
     bool empty() const
     {
-        return ssdOps_.empty() && runOps_.empty() && !workload_;
+        return ssdOps_.empty() && runOps_.empty() && fleetOps_.empty() &&
+               !workload_;
     }
 
     /** Every recognized `--set` key, in listing order. */
@@ -71,6 +80,7 @@ class OptionSet
   private:
     std::vector<std::function<void(ssd::SsdConfig &)>> ssdOps_;
     std::vector<std::function<void(RunScale &)>> runOps_;
+    std::vector<std::function<void(fabric::FleetConfig &)>> fleetOps_;
     std::optional<std::string> workload_;
 };
 

@@ -51,6 +51,14 @@ struct ScenarioContext
         opts.applyTo(rs);
     }
 
+    /** Layer the `--set fleet.*` overrides on top of `cfg` and
+     *  validate. */
+    void
+    apply(fabric::FleetConfig &cfg) const
+    {
+        opts.applyTo(cfg);
+    }
+
     /** The `--workload` override, or the scenario's default. */
     std::string
     workload(const std::string &fallback) const

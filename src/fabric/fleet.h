@@ -1,0 +1,158 @@
+/**
+ * @file
+ * A rack-scale fleet: N independent Ssd instances behind a modeled
+ * host-side interconnect, replaying one host workload closed-loop at a
+ * fleet-wide queue depth. Placement (striping or replication) maps each
+ * host command to per-drive sub-IOs; replicated reads pick the
+ * least-loaded replica. The performance core is conservative
+ * drive-parallel simulation: each drive advances on its own event lane
+ * to a shared horizon bounded by the link latency (no message can cross
+ * the interconnect in less than one link delay), so drives execute
+ * concurrently on the worker pool and only synchronize at
+ * interconnect-crossing events — bit-identical at any thread count.
+ */
+
+#ifndef RIF_FABRIC_FLEET_H
+#define RIF_FABRIC_FLEET_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/pool.h"
+#include "common/stats.h"
+#include "fabric/config.h"
+#include "fabric/interconnect.h"
+#include "fabric/placement.h"
+#include "ssd/ssd.h"
+#include "trace/trace.h"
+
+namespace rif {
+namespace fabric {
+
+/** Fleet-level results plus every drive's own statistics. */
+struct FleetStats
+{
+    /** Host-observed run length: last command completion arrival. */
+    Tick makespan = 0;
+
+    std::uint64_t commands = 0;     ///< host commands completed
+    std::uint64_t readCommands = 0;
+    std::uint64_t subIos = 0;       ///< per-drive fragments issued
+    /** Replicated-read chunks steered away from the primary replica. */
+    std::uint64_t replicaReadsBalanced = 0;
+    /** Conservative synchronization rounds (drive-parallel barriers). */
+    std::uint64_t syncRounds = 0;
+    std::uint64_t driveEvents = 0;  ///< kernel events across all drives
+    std::uint64_t hostEvents = 0;   ///< host-side kernel events
+
+    /** Host-observed command latencies (submission to completion
+     *  arrival, both interconnect crossings included). */
+    PercentileTracker readLatencyUs;
+    PercentileTracker writeLatencyUs;
+
+    /** Per-drive statistics, indexed by drive. */
+    std::vector<ssd::SsdStats> drives;
+
+    /** Host-observed command throughput over the makespan. */
+    double iops() const
+    {
+        return makespan == 0
+                   ? 0.0
+                   : static_cast<double>(commands) / ticksToSec(makespan);
+    }
+};
+
+/** A fleet of SSDs behind one host. */
+class Fleet
+{
+  public:
+    /**
+     * @param base per-drive SSD configuration; drive i runs it with
+     *        seed = driveSeed(base.seed, i) (and, for i < agedDrives,
+     *        peCycles = agedPeCycles)
+     * @param config the fleet topology/placement/link model
+     */
+    Fleet(const ssd::SsdConfig &base, const FleetConfig &config);
+    ~Fleet();
+
+    Fleet(const Fleet &) = delete;
+    Fleet &operator=(const Fleet &) = delete;
+
+    /**
+     * Replay `source` closed-loop (up to config.qd outstanding host
+     * commands) until it is exhausted and every command has completed
+     * back at the host.
+     *
+     * The degenerate 1-drive, zero-latency fleet runs the drive's own
+     * closed loop directly (coupled mode) and is byte-identical to a
+     * bare Ssd at the drive's forked seed — the anchor the fabric
+     * equivalence tests pin.
+     */
+    FleetStats run(trace::TraceSource &source);
+
+    /** Drive i's effective configuration (forked seed, aging). */
+    const ssd::SsdConfig &driveConfig(int drive) const;
+
+    const FleetConfig &config() const { return cfg_; }
+    const Placement &placement() const { return placement_; }
+
+  private:
+    struct Command
+    {
+        bool isRead = true;
+        Tick issued = 0;
+        int subsLeft = 0;
+    };
+
+    /** One drive-side completion, buffered until the next barrier. */
+    struct DoneRec
+    {
+        Tick at = 0;
+        Command *cmd = nullptr;
+        int drive = 0;
+        std::uint64_t bytes = 0;
+    };
+
+    FleetStats runCoupled(trace::TraceSource &source);
+    /** Issue host commands until the queue depth is reached. */
+    void refill();
+    /** Pull one command off the trace and fan it out; false at end. */
+    bool issueNext();
+    void submitSub(Command *cmd, const SubIo &sub);
+    /** Egress-deliver one buffered completion into the host kernel. */
+    void deliverCompletion(const DoneRec &rec);
+    void publishFleetMetrics() const;
+
+    ssd::SsdConfig baseCfg_;
+    FleetConfig cfg_;
+    Placement placement_;
+    Interconnect net_;
+
+    std::vector<std::unique_ptr<ssd::SsdConfig>> driveCfgs_;
+    std::vector<std::unique_ptr<ssd::Ssd>> drives_;
+
+    /** Host-side event lane (completion arrivals, refill). */
+    ssd::Simulator hostSim_;
+    trace::TraceSource *source_ = nullptr;
+
+    /** Outstanding sub-IOs per drive (replica steering signal). */
+    std::vector<int> driveLoad_;
+    /** Per-drive completion buffers, drained at each barrier. */
+    std::vector<std::vector<DoneRec>> doneBufs_;
+
+    ObjectPool<Command> cmdPool_;
+    std::vector<SubIo> splitScratch_;
+
+    int outstanding_ = 0;
+    int outstandingPeak_ = 0;
+    bool exhausted_ = false;
+    Tick lastDone_ = 0;
+
+    FleetStats stats_;
+};
+
+} // namespace fabric
+} // namespace rif
+
+#endif // RIF_FABRIC_FLEET_H

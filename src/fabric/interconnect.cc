@@ -1,0 +1,45 @@
+#include "fabric/interconnect.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rif {
+namespace fabric {
+
+Tick
+Link::deliver(Tick t, std::uint64_t bytes)
+{
+    // gbps GB/s == gbps bytes/ns == gbps bytes/tick.
+    const Tick ser = static_cast<Tick>(
+        std::ceil(static_cast<double>(bytes) / gbps_));
+    const Tick start = std::max(t, freeAt_);
+    freeAt_ = start + ser;
+    busy_ += ser;
+    ++messages_;
+    return freeAt_ + latency_;
+}
+
+Tick
+Interconnect::busyTicks() const
+{
+    Tick total = 0;
+    for (const Link &l : ingress_)
+        total += l.busyTicks();
+    for (const Link &l : egress_)
+        total += l.busyTicks();
+    return total;
+}
+
+std::uint64_t
+Interconnect::messages() const
+{
+    std::uint64_t total = 0;
+    for (const Link &l : ingress_)
+        total += l.messages();
+    for (const Link &l : egress_)
+        total += l.messages();
+    return total;
+}
+
+} // namespace fabric
+} // namespace rif

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Modeled host-side interconnect: one full-duplex point-to-point link
+ * per drive (PCIe-switch style), each direction a FIFO store-and-forward
+ * pipe with finite bandwidth and fixed propagation latency. Messages
+ * serialize in arrival order on the sending side, then propagate; the
+ * link's one-way latency is also the conservative lookahead window the
+ * fleet scheduler uses to run drives in parallel (see fleet.cc).
+ */
+
+#ifndef RIF_FABRIC_INTERCONNECT_H
+#define RIF_FABRIC_INTERCONNECT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+
+namespace rif {
+namespace fabric {
+
+/** Per-message command/completion overhead (NVMe SQE/CQE scale). */
+constexpr std::uint64_t kMsgBytes = 64;
+
+/** One direction of one drive's link. */
+class Link
+{
+  public:
+    /** @param gbps serialization bandwidth; bytes move at gbps B/tick
+     *         because a tick is one nanosecond.
+     *  @param latency propagation delay added after serialization */
+    Link(double gbps, Tick latency) : gbps_(gbps), latency_(latency) {}
+
+    /**
+     * Enqueue a `bytes`-sized message at time `t`.
+     * @return its arrival tick at the far end: serialization starts
+     *         when the wire frees up (FIFO), then propagates.
+     */
+    Tick deliver(Tick t, std::uint64_t bytes);
+
+    /** When the wire next frees up (accounting, not scheduling). */
+    Tick freeAt() const { return freeAt_; }
+    /** Total ticks this direction spent serializing. */
+    Tick busyTicks() const { return busy_; }
+    std::uint64_t messages() const { return messages_; }
+
+  private:
+    double gbps_;
+    Tick latency_;
+    Tick freeAt_ = 0;
+    Tick busy_ = 0;
+    std::uint64_t messages_ = 0;
+};
+
+/** The full switch: an ingress (host->drive) and egress (drive->host)
+ *  link per drive. */
+class Interconnect
+{
+  public:
+    Interconnect(int drives, double gbps, Tick latency)
+        : latency_(latency),
+          ingress_(static_cast<std::size_t>(drives), Link(gbps, latency)),
+          egress_(static_cast<std::size_t>(drives), Link(gbps, latency))
+    {
+    }
+
+    Link &ingress(int drive)
+    {
+        return ingress_[static_cast<std::size_t>(drive)];
+    }
+    Link &egress(int drive)
+    {
+        return egress_[static_cast<std::size_t>(drive)];
+    }
+
+    Tick latency() const { return latency_; }
+
+    /** Aggregate serialization ticks across all links/directions. */
+    Tick busyTicks() const;
+    /** Aggregate messages across all links/directions. */
+    std::uint64_t messages() const;
+
+  private:
+    Tick latency_;
+    std::vector<Link> ingress_;
+    std::vector<Link> egress_;
+};
+
+} // namespace fabric
+} // namespace rif
+
+#endif // RIF_FABRIC_INTERCONNECT_H

@@ -1,0 +1,94 @@
+#include "fabric/placement.h"
+
+#include <algorithm>
+
+namespace rif {
+namespace fabric {
+
+SubIo
+Placement::locate(std::uint64_t gpn, std::uint32_t r) const
+{
+    const std::uint64_t s = stripe_;
+    const std::uint64_t n = static_cast<std::uint64_t>(drives_);
+    const std::uint64_t chunk = gpn / s;
+    const std::uint64_t off = gpn % s;
+
+    SubIo out;
+    out.pages = 1;
+    if (kind_ == PlacementKind::Striped) {
+        out.drive = static_cast<int>(chunk % n);
+        out.lpn = (chunk / n) * s + off;
+    } else {
+        out.drive = static_cast<int>((chunk + r) % n);
+        out.lpn = (chunk / n) * (replicas_ * s) + r * s + off;
+    }
+    return out;
+}
+
+std::uint64_t
+Placement::globalOf(int drive, std::uint64_t local,
+                    std::uint32_t &out_replica) const
+{
+    const std::uint64_t s = stripe_;
+    const std::uint64_t n = static_cast<std::uint64_t>(drives_);
+    if (kind_ == PlacementKind::Striped) {
+        out_replica = 0;
+        const std::uint64_t chunk =
+            (local / s) * n + static_cast<std::uint64_t>(drive);
+        return chunk * s + local % s;
+    }
+    const std::uint64_t row = local / (replicas_ * s);
+    const std::uint32_t r =
+        static_cast<std::uint32_t>(local % (replicas_ * s) / s);
+    out_replica = r;
+    const std::uint64_t chunk =
+        row * n +
+        (static_cast<std::uint64_t>(drive) + n - r % n) % n;
+    return chunk * s + local % s;
+}
+
+void
+Placement::split(std::uint64_t lpn, std::uint32_t pages, std::uint32_t r,
+                 std::vector<SubIo> &out) const
+{
+    // Fragments appended by *this* call may merge with each other when
+    // they land contiguously on the same drive; never with fragments a
+    // caller accumulated from earlier replicas.
+    const std::size_t base = out.size();
+    std::uint64_t gpn = lpn;
+    std::uint32_t left = pages;
+    while (left > 0) {
+        const std::uint32_t inChunk =
+            stripe_ - static_cast<std::uint32_t>(gpn % stripe_);
+        const std::uint32_t take = std::min(left, inChunk);
+        const SubIo at = locate(gpn, r);
+        if (out.size() > base) {
+            SubIo &prev = out.back();
+            if (prev.drive == at.drive &&
+                prev.lpn + prev.pages == at.lpn) {
+                prev.pages += take;
+                gpn += take;
+                left -= take;
+                continue;
+            }
+        }
+        SubIo frag = at;
+        frag.pages = take;
+        out.push_back(frag);
+        gpn += take;
+        left -= take;
+    }
+}
+
+std::uint64_t
+Placement::driveFootprint(std::uint64_t global_pages) const
+{
+    const std::uint64_t s = stripe_;
+    const std::uint64_t n = static_cast<std::uint64_t>(drives_);
+    const std::uint64_t chunks = (global_pages + s - 1) / s;
+    const std::uint64_t rows = (chunks + n - 1) / n;
+    return rows * s * (kind_ == PlacementKind::Striped ? 1 : replicas_);
+}
+
+} // namespace fabric
+} // namespace rif

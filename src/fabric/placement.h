@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Address math of the fleet's placement policies. The host's logical
+ * page space is divided into fixed-size chunks of `stripePages` pages;
+ * chunks are distributed round-robin across drives (striping) or
+ * written to R consecutive drives (replication). All mappings are pure
+ * integer arithmetic with exact inverses, so tests can round-trip
+ * global <-> (drive, local) addresses and the fleet can translate a
+ * drive-local cold-page query back to the workload's global predicate.
+ */
+
+#ifndef RIF_FABRIC_PLACEMENT_H
+#define RIF_FABRIC_PLACEMENT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "fabric/config.h"
+
+namespace rif {
+namespace fabric {
+
+/** One drive-local fragment of a host IO. */
+struct SubIo
+{
+    int drive = 0;
+    std::uint64_t lpn = 0;  ///< drive-local page number
+    std::uint32_t pages = 0;
+};
+
+/** Pure address-mapping component (no simulation state). */
+class Placement
+{
+  public:
+    explicit Placement(const FleetConfig &config)
+        : kind_(config.placement), drives_(config.drives),
+          replicas_(config.placement == PlacementKind::Replicated
+                        ? static_cast<std::uint32_t>(config.replicas)
+                        : 1u),
+          stripe_(config.stripePages)
+    {
+    }
+
+    int drives() const { return drives_; }
+    /** Copies per chunk (1 under striping). */
+    std::uint32_t replicas() const { return replicas_; }
+    std::uint32_t stripePages() const { return stripe_; }
+
+    /**
+     * Where replica `r` of global page `gpn` lives.
+     *
+     * Striped: chunk c goes to drive c % N at local chunk index c / N.
+     * Replicated: replica r of chunk c goes to drive (c + r) % N; each
+     * local chunk row holds the R replica slots hosted by that drive,
+     * ordered by replica index, so locals stay dense and invertible.
+     */
+    SubIo locate(std::uint64_t gpn, std::uint32_t r) const;
+
+    /**
+     * Inverse of locate(): the global page stored at (drive, local),
+     * with the replica index it corresponds to in `out_replica`.
+     */
+    std::uint64_t globalOf(int drive, std::uint64_t local,
+                           std::uint32_t &out_replica) const;
+
+    /**
+     * Split host IO [lpn, lpn + pages) into per-drive fragments for
+     * replica `r`, appending to `out`. Fragments contiguous on the
+     * same drive (within this call) are merged, so a 1-drive striped
+     * fleet yields exactly one fragment equal to the input.
+     */
+    void split(std::uint64_t lpn, std::uint32_t pages, std::uint32_t r,
+              std::vector<SubIo> &out) const;
+
+    /**
+     * Drive-local footprint (pages) needed so every replica of every
+     * global page in [0, global_pages) has a home: full chunk rows,
+     * rounded up to cover the worst-loaded drive.
+     */
+    std::uint64_t driveFootprint(std::uint64_t global_pages) const;
+
+  private:
+    PlacementKind kind_;
+    int drives_;
+    std::uint32_t replicas_;
+    std::uint32_t stripe_;
+};
+
+} // namespace fabric
+} // namespace rif
+
+#endif // RIF_FABRIC_PLACEMENT_H

@@ -23,8 +23,12 @@ Simulator::Simulator(int shards) : shards_(std::max(shards, 0))
 {
     // One queue per shard plus the serial lane; a single shard would
     // only ever merge with the serial lane, so it stays on the classic
-    // single-queue path.
-    queues_.resize(shards_ > 1 ? static_cast<std::size_t>(shards_) + 1 : 1);
+    // single-queue path. Likewise a 1-worker budget: every group would
+    // run inline anyway, so sharding is pure merge/gather/flush
+    // overhead — collapse to the single queue (results are identical
+    // either way; only the throughput differs).
+    const bool shardable = shards_ > 1 && globalThreadCount() > 1;
+    queues_.resize(shardable ? static_cast<std::size_t>(shards_) + 1 : 1);
     if (const char *env = std::getenv("RIF_SIM_PARALLEL_MIN")) {
         const unsigned long v = std::strtoul(env, nullptr, 10);
         parallelMin_ = v > 0 ? static_cast<std::size_t>(v) : 1;
@@ -510,6 +514,64 @@ Simulator::run(std::uint64_t max_events)
         now_ = nextTick();
         gatherTick(now_);
     }
+    return now_;
+}
+
+Tick
+Simulator::nextEventBound()
+{
+    if (pendingIdx_ < pending_.size())
+        return now_;
+    if (size_ == 0)
+        return ~Tick(0);
+    Tick best = ~Tick(0);
+    for (auto &q : queues_) {
+        if (!q.hasEvents())
+            continue;
+        bool exact;
+        best = std::min(best, q.earliest(exact));
+    }
+    return best;
+}
+
+Tick
+Simulator::runUntil(Tick limit)
+{
+    std::uint64_t budget = ~std::uint64_t(0);
+    if (queues_.size() == 1) {
+        CalendarQueue &q = queues_[0];
+        while (size_ > 0) {
+            bool exact;
+            const Tick e = q.earliest(exact);
+            // `e` is a lower bound when inexact, so e > limit means the
+            // true earliest event is beyond the horizon either way.
+            if (e > limit)
+                break;
+            if (!exact) {
+                q.refill();
+                continue;
+            }
+            drainSlot(q, static_cast<std::size_t>(e - q.l0Base_), budget);
+        }
+    } else {
+        while (true) {
+            if (pendingIdx_ < pending_.size()) {
+                // Tail kept from a budget-exhausted run(); its tick was
+                // already accepted, so finish it regardless of limit.
+                executePending(budget);
+                continue;
+            }
+            if (size_ == 0)
+                break;
+            const Tick t = nextTick();
+            if (t > limit)
+                break;
+            now_ = t;
+            gatherTick(t);
+        }
+    }
+    if (now_ < limit)
+        now_ = limit;
     return now_;
 }
 

@@ -63,6 +63,14 @@ class Simulator
      *        for s in [1, shards] tags events that only touch shard
      *        s's state; shard 0 remains the serial lane for events
      *        touching shared state (host side, pools, statistics).
+     *
+     *        When the effective worker count is 1 the sharded layer
+     *        cannot pay off — same-tick groups would run inline anyway
+     *        — so the kernel auto-collapses to the single-queue path
+     *        (scheduleShard still accepts any tag and routes it to the
+     *        one queue). Sharded and single-queue execution are
+     *        bit-identical by construction, so the collapse changes
+     *        throughput only, never results.
      */
     explicit Simulator(int shards = 0);
 
@@ -71,6 +79,10 @@ class Simulator
 
     /** Number of parallel shards (0 = classic single-queue kernel). */
     int shards() const { return shards_; }
+
+    /** Whether the merge/gather/flush layer is active (false when
+     *  constructed unsharded or auto-collapsed on a 1-worker budget). */
+    bool sharded() const { return queues_.size() > 1; }
 
     /** Schedule an action `delay` ticks in the future (serial lane). */
     void schedule(Tick delay, Action action);
@@ -92,6 +104,23 @@ class Simulator
 
     /** Run at most `max_events` events (watchdog for tests). */
     Tick run(std::uint64_t max_events);
+
+    /**
+     * Run every event with `when <= limit`, then advance the clock to
+     * `limit` even if the queue drained earlier (so later schedule()
+     * calls are relative to the horizon, not the last event). Events
+     * beyond `limit` stay queued; the fabric layer uses this to step
+     * each drive to a conservative synchronization horizon.
+     */
+    Tick runUntil(Tick limit);
+
+    /**
+     * Earliest pending tick, or a lower bound no later than it (window
+     * bases count; the fabric horizon only needs a conservative bound
+     * and runUntil repositions windows as it goes). ~Tick(0) when the
+     * queue is empty.
+     */
+    Tick nextEventBound();
 
     /** Number of events executed so far. */
     std::uint64_t eventsExecuted() const { return executed_; }

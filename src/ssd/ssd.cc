@@ -1,6 +1,7 @@
 #include "ssd/ssd.h"
 
 #include <algorithm>
+#include <string_view>
 
 #include "common/hash.h"
 #include "common/logging.h"
@@ -11,9 +12,13 @@
 namespace rif {
 namespace ssd {
 
-Ssd::Ssd(const SsdConfig &config)
+Ssd::Ssd(const SsdConfig &config) : Ssd(config, config.geometry.channels)
+{
+}
+
+Ssd::Ssd(const SsdConfig &config, int simShards)
     : config_(config),
-      sim_(config.geometry.channels),
+      sim_(simShards),
       rng_(config.seed),
       behavior_(makeBehaviorModel(config)),
       ftl_(std::make_unique<Ftl>(config, Rng(config.seed ^ 0xf71))),
@@ -71,8 +76,8 @@ Ssd::run(trace::TraceSource &source)
     return runMultiQueue({&source});
 }
 
-SsdStats
-Ssd::runMultiQueue(const std::vector<trace::TraceSource *> &sources)
+void
+Ssd::preconditionFor(const std::vector<trace::TraceSource *> &sources)
 {
     RIF_ASSERT(!sources.empty());
     std::uint64_t footprint = 0;
@@ -103,6 +108,12 @@ Ssd::runMultiQueue(const std::vector<trace::TraceSource *> &sources)
     } else {
         precondition();
     }
+}
+
+SsdStats
+Ssd::runMultiQueue(const std::vector<trace::TraceSource *> &sources)
+{
+    preconditionFor(sources);
 
     queues_.clear();
     queues_.resize(sources.size());
@@ -131,6 +142,46 @@ Ssd::runMultiQueue(const std::vector<trace::TraceSource *> &sources)
 }
 
 void
+Ssd::prepareOpen(const std::vector<trace::TraceSource *> &sources)
+{
+    preconditionFor(sources);
+    // One pseudo-queue, already drained: the closed-loop refill in
+    // finishRequest becomes a no-op and every IO arrives via submitIo.
+    queues_.clear();
+    queues_.resize(1);
+    queues_[0].drained = true;
+    stats_.queueReadLatencyUs.resize(1);
+}
+
+void
+Ssd::submitIo(bool isRead, std::uint64_t lpn, std::uint32_t pages,
+              InlineFunction<void(Tick)> onDone)
+{
+    trace::IoRecord rec;
+    rec.isRead = isRead;
+    rec.lpn = lpn;
+    rec.pages = pages;
+    auto &qs = queues_[0];
+    ++qs.outstanding;
+    if (++outstanding_ > outstandingPeak_)
+        outstandingPeak_ = outstanding_;
+    ++stats_.hostRequests;
+    startRequest(rec, 0, std::move(onDone));
+}
+
+const SsdStats &
+Ssd::finishOpen()
+{
+    stats_.makespan = sim_.now();
+    for (auto &u : stats_.channels)
+        u.finish(sim_.now());
+    tracing::complete("ssd.run", 0, stats_.makespan, 0, "requests",
+                      static_cast<std::int64_t>(stats_.hostRequests));
+    publishMetrics();
+    return stats_;
+}
+
+void
 Ssd::publishMetrics() const
 {
     namespace m = metrics;
@@ -138,18 +189,30 @@ Ssd::publishMetrics() const
     if (!c)
         return;
 
-    const auto counter = [&](const char *name, const char *unit,
+    // Map a catalog name through the drive prefix (see
+    // setMetricsPrefix): the "ssd." family is re-rooted under the
+    // prefix, every other family is prefixed whole.
+    const auto name = [&](std::string_view base) -> std::string {
+        if (metricsPrefix_.empty())
+            return std::string(base);
+        if (base.substr(0, 4) == "ssd.")
+            base.remove_prefix(4);
+        return metricsPrefix_ + std::string(base);
+    };
+    const auto counter = [&](const char *base, const char *unit,
                              const char *help, std::uint64_t v) {
-        c->add(m::registerMetric(name, m::Kind::Counter, unit, help), v);
+        c->add(m::registerMetric(name(base), m::Kind::Counter, unit, help),
+               v);
     };
-    const auto gauge = [&](const char *name, const char *unit,
+    const auto gauge = [&](const char *base, const char *unit,
                            const char *help, std::uint64_t v) {
-        c->gaugeMax(m::registerMetric(name, m::Kind::Gauge, unit, help), v);
+        c->gaugeMax(
+            m::registerMetric(name(base), m::Kind::Gauge, unit, help), v);
     };
-    const auto dist = [&](const std::string &name, const char *help,
+    const auto dist = [&](const std::string &base, const char *help,
                           const PercentileTracker &t) {
-        const int id =
-            m::registerMetric(name, m::Kind::Distribution, "us", help);
+        const int id = m::registerMetric(name(base), m::Kind::Distribution,
+                                         "us", help);
         for (double x : t.samples())
             c->observe(id, x);
     };
@@ -264,7 +327,8 @@ Ssd::issueNextRequest(int queue)
 }
 
 void
-Ssd::startRequest(const trace::IoRecord &rec, int queue)
+Ssd::startRequest(const trace::IoRecord &rec, int queue,
+                  InlineFunction<void(Tick)> onDone)
 {
     HostRequest *req = hostReqPool_.acquire();
     req->isRead = rec.isRead;
@@ -273,6 +337,7 @@ Ssd::startRequest(const trace::IoRecord &rec, int queue)
                  config_.geometry.pageBytes;
     req->issued = sim_.now();
     req->queue = queue;
+    req->onDone = std::move(onDone);
 
     if (rec.isRead) {
         dispatchReadPages(req, rec.lpn, rec.pages);
@@ -403,10 +468,14 @@ Ssd::finishRequest(HostRequest *req)
                       sim_.now() - req->issued, 0, "bytes",
                       static_cast<std::int64_t>(req->bytes));
     const int queue = req->queue;
+    InlineFunction<void(Tick)> done = std::move(req->onDone);
+    req->onDone = nullptr; // recycled requests must not retain hooks
     hostReqPool_.release(req);
     --outstanding_;
     --queues_[static_cast<std::size_t>(queue)].outstanding;
     issueNextRequest(queue);
+    if (done)
+        done(sim_.now());
 }
 
 void

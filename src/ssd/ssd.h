@@ -10,6 +10,7 @@
 
 #include <deque>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/inline_function.h"
@@ -28,6 +29,14 @@ class Ssd
 {
   public:
     explicit Ssd(const SsdConfig &config);
+    /**
+     * @param simShards event-kernel shard count override. The default
+     *        ctor shards by channel; a fleet running whole drives on
+     *        one worker each passes 0 so every drive uses the plain
+     *        single-queue kernel (sharding inside a drive would only
+     *        add merge overhead on an already-busy pool).
+     */
+    Ssd(const SsdConfig &config, int simShards);
     ~Ssd();
 
     Ssd(const Ssd &) = delete;
@@ -53,6 +62,51 @@ class Ssd
      */
     SsdStats runMultiQueue(
         const std::vector<trace::TraceSource *> &sources);
+
+    // ---- Open-loop (fabric) interface -------------------------------
+    //
+    // The closed-loop run()/runMultiQueue() replay owns the whole
+    // lifecycle. A Fleet instead drives each drive externally: it
+    // preconditions once, injects IOs at interconnect-arrival times,
+    // advances the drive's kernel to successive synchronization
+    // horizons, and finalizes when the fabric drains.
+
+    /**
+     * Precondition the FTL for `sources` (snapshot-cached exactly like
+     * runMultiQueue) without starting a closed-loop replay. Call once
+     * before the first submitIo().
+     */
+    void prepareOpen(const std::vector<trace::TraceSource *> &sources);
+
+    /**
+     * Submit one IO (drive-local page addressing) at the current
+     * simulated time. `onDone` fires inside this drive's simulator
+     * with the completion tick when the request fully retires.
+     */
+    void submitIo(bool isRead, std::uint64_t lpn, std::uint32_t pages,
+                  InlineFunction<void(Tick)> onDone);
+
+    /** Advance this drive's kernel to `limit` (see Simulator::runUntil). */
+    Tick runUntil(Tick limit) { return sim_.runUntil(limit); }
+
+    /** Earliest pending tick (lower bound); ~Tick(0) when idle. */
+    Tick nextEventBound() { return sim_.nextEventBound(); }
+
+    /** Finalize stats (makespan, channel residencies) and publish
+     *  metrics after an open-loop run. */
+    const SsdStats &finishOpen();
+
+    /**
+     * Prefix prepended to every published metric name, with a leading
+     * "ssd." stripped first so "ssd.host.requests" becomes
+     * "ssd3.host.requests" under prefix "ssd3." (and "odear.rp.*" /
+     * "sim.*" become "ssd3.odear.rp.*" / "ssd3.sim.*"). Empty (the
+     * default) publishes the catalog names unchanged.
+     */
+    void setMetricsPrefix(std::string prefix)
+    {
+        metricsPrefix_ = std::move(prefix);
+    }
 
     const SsdConfig &config() const { return config_; }
 
@@ -85,6 +139,8 @@ class Ssd
         int pagesRemaining = 0;
         Tick issued = 0;
         int queue = 0;
+        /** Open-loop completion hook (null in closed-loop replay). */
+        InlineFunction<void(Tick)> onDone;
     };
 
     struct QueueState
@@ -95,8 +151,11 @@ class Ssd
     };
 
     DieModel &dieAt(const nand::PhysAddr &addr);
+    /** Precondition the FTL (snapshot-cached) for these sources. */
+    void preconditionFor(const std::vector<trace::TraceSource *> &sources);
     void issueNextRequest(int queue);
-    void startRequest(const trace::IoRecord &rec, int queue);
+    void startRequest(const trace::IoRecord &rec, int queue,
+                      InlineFunction<void(Tick)> onDone = nullptr);
     void dispatchReadPages(HostRequest *req, std::uint64_t lpn,
                            std::uint32_t pages);
     void dispatchWritePages(HostRequest *req, std::uint64_t lpn,
@@ -151,6 +210,9 @@ class Ssd
      */
     ObjectPool<PageOp> pageOpPool_;
     ObjectPool<HostRequest> hostReqPool_;
+
+    /** See setMetricsPrefix(). */
+    std::string metricsPrefix_;
 
     SsdStats stats_;
 };

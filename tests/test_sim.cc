@@ -395,6 +395,27 @@ TEST(ShardedSimulator, CollapsesToSerialWhenUnsharded)
     EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
 }
 
+TEST(ShardedSimulator, AutoCollapsesOnOneWorkerBudget)
+{
+    // With one worker there is nothing to overlap, so a sharded
+    // construction request collapses to the single-queue kernel (no
+    // gather/merge/flush tax) while shard tags keep routing correctly.
+    setGlobalThreadCount(1);
+    Simulator collapsed(8);
+    EXPECT_FALSE(collapsed.sharded());
+    std::vector<int> order;
+    collapsed.scheduleShard(5, 10, [&order] { order.push_back(1); });
+    collapsed.scheduleShard(2, 5, [&order] { order.push_back(0); });
+    collapsed.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+
+    // A real worker budget keeps the sharded path.
+    setGlobalThreadCount(4);
+    Simulator sharded(8);
+    EXPECT_TRUE(sharded.sharded());
+    setGlobalThreadCount(0);
+}
+
 } // namespace
 } // namespace ssd
 } // namespace rif
