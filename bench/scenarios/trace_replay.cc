@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Real-trace replay: stream a block-trace file (native CSV,
+ * MSR-Cambridge or Alibaba dialect) through the device under its own
+ * arrival timestamps and compare the conventional fixed-sequence retry
+ * against RiF on host-observed read latency. With no
+ * `--set workload.trace=<file>` a deterministic sample trace is
+ * generated on the fly, so the scenario doubles as an end-to-end smoke
+ * of the streaming reader + open-loop injection path.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <unistd.h>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "core/experiment.h"
+#include "core/scenario.h"
+#include "ssd/arrival.h"
+#include "ssd/ssd.h"
+#include "trace/stream.h"
+#include "trace/workload.h"
+
+namespace {
+
+using namespace rif;
+
+/**
+ * Generate a deterministic sample trace: a Zipf-hot read-mostly
+ * workload paced by a Poisson process, in the native CSV dialect with
+ * an arrival_us column. The path is pid-qualified (parallel test jobs
+ * never collide) and deliberately never printed, so scenario output
+ * does not depend on the host.
+ */
+std::string
+writeSampleTrace(std::uint64_t requests, std::uint64_t seed)
+{
+    const std::string path = "/tmp/rif_trace_replay_" +
+                             std::to_string(::getpid()) + ".csv";
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        fatal("trace_replay: cannot write sample trace '", path, "'");
+
+    Rng rng(seed ^ 0x7ace5eedull);
+    const ZipfSampler hot(30000, 0.9);
+    double cursor_us = 0.0;
+    out << "# sample trace: R|W,lpn,pages,arrival_us\n";
+    for (std::uint64_t i = 0; i < requests; ++i) {
+        const bool is_read = rng.chance(0.85);
+        const std::uint64_t lpn = hot.sample(rng);
+        const std::uint64_t pages = 1 + rng.below(4);
+        cursor_us += rng.exponential(0.06); // ~60 kIOPS offered
+        out << (is_read ? 'R' : 'W') << ',' << lpn << ',' << pages << ','
+            << cursor_us << '\n';
+    }
+    return path;
+}
+
+void
+run(core::ScenarioContext &ctx)
+{
+    RunScale rs;
+    rs.requests = ctx.scaled(12000);
+    ctx.apply(rs);
+
+    trace::WorkloadConfig wc;
+    wc.arrival = "timestamp";
+    ctx.apply(wc);
+
+    std::string temp_path;
+    if (wc.trace.empty())
+        wc.trace = temp_path = writeSampleTrace(rs.requests, rs.seed);
+
+    trace::TraceFormat fmt;
+    if (wc.format == "auto")
+        fmt = trace::detectTraceFormat(wc.trace);
+    else if (!trace::parseTraceFormat(wc.format, fmt))
+        fatal("trace_replay: unknown trace format '", wc.format, "'");
+    const trace::TraceScan scan = trace::scanTraceFile(wc.trace, fmt);
+
+    Table t("Trace replay (" + std::string(trace::traceFormatName(fmt)) +
+            ", " + Table::num(scan.records) + " records, " +
+            Table::num(100.0 * static_cast<double>(scan.readRecords) /
+                           static_cast<double>(scan.records),
+                       0) +
+            "% reads, span " + Table::num(ticksToUs(scan.span) / 1e3, 1) +
+            " ms, arrival=" + wc.arrival + " @ 3K P/E)");
+    t.setHeader({"policy", "p50(us)", "p99(us)", "p99.9(us)", "IOPS",
+                 "retried_reads", "dropped"});
+
+    for (ssd::PolicyKind policy :
+         {ssd::PolicyKind::FixedSequence, ssd::PolicyKind::Rif}) {
+        ssd::SsdConfig cfg;
+        cfg.policy = policy;
+        cfg.peCycles = 3000.0;
+        ctx.apply(cfg);
+
+        const auto source = trace::openWorkload(
+            wc, trace::workloadByName(ctx.workload("Ali124")),
+            rs.requests, rs.seed);
+        const auto arrival =
+            ssd::makeArrivalPolicy(wc, cfg.queueDepth);
+        ssd::Ssd ssd(cfg);
+        metrics::MetricsScope scope;
+        const ssd::SsdStats st = ssd.run(*source, *arrival);
+        scope.finish();
+
+        t.addRow({ssd::policyName(policy),
+                  Table::num(st.readLatencyUs.percentile(50), 1),
+                  Table::num(st.readLatencyUs.percentile(99), 1),
+                  Table::num(st.readLatencyUs.percentile(99.9), 1),
+                  Table::num(static_cast<double>(st.hostRequests) /
+                                 ticksToSec(st.makespan),
+                             0),
+                  Table::num(st.retriedReads),
+                  Table::num(arrival->stats().dropped)});
+    }
+    ctx.sink.table(t);
+    ctx.sink.text(
+        "\nOpen-loop replay at the trace's own timestamps: latency "
+        "includes host-queue\nwait, so retry storms back up into the "
+        "arrival queue and the conventional\ntail grows past the "
+        "device service time; RiF absorbs the same offered load\n"
+        "with a near-flat queue.\n");
+
+    if (!temp_path.empty())
+        std::remove(temp_path.c_str());
+}
+
+} // namespace
+
+RIF_REGISTER_SCENARIO(trace_replay,
+                      "Real-trace replay: streaming reader, "
+                      "timestamped arrivals",
+                      "workload-engine extension of Fig. 19",
+                      run);

@@ -7,6 +7,8 @@
 #include "common/logging.h"
 #include "fabric/config.h"
 #include "trace/trace.h"
+#include "trace/stream.h"
+#include "trace/workload.h"
 
 namespace rif {
 namespace core {
@@ -96,6 +98,9 @@ struct Field
     std::function<
         std::function<void(fabric::FleetConfig &)>(const std::string &)>
         makeFleet;
+    std::function<std::function<void(trace::WorkloadConfig &)>(
+        const std::string &)>
+        makeWorkload;
 };
 
 std::vector<Field>
@@ -447,6 +452,114 @@ makeFields()
                    },
                    0.0, 1e7);
 
+    // --- workload.* ----------------------------------------------------
+    auto addWorkloadDouble =
+        [&f](const char *key, const char *help,
+             void (*set)(trace::WorkloadConfig &, double), double min,
+             double max, bool min_exclusive = false) {
+            f.push_back(
+                {key, help, nullptr, nullptr, nullptr,
+                 [key, set, min, max,
+                  min_exclusive](const std::string &v) {
+                     const double parsed = parseDoubleValue(
+                         key, v, min, max, min_exclusive);
+                     return [set, parsed](trace::WorkloadConfig &c) {
+                         set(c, parsed);
+                     };
+                 }});
+        };
+    f.push_back({"workload.trace",
+                 "block-trace file to replay (empty: synthetic "
+                 "generator)",
+                 nullptr, nullptr, nullptr,
+                 [](const std::string &v) {
+                     return [v](trace::WorkloadConfig &c) {
+                         c.trace = v;
+                     };
+                 }});
+    f.push_back({"workload.format",
+                 "trace dialect: auto|csv|msr|alibaba",
+                 nullptr, nullptr, nullptr,
+                 [](const std::string &v) {
+                     trace::TraceFormat parsed;
+                     if (v != "auto" &&
+                         !trace::parseTraceFormat(v, parsed))
+                         badValue("workload.format", v,
+                                  "auto|csv|msr|alibaba");
+                     return [v](trace::WorkloadConfig &c) {
+                         c.format = v;
+                     };
+                 }});
+    f.push_back({"workload.arrival",
+                 "injection mode: closed|timestamp|rate|poisson|onoff|"
+                 "diurnal",
+                 nullptr, nullptr, nullptr,
+                 [](const std::string &v) {
+                     trace::ArrivalMode parsed;
+                     if (!trace::parseArrivalMode(v, parsed))
+                         badValue("workload.arrival", v,
+                                  "closed|timestamp|rate|poisson|"
+                                  "onoff|diurnal");
+                     return [v](trace::WorkloadConfig &c) {
+                         c.arrival = v;
+                     };
+                 }});
+    addWorkloadDouble("workload.rateKiops",
+                      "offered load of the generated open-loop modes "
+                      "(kIOPS)",
+                      [](trace::WorkloadConfig &c, double v) {
+                          c.rateKiops = v;
+                      },
+                      0.0, 1e6, true);
+    addWorkloadDouble("workload.onMs", "on/off burst length (ms)",
+                      [](trace::WorkloadConfig &c, double v) {
+                          c.onMs = v;
+                      },
+                      0.0, 1e7, true);
+    addWorkloadDouble("workload.offMs", "on/off silence length (ms)",
+                      [](trace::WorkloadConfig &c, double v) {
+                          c.offMs = v;
+                      },
+                      0.0, 1e7);
+    addWorkloadDouble("workload.periodMs", "diurnal period (ms)",
+                      [](trace::WorkloadConfig &c, double v) {
+                          c.periodMs = v;
+                      },
+                      0.0, 1e9, true);
+    f.push_back({"workload.amplitude",
+                 "diurnal rate swing, in [0, 1)",
+                 nullptr, nullptr, nullptr,
+                 [](const std::string &v) {
+                     const double parsed = parseDoubleValue(
+                         "workload.amplitude", v, 0.0, 1.0);
+                     if (parsed >= 1.0)
+                         badValue("workload.amplitude", v,
+                                  "number in [0, 1)");
+                     return [parsed](trace::WorkloadConfig &c) {
+                         c.amplitude = parsed;
+                     };
+                 }});
+    f.push_back({"workload.queueCap",
+                 "bounded host-queue capacity (open loop)",
+                 nullptr, nullptr, nullptr,
+                 [](const std::string &v) {
+                     const long long parsed = parseIntValue(
+                         "workload.queueCap", v, 1, 1 << 24);
+                     return [parsed](trace::WorkloadConfig &c) {
+                         c.queueCap = static_cast<int>(parsed);
+                     };
+                 }});
+    f.push_back({"workload.arrivalSeed",
+                 "seed of the Poisson arrival process",
+                 nullptr, nullptr, nullptr,
+                 [](const std::string &v) {
+                     const std::uint64_t parsed = parseU64Value(
+                         "workload.arrivalSeed", v, 0, ~0ull);
+                     return [parsed](trace::WorkloadConfig &c) {
+                         c.arrivalSeed = parsed;
+                     };
+                 }});
+
     return f;
 }
 
@@ -475,6 +588,8 @@ OptionSet::addSet(const std::string &key_value)
             ssdOps_.push_back(field.makeSsd(value));
         else if (field.makeFleet)
             fleetOps_.push_back(field.makeFleet(value));
+        else if (field.makeWorkload)
+            workloadOps_.push_back(field.makeWorkload(value));
         else
             runOps_.push_back(field.makeRun(value));
         return;
@@ -521,6 +636,15 @@ OptionSet::applyTo(fabric::FleetConfig &cfg) const
     for (const auto &op : fleetOps_)
         op(cfg);
     if (!fleetOps_.empty())
+        cfg.validate();
+}
+
+void
+OptionSet::applyTo(trace::WorkloadConfig &cfg) const
+{
+    for (const auto &op : workloadOps_)
+        op(cfg);
+    if (!workloadOps_.empty())
         cfg.validate();
 }
 

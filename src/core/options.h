@@ -27,6 +27,10 @@ namespace fabric {
 struct FleetConfig;
 } // namespace fabric
 
+namespace trace {
+struct WorkloadConfig;
+} // namespace trace
+
 namespace core {
 
 /** One settable key and its help string, for `rif help set`. */
@@ -68,10 +72,14 @@ class OptionSet
     /** Apply the fleet.* overrides in command-line order and validate. */
     void applyTo(fabric::FleetConfig &cfg) const;
 
+    /** Apply the workload.* overrides in command-line order and
+     *  validate. */
+    void applyTo(trace::WorkloadConfig &cfg) const;
+
     bool empty() const
     {
         return ssdOps_.empty() && runOps_.empty() && fleetOps_.empty() &&
-               !workload_;
+               workloadOps_.empty() && !workload_;
     }
 
     /** Every recognized `--set` key, in listing order. */
@@ -81,6 +89,8 @@ class OptionSet
     std::vector<std::function<void(ssd::SsdConfig &)>> ssdOps_;
     std::vector<std::function<void(RunScale &)>> runOps_;
     std::vector<std::function<void(fabric::FleetConfig &)>> fleetOps_;
+    std::vector<std::function<void(trace::WorkloadConfig &)>>
+        workloadOps_;
     std::optional<std::string> workload_;
 };
 

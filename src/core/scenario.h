@@ -59,6 +59,14 @@ struct ScenarioContext
         opts.applyTo(cfg);
     }
 
+    /** Layer the `--set workload.*` overrides on top of `cfg` and
+     *  validate. */
+    void
+    apply(trace::WorkloadConfig &cfg) const
+    {
+        opts.applyTo(cfg);
+    }
+
     /** The `--workload` override, or the scenario's default. */
     std::string
     workload(const std::string &fallback) const

@@ -104,11 +104,13 @@ Fleet::driveConfig(int drive) const
 }
 
 FleetStats
-Fleet::runCoupled(trace::TraceSource &source)
+Fleet::runCoupled(trace::TraceSource &source, ssd::ArrivalPolicy *policy)
 {
     tracing::TrackScope track(tracing::currentTrack() + 1);
     tracing::setTrackLabel(tracing::currentTrack(), "ssd0");
-    const ssd::SsdStats drive = drives_[0]->run(source);
+    const ssd::SsdStats drive = policy
+                                    ? drives_[0]->run(source, *policy)
+                                    : drives_[0]->run(source);
 
     stats_.makespan = drive.makespan;
     stats_.commands = drive.hostRequests;
@@ -129,11 +131,22 @@ Fleet::run(trace::TraceSource &source)
 {
     // The degenerate single-drive, zero-latency fleet has no modeled
     // interconnect to cross: couple the host loop straight to the
-    // drive. This is the bare-Ssd equivalence anchor.
+    // drive (its own closed loop). This is the bare-Ssd equivalence
+    // anchor.
     if (cfg_.drives == 1 && cfg_.linkTicks() == 0)
-        return runCoupled(source);
+        return runCoupled(source, nullptr);
+    ssd::ClosedLoopArrival closed(cfg_.qd);
+    return run(source, closed);
+}
+
+FleetStats
+Fleet::run(trace::TraceSource &source, ssd::ArrivalPolicy &policy)
+{
+    if (cfg_.drives == 1 && cfg_.linkTicks() == 0)
+        return runCoupled(source, &policy);
 
     source_ = &source;
+    arrival_ = &policy;
     const int n = cfg_.drives;
     const std::uint32_t baseTrack = tracing::currentTrack();
 
@@ -158,8 +171,9 @@ Fleet::run(trace::TraceSource &source)
             drives_[d]->prepareOpen(one);
         });
 
-    // Prime the fleet-wide closed loop at host time zero.
-    refill();
+    // Start injection at host time zero: the closed loop fills its
+    // window immediately, the open loop schedules the first arrival.
+    policy.prime(*this, 0);
 
     // Conservative drive-parallel rounds. Any message crossing the
     // interconnect from time t arrives no earlier than t + L, so with
@@ -211,30 +225,38 @@ Fleet::run(trace::TraceSource &source)
     }
     publishFleetMetrics();
     source_ = nullptr;
+    arrival_ = nullptr;
     return stats_;
 }
 
-void
-Fleet::refill()
+bool
+Fleet::pullNext(int, trace::IoRecord &out)
 {
-    while (!exhausted_ && outstanding_ < cfg_.qd) {
-        if (!issueNext()) {
-            exhausted_ = true;
-            break;
-        }
+    if (exhausted_)
+        return false;
+    if (!source_->next(out)) {
+        exhausted_ = true;
+        return false;
     }
+    return true;
 }
 
 bool
-Fleet::issueNext()
+Fleet::inject(int queue)
 {
     trace::IoRecord rec;
-    if (!source_->next(rec))
+    if (!pullNext(queue, rec))
         return false;
+    startRecord(rec, queue, hostSim_.now());
+    return true;
+}
 
+void
+Fleet::startRecord(const trace::IoRecord &rec, int, Tick issuedAt)
+{
     Command *cmd = cmdPool_.acquire();
     cmd->isRead = rec.isRead;
-    cmd->issued = hostSim_.now();
+    cmd->issued = issuedAt;
     cmd->subsLeft = 0;
 
     splitScratch_.clear();
@@ -284,7 +306,6 @@ Fleet::issueNext()
         outstandingPeak_ = outstanding_;
     for (const SubIo &sub : splitScratch_)
         submitSub(cmd, sub);
-    return true;
 }
 
 void
@@ -335,7 +356,7 @@ Fleet::deliverCompletion(const DoneRec &rec)
             lastDone_ = std::max(lastDone_, now);
             cmdPool_.release(rec.cmd);
             --outstanding_;
-            refill();
+            arrival_->onCompletion(*this, 0);
         }
     });
 }
@@ -386,6 +407,24 @@ Fleet::publishFleetMetrics() const
     gauge("fabric.host.queue_peak", "cmds",
           "peak outstanding host commands",
           static_cast<std::uint64_t>(outstandingPeak_));
+    // Same open-loop surface as a single drive (see Ssd): only
+    // published when an open-loop policy offered the load, keeping
+    // closed-loop snapshots byte-identical.
+    if (arrival_ && arrival_->stats().openLoop) {
+        const ssd::ArrivalStats &a = arrival_->stats();
+        counter("host.arrival.offered", "ops",
+                "open-loop records arriving at the host", a.offered);
+        counter("host.arrival.injected", "ops",
+                "arrivals started on the device", a.injected);
+        counter("host.arrival.dropped", "ops",
+                "arrivals discarded because the host queue was full",
+                a.dropped);
+        counter("host.queue.enqueued", "ops",
+                "arrivals parked in the bounded host queue",
+                a.enqueued);
+        gauge("host.queue.depth_peak", "reqs",
+              "bounded host-queue depth high-water mark", a.queuePeak);
+    }
     counter("fabric.makespan_ticks", "ticks",
             "host-observed fleet run length", stats_.makespan);
     dist("fabric.read_latency_us",

@@ -24,6 +24,7 @@
 #include "fabric/config.h"
 #include "fabric/interconnect.h"
 #include "fabric/placement.h"
+#include "ssd/arrival.h"
 #include "ssd/ssd.h"
 #include "trace/trace.h"
 
@@ -64,7 +65,7 @@ struct FleetStats
 };
 
 /** A fleet of SSDs behind one host. */
-class Fleet
+class Fleet : private ssd::InjectPort
 {
   public:
     /**
@@ -91,6 +92,19 @@ class Fleet
      */
     FleetStats run(trace::TraceSource &source);
 
+    /**
+     * Replay under an explicit injection policy (see ssd/arrival.h).
+     * ClosedLoopArrival(config.qd) reproduces run(source)'s non-coupled
+     * path byte-for-byte; OpenLoopArrival offers load at the records'
+     * arrival ticks with a bounded host queue and drop accounting.
+     * Arrival events run on the host lane, so the conservative
+     * drive-parallel rounds (and their bit-identical guarantee at any
+     * thread count) are unchanged: a submission at host tick t reaches
+     * a drive no earlier than t + linkTicks, past every round horizon.
+     */
+    FleetStats run(trace::TraceSource &source,
+                   ssd::ArrivalPolicy &policy);
+
     /** Drive i's effective configuration (forked seed, aging). */
     const ssd::SsdConfig &driveConfig(int drive) const;
 
@@ -114,11 +128,21 @@ class Fleet
         std::uint64_t bytes = 0;
     };
 
-    FleetStats runCoupled(trace::TraceSource &source);
-    /** Issue host commands until the queue depth is reached. */
-    void refill();
-    /** Pull one command off the trace and fan it out; false at end. */
-    bool issueNext();
+    // ---- InjectPort (the surface the ArrivalPolicy drives) ----------
+    bool pullNext(int queue, trace::IoRecord &out) override;
+    void startRecord(const trace::IoRecord &rec, int queue,
+                     Tick issuedAt) override;
+    bool inject(int queue) override;
+    Tick now() const override { return hostSim_.now(); }
+    void scheduleAt(Tick when, InlineFunction<void()> fn) override
+    {
+        hostSim_.scheduleAt(when, std::move(fn));
+    }
+
+    /** Coupled fast path: policy == nullptr runs the drive's own
+     *  closed loop (the historical bare-Ssd equivalence anchor). */
+    FleetStats runCoupled(trace::TraceSource &source,
+                          ssd::ArrivalPolicy *policy);
     void submitSub(Command *cmd, const SubIo &sub);
     /** Egress-deliver one buffered completion into the host kernel. */
     void deliverCompletion(const DoneRec &rec);
@@ -132,9 +156,11 @@ class Fleet
     std::vector<std::unique_ptr<ssd::SsdConfig>> driveCfgs_;
     std::vector<std::unique_ptr<ssd::Ssd>> drives_;
 
-    /** Host-side event lane (completion arrivals, refill). */
+    /** Host-side event lane (completion arrivals, injection). */
     ssd::Simulator hostSim_;
     trace::TraceSource *source_ = nullptr;
+    /** The active injection policy (null outside run()). */
+    ssd::ArrivalPolicy *arrival_ = nullptr;
 
     /** Outstanding sub-IOs per drive (replica steering signal). */
     std::vector<int> driveLoad_;

@@ -1,0 +1,127 @@
+#include "ssd/arrival.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/tracing.h"
+#include "trace/workload.h"
+
+namespace rif {
+namespace ssd {
+
+ClosedLoopArrival::ClosedLoopArrival(int queueDepth)
+    : queueDepth_(queueDepth)
+{
+    RIF_ASSERT(queueDepth > 0);
+}
+
+void
+ClosedLoopArrival::prime(InjectPort &port, int queue)
+{
+    for (int i = 0; i < queueDepth_; ++i) {
+        if (!port.inject(queue))
+            break;
+        ++stats_.injected;
+    }
+    stats_.offered = stats_.injected;
+}
+
+void
+ClosedLoopArrival::onCompletion(InjectPort &port, int queue)
+{
+    if (port.inject(queue)) {
+        ++stats_.injected;
+        ++stats_.offered;
+    }
+}
+
+OpenLoopArrival::OpenLoopArrival(int queueCap, int deviceDepth)
+    : queueCap_(queueCap), deviceDepth_(deviceDepth)
+{
+    RIF_ASSERT(queueCap > 0 && deviceDepth > 0);
+    stats_.openLoop = true;
+}
+
+OpenLoopArrival::QueueState &
+OpenLoopArrival::state(int queue)
+{
+    const auto q = static_cast<std::size_t>(queue);
+    if (q >= queues_.size())
+        queues_.resize(q + 1);
+    return queues_[q];
+}
+
+void
+OpenLoopArrival::prime(InjectPort &port, int queue)
+{
+    state(queue);
+    scheduleNextArrival(port, queue);
+}
+
+void
+OpenLoopArrival::scheduleNextArrival(InjectPort &port, int queue)
+{
+    QueueState &qs = state(queue);
+    if (!port.pullNext(queue, qs.pending))
+        return;
+    qs.pendingValid = true;
+    const Tick at = std::max(qs.pending.arrival, port.now());
+    port.scheduleAt(at,
+                    [this, &port, queue] { onArrival(port, queue); });
+}
+
+void
+OpenLoopArrival::onArrival(InjectPort &port, int queue)
+{
+    QueueState &qs = state(queue);
+    RIF_ASSERT(qs.pendingValid);
+    const trace::IoRecord rec = qs.pending;
+    qs.pendingValid = false;
+    ++stats_.offered;
+
+    if (qs.inFlight < deviceDepth_) {
+        ++qs.inFlight;
+        ++stats_.injected;
+        port.startRecord(rec, queue, port.now());
+    } else if (qs.waiting.size() <
+               static_cast<std::size_t>(queueCap_)) {
+        qs.waiting.push_back(Waiting{rec, port.now()});
+        ++stats_.enqueued;
+        stats_.queuePeak = std::max(
+            stats_.queuePeak,
+            static_cast<std::uint64_t>(qs.waiting.size()));
+    } else {
+        ++stats_.dropped;
+        tracing::instant("host.queue.drop", port.now(), 0, "queue",
+                         static_cast<std::int64_t>(queue));
+    }
+    scheduleNextArrival(port, queue);
+}
+
+void
+OpenLoopArrival::onCompletion(InjectPort &port, int queue)
+{
+    QueueState &qs = state(queue);
+    --qs.inFlight;
+    if (qs.waiting.empty() || qs.inFlight >= deviceDepth_)
+        return;
+    const Waiting w = qs.waiting.front();
+    qs.waiting.pop_front();
+    ++qs.inFlight;
+    ++stats_.injected;
+    tracing::complete("host.queue.wait", w.arrivedAt,
+                      port.now() - w.arrivedAt, 0, "queue",
+                      static_cast<std::int64_t>(queue));
+    port.startRecord(w.rec, queue, w.arrivedAt);
+}
+
+std::unique_ptr<ArrivalPolicy>
+makeArrivalPolicy(const trace::WorkloadConfig &cfg, int deviceDepth)
+{
+    if (!cfg.openLoop())
+        return std::make_unique<ClosedLoopArrival>(deviceDepth);
+    return std::make_unique<OpenLoopArrival>(cfg.queueCap, deviceDepth);
+}
+
+} // namespace ssd
+} // namespace rif

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Pluggable injection policies for the host replay loop. Both replay
+ * engines — Ssd (one drive) and Fleet (a rack) — implement the small
+ * InjectPort surface and delegate *when* requests enter the device to
+ * an ArrivalPolicy: the classic closed loop at a fixed queue depth
+ * (byte-identical to the historical hard-coded loop), or an open loop
+ * that injects at the records' arrival ticks with a bounded host queue
+ * and drop/overload accounting. Policies run entirely on the host
+ * event lane, so open-loop runs stay deterministic at any thread
+ * count, and they emit the host.arrival.* / host.queue.* observability
+ * surfaces.
+ */
+
+#ifndef RIF_SSD_ARRIVAL_H
+#define RIF_SSD_ARRIVAL_H
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/inline_function.h"
+#include "common/units.h"
+#include "trace/trace.h"
+
+namespace rif {
+
+namespace trace {
+struct WorkloadConfig;
+} // namespace trace
+
+namespace ssd {
+
+/** Injection accounting, published as host.arrival.* / host.queue.*. */
+struct ArrivalStats
+{
+    std::uint64_t offered = 0;  ///< records that arrived at the host
+    std::uint64_t injected = 0; ///< requests started on the device
+    std::uint64_t enqueued = 0; ///< arrivals parked in the host queue
+    std::uint64_t dropped = 0;  ///< arrivals discarded: queue full
+    std::uint64_t queuePeak = 0; ///< host-queue depth high-water mark
+    /** True for open-loop policies (selects the metric surface). */
+    bool openLoop = false;
+};
+
+/**
+ * What a replay engine exposes to its ArrivalPolicy. `queue` is the
+ * host submission queue index (multi-tenant Ssd replay; the Fleet has
+ * one queue).
+ */
+class InjectPort
+{
+  public:
+    virtual ~InjectPort() = default;
+
+    /** Pull the next record of `queue`; false once drained. */
+    virtual bool pullNext(int queue, trace::IoRecord &out) = 0;
+
+    /**
+     * Start `rec` on the device now, with its latency measured from
+     * `issuedAt` (<= now; open-loop latency includes host-queue wait).
+     */
+    virtual void startRecord(const trace::IoRecord &rec, int queue,
+                             Tick issuedAt) = 0;
+
+    /**
+     * The legacy closed-loop step: pull and immediately start one
+     * record, measured from now. False once the queue is drained.
+     */
+    virtual bool inject(int queue) = 0;
+
+    /** Current host-lane simulated time. */
+    virtual Tick now() const = 0;
+
+    /** Schedule `fn` on the host event lane at `when`. */
+    virtual void scheduleAt(Tick when, InlineFunction<void()> fn) = 0;
+};
+
+/** When to inject the next request (the replay loop's strategy). */
+class ArrivalPolicy
+{
+  public:
+    virtual ~ArrivalPolicy() = default;
+
+    /** Start queue `queue`'s injection at host time zero. */
+    virtual void prime(InjectPort &port, int queue) = 0;
+
+    /** One request of `queue` completed; its device slot is free. */
+    virtual void onCompletion(InjectPort &port, int queue) = 0;
+
+    const ArrivalStats &stats() const { return stats_; }
+
+  protected:
+    ArrivalStats stats_;
+};
+
+/**
+ * The historical replay loop: keep `queueDepth` requests outstanding
+ * per queue. prime() injects the initial window and every completion
+ * injects exactly one successor — the same call sequence as the old
+ * hard-coded loop, so closed-loop output is byte-identical.
+ */
+class ClosedLoopArrival final : public ArrivalPolicy
+{
+  public:
+    explicit ClosedLoopArrival(int queueDepth);
+
+    void prime(InjectPort &port, int queue) override;
+    void onCompletion(InjectPort &port, int queue) override;
+
+  private:
+    int queueDepth_;
+};
+
+/**
+ * Open loop: requests arrive at their records' arrival ticks,
+ * independent of completions. At most `deviceDepth` requests run on
+ * the device per queue; excess arrivals park in a bounded host queue
+ * of `queueCap` entries (FIFO, latency measured from arrival, so
+ * queue wait is visible in the tail) and arrivals beyond that are
+ * dropped and counted — the overload signal of the offered-load
+ * sweeps. Exactly one pending arrival event exists per queue, so the
+ * policy adds O(queues) memory regardless of trace length.
+ */
+class OpenLoopArrival final : public ArrivalPolicy
+{
+  public:
+    OpenLoopArrival(int queueCap, int deviceDepth);
+
+    void prime(InjectPort &port, int queue) override;
+    void onCompletion(InjectPort &port, int queue) override;
+
+  private:
+    struct Waiting
+    {
+        trace::IoRecord rec;
+        Tick arrivedAt = 0;
+    };
+    struct QueueState
+    {
+        trace::IoRecord pending; ///< record whose arrival is scheduled
+        bool pendingValid = false;
+        int inFlight = 0;
+        std::deque<Waiting> waiting;
+    };
+
+    void scheduleNextArrival(InjectPort &port, int queue);
+    void onArrival(InjectPort &port, int queue);
+    QueueState &state(int queue);
+
+    int queueCap_;
+    int deviceDepth_;
+    std::vector<QueueState> queues_;
+};
+
+/**
+ * The policy matching a workload's arrival mode: closed-loop at
+ * `deviceDepth` (the historical behaviour), or an OpenLoopArrival with
+ * the workload's host-queue bound for every open-loop mode.
+ */
+std::unique_ptr<ArrivalPolicy>
+makeArrivalPolicy(const trace::WorkloadConfig &cfg, int deviceDepth);
+
+} // namespace ssd
+} // namespace rif
+
+#endif // RIF_SSD_ARRIVAL_H

@@ -76,6 +76,12 @@ Ssd::run(trace::TraceSource &source)
     return runMultiQueue({&source});
 }
 
+SsdStats
+Ssd::run(trace::TraceSource &source, ArrivalPolicy &policy)
+{
+    return runMultiQueue({&source}, policy);
+}
+
 void
 Ssd::preconditionFor(const std::vector<trace::TraceSource *> &sources)
 {
@@ -113,6 +119,14 @@ Ssd::preconditionFor(const std::vector<trace::TraceSource *> &sources)
 SsdStats
 Ssd::runMultiQueue(const std::vector<trace::TraceSource *> &sources)
 {
+    ClosedLoopArrival closed(config_.queueDepth);
+    return runMultiQueue(sources, closed);
+}
+
+SsdStats
+Ssd::runMultiQueue(const std::vector<trace::TraceSource *> &sources,
+                   ArrivalPolicy &policy)
+{
     preconditionFor(sources);
 
     queues_.clear();
@@ -121,13 +135,10 @@ Ssd::runMultiQueue(const std::vector<trace::TraceSource *> &sources)
     for (std::size_t q = 0; q < sources.size(); ++q)
         queues_[q].source = sources[q];
 
-    int issued_any = 0;
-    for (std::size_t q = 0; q < sources.size(); ++q) {
-        for (int i = 0; i < config_.queueDepth; ++i)
-            issueNextRequest(static_cast<int>(q));
-        issued_any += queues_[q].outstanding;
-    }
-    if (issued_any == 0)
+    arrival_ = &policy;
+    for (std::size_t q = 0; q < sources.size(); ++q)
+        policy.prime(*this, static_cast<int>(q));
+    if (outstanding_ == 0 && sim_.nextEventBound() == ~Tick(0))
         warn("trace produced no requests");
 
     sim_.run();
@@ -138,6 +149,7 @@ Ssd::runMultiQueue(const std::vector<trace::TraceSource *> &sources)
     tracing::complete("ssd.run", 0, stats_.makespan, 0, "requests",
                       static_cast<std::int64_t>(stats_.hostRequests));
     publishMetrics();
+    arrival_ = nullptr;
     return stats_;
 }
 
@@ -145,12 +157,15 @@ void
 Ssd::prepareOpen(const std::vector<trace::TraceSource *> &sources)
 {
     preconditionFor(sources);
-    // One pseudo-queue, already drained: the closed-loop refill in
-    // finishRequest becomes a no-op and every IO arrives via submitIo.
+    // One pseudo-queue, already drained: the completion hook's refill
+    // becomes a no-op and every IO arrives via submitIo.
     queues_.clear();
     queues_.resize(1);
     queues_[0].drained = true;
     stats_.queueReadLatencyUs.resize(1);
+    defaultArrival_ =
+        std::make_unique<ClosedLoopArrival>(config_.queueDepth);
+    arrival_ = defaultArrival_.get();
 }
 
 void
@@ -227,6 +242,26 @@ Ssd::publishMetrics() const
             stats_.hostWriteBytes);
     gauge("ssd.host.queue_peak", "reqs", "peak outstanding host requests",
           static_cast<std::uint64_t>(outstandingPeak_));
+
+    // The open-loop injection surface (host.arrival.* / host.queue.*)
+    // is only published when an open-loop policy paced the run, so the
+    // closed-loop metric snapshots stay byte-identical to the
+    // pre-ArrivalPolicy engine.
+    if (arrival_ && arrival_->stats().openLoop) {
+        const ArrivalStats &a = arrival_->stats();
+        counter("host.arrival.offered", "ops",
+                "open-loop records arriving at the host", a.offered);
+        counter("host.arrival.injected", "ops",
+                "arrivals started on the device", a.injected);
+        counter("host.arrival.dropped", "ops",
+                "arrivals discarded because the host queue was full",
+                a.dropped);
+        counter("host.queue.enqueued", "ops",
+                "arrivals parked in the bounded host queue",
+                a.enqueued);
+        gauge("host.queue.depth_peak", "reqs",
+              "bounded host-queue depth high-water mark", a.queuePeak);
+    }
 
     counter("ssd.nand.page_reads", "ops", "page read operations",
             stats_.pageReads);
@@ -308,34 +343,50 @@ Ssd::publishMetrics() const
           "HostRequest pool high-water mark", hostReqPool_.allocated());
 }
 
-void
-Ssd::issueNextRequest(int queue)
+bool
+Ssd::pullNext(int queue, trace::IoRecord &out)
 {
     auto &qs = queues_[static_cast<std::size_t>(queue)];
     if (qs.drained)
-        return;
-    trace::IoRecord rec;
-    if (!qs.source->next(rec)) {
+        return false;
+    if (!qs.source->next(out)) {
         qs.drained = true;
-        return;
+        return false;
     }
+    return true;
+}
+
+void
+Ssd::startRecord(const trace::IoRecord &rec, int queue, Tick issuedAt)
+{
+    auto &qs = queues_[static_cast<std::size_t>(queue)];
     ++qs.outstanding;
     if (++outstanding_ > outstandingPeak_)
         outstandingPeak_ = outstanding_;
     ++stats_.hostRequests;
-    startRequest(rec, queue);
+    startRequest(rec, queue, nullptr, issuedAt);
+}
+
+bool
+Ssd::inject(int queue)
+{
+    trace::IoRecord rec;
+    if (!pullNext(queue, rec))
+        return false;
+    startRecord(rec, queue, sim_.now());
+    return true;
 }
 
 void
 Ssd::startRequest(const trace::IoRecord &rec, int queue,
-                  InlineFunction<void(Tick)> onDone)
+                  InlineFunction<void(Tick)> onDone, Tick issuedAt)
 {
     HostRequest *req = hostReqPool_.acquire();
     req->isRead = rec.isRead;
     req->pagesRemaining = static_cast<int>(rec.pages);
     req->bytes = static_cast<std::uint64_t>(rec.pages) *
                  config_.geometry.pageBytes;
-    req->issued = sim_.now();
+    req->issued = issuedAt == kIssueNow ? sim_.now() : issuedAt;
     req->queue = queue;
     req->onDone = std::move(onDone);
 
@@ -473,7 +524,7 @@ Ssd::finishRequest(HostRequest *req)
     hostReqPool_.release(req);
     --outstanding_;
     --queues_[static_cast<std::size_t>(queue)].outstanding;
-    issueNextRequest(queue);
+    arrival_->onCompletion(*this, queue);
     if (done)
         done(sim_.now());
 }

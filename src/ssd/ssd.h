@@ -16,6 +16,7 @@
 #include "common/inline_function.h"
 #include "common/pool.h"
 #include "odear/accuracy.h"
+#include "ssd/arrival.h"
 #include "ssd/devices.h"
 #include "ssd/ftl.h"
 #include "ssd/sim.h"
@@ -25,7 +26,7 @@ namespace rif {
 namespace ssd {
 
 /** A complete simulated SSD. */
-class Ssd
+class Ssd : private InjectPort
 {
   public:
     explicit Ssd(const SsdConfig &config);
@@ -52,6 +53,15 @@ class Ssd
     SsdStats run(trace::TraceSource &source);
 
     /**
+     * Replay under an explicit injection policy (see ssd/arrival.h):
+     * ClosedLoopArrival(config.queueDepth) reproduces run(source)
+     * byte-for-byte; OpenLoopArrival injects at the records' arrival
+     * ticks with a bounded host queue and drop accounting, running
+     * until the source drains and every injected request retires.
+     */
+    SsdStats run(trace::TraceSource &source, ArrivalPolicy &policy);
+
+    /**
      * Multi-queue replay: each source drives one host submission queue
      * with its own closed loop of config.queueDepth requests (the
      * multi-tenant mode of MQSim-class simulators). Sources should
@@ -62,6 +72,12 @@ class Ssd
      */
     SsdStats runMultiQueue(
         const std::vector<trace::TraceSource *> &sources);
+
+    /** Multi-queue replay under an explicit injection policy (one
+     *  policy paces every queue). */
+    SsdStats runMultiQueue(
+        const std::vector<trace::TraceSource *> &sources,
+        ArrivalPolicy &policy);
 
     // ---- Open-loop (fabric) interface -------------------------------
     //
@@ -150,12 +166,26 @@ class Ssd
         int outstanding = 0;
     };
 
+    /** startRequest sentinel: measure latency from the current tick. */
+    static constexpr Tick kIssueNow = ~Tick(0);
+
+    // ---- InjectPort (the surface the ArrivalPolicy drives) ----------
+    bool pullNext(int queue, trace::IoRecord &out) override;
+    void startRecord(const trace::IoRecord &rec, int queue,
+                     Tick issuedAt) override;
+    bool inject(int queue) override;
+    Tick now() const override { return sim_.now(); }
+    void scheduleAt(Tick when, InlineFunction<void()> fn) override
+    {
+        sim_.scheduleAt(when, std::move(fn));
+    }
+
     DieModel &dieAt(const nand::PhysAddr &addr);
     /** Precondition the FTL (snapshot-cached) for these sources. */
     void preconditionFor(const std::vector<trace::TraceSource *> &sources);
-    void issueNextRequest(int queue);
     void startRequest(const trace::IoRecord &rec, int queue,
-                      InlineFunction<void(Tick)> onDone = nullptr);
+                      InlineFunction<void(Tick)> onDone = nullptr,
+                      Tick issuedAt = kIssueNow);
     void dispatchReadPages(HostRequest *req, std::uint64_t lpn,
                            std::uint32_t pages);
     void dispatchWritePages(HostRequest *req, std::uint64_t lpn,
@@ -191,6 +221,14 @@ class Ssd
     std::unique_ptr<HostLink> hostLink_;
 
     std::vector<QueueState> queues_;
+    /**
+     * The active injection policy. run()/runMultiQueue() point it at
+     * the caller's policy (or a default closed loop); prepareOpen()
+     * installs a closed-loop default so the fabric's submitIo path
+     * keeps the historical refill-on-completion behaviour.
+     */
+    ArrivalPolicy *arrival_ = nullptr;
+    std::unique_ptr<ArrivalPolicy> defaultArrival_;
     /** Scratch for gathered read dispatch: dies touched this call. */
     std::vector<DieModel *> gatherDies_;
     /** Gathered-dispatch accounting (ssd.read.gather.* metrics). */

@@ -1,0 +1,125 @@
+#include "trace/arrival.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rif {
+namespace trace {
+
+FixedRateArrivals::FixedRateArrivals(double iops) : gapUs_(1e6 / iops)
+{
+    RIF_ASSERT(iops > 0.0);
+}
+
+Tick
+FixedRateArrivals::next()
+{
+    const Tick t = usToTicks(cursorUs_);
+    cursorUs_ += gapUs_;
+    return t;
+}
+
+PoissonArrivals::PoissonArrivals(double iops, std::uint64_t seed)
+    : ratePerUs_(iops / 1e6), rng_(seed)
+{
+    RIF_ASSERT(iops > 0.0);
+}
+
+Tick
+PoissonArrivals::next()
+{
+    const Tick t = usToTicks(cursorUs_);
+    cursorUs_ += rng_.exponential(ratePerUs_);
+    return t;
+}
+
+OnOffArrivals::OnOffArrivals(double iops, double onMs, double offMs)
+    : gapUs_(1e6 / iops), onUs_(onMs * 1e3),
+      periodUs_((onMs + offMs) * 1e3)
+{
+    RIF_ASSERT(iops > 0.0);
+    RIF_ASSERT(onMs > 0.0 && offMs >= 0.0);
+}
+
+Tick
+OnOffArrivals::next()
+{
+    // Skip to the next on-window when the cursor fell into the gap.
+    const double phase = std::fmod(cursorUs_, periodUs_);
+    if (phase >= onUs_)
+        cursorUs_ += periodUs_ - phase;
+    const Tick t = usToTicks(cursorUs_);
+    cursorUs_ += gapUs_;
+    return t;
+}
+
+DiurnalArrivals::DiurnalArrivals(double iops, double periodMs,
+                                 double amplitude)
+    : ratePerUs_(iops / 1e6), periodUs_(periodMs * 1e3),
+      amplitude_(amplitude)
+{
+    RIF_ASSERT(iops > 0.0);
+    RIF_ASSERT(periodMs > 0.0);
+    RIF_ASSERT(amplitude >= 0.0 && amplitude < 1.0);
+}
+
+Tick
+DiurnalArrivals::next()
+{
+    const Tick t = usToTicks(cursorUs_);
+    const double rate =
+        ratePerUs_ *
+        (1.0 + amplitude_ *
+                   std::sin(2.0 * M_PI * cursorUs_ / periodUs_));
+    cursorUs_ += 1.0 / rate;
+    return t;
+}
+
+TimedTrace::TimedTrace(std::unique_ptr<TraceSource> inner,
+                       std::unique_ptr<ArrivalProcess> arrivals)
+    : ownedInner_(std::move(inner)), ownedArrivals_(std::move(arrivals)),
+      inner_(*ownedInner_), arrivals_(*ownedArrivals_)
+{
+}
+
+TimedTrace::TimedTrace(TraceSource &inner, ArrivalProcess &arrivals)
+    : inner_(inner), arrivals_(arrivals)
+{
+}
+
+bool
+TimedTrace::next(IoRecord &out)
+{
+    if (!inner_.next(out))
+        return false;
+    out.arrival = arrivals_.next();
+    return true;
+}
+
+std::uint64_t
+TimedTrace::footprintPages() const
+{
+    return inner_.footprintPages();
+}
+
+std::uint64_t
+TimedTrace::coldRegionStart() const
+{
+    return inner_.coldRegionStart();
+}
+
+bool
+TimedTrace::isCold(std::uint64_t lpn) const
+{
+    return inner_.isCold(lpn);
+}
+
+bool
+TimedTrace::preconditionDigest(Hasher &h) const
+{
+    return inner_.preconditionDigest(h);
+}
+
+} // namespace trace
+} // namespace rif

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Streaming block-trace readers: bounded-memory ingestion of real trace
+ * files in the native CSV, MSR-Cambridge and Alibaba block-trace
+ * dialects. A single forward pre-scan computes the replay metadata the
+ * FTL needs up front — footprint, cold boundary, a content digest for
+ * the snapshot cache, and the trace's time span — and the replay pass
+ * then holds exactly one line in memory, so multi-GB traces stream
+ * through the simulator without a full-file vector.
+ */
+
+#ifndef RIF_TRACE_STREAM_H
+#define RIF_TRACE_STREAM_H
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "common/hash.h"
+#include "common/units.h"
+#include "trace/trace.h"
+
+namespace rif {
+namespace trace {
+
+/** On-disk block-trace dialects the streaming reader understands. */
+enum class TraceFormat
+{
+    /** Native: `R|W,<lpn>,<pages>[,<arrival_us>]` (pages of 16 KiB). */
+    Csv,
+    /**
+     * MSR-Cambridge: `Timestamp,Hostname,DiskNumber,Type,Offset,Size,
+     * ResponseTime` — timestamps in Windows filetime units (100 ns),
+     * offset/size in bytes.
+     */
+    Msr,
+    /**
+     * Alibaba block traces: `device_id,opcode,offset,length,timestamp`
+     * — offset/length in bytes, timestamps in microseconds.
+     */
+    Alibaba,
+};
+
+/** Stable dialect name ("csv" / "msr" / "alibaba"). */
+const char *traceFormatName(TraceFormat f);
+
+/** Parse a dialect name; false when `name` is not a known dialect. */
+bool parseTraceFormat(const std::string &name, TraceFormat &out);
+
+/**
+ * Sniff the dialect from the first data line (field count and the
+ * opcode column). Fatal when the file is unreadable or matches no
+ * dialect.
+ */
+TraceFormat detectTraceFormat(const std::string &path);
+
+/**
+ * Byte-addressed dialects are converted to pages at this size, the
+ * IoRecord unit (matches the simulator's default page geometry).
+ */
+inline constexpr std::uint64_t kTracePageBytes = 16 * 1024;
+
+/** Everything one forward pre-scan pass learns about a trace file. */
+struct TraceScan
+{
+    std::uint64_t records = 0;
+    std::uint64_t readRecords = 0;
+    std::uint64_t totalPages = 0;
+    /** Max touched page + 1 (the FTL mapping size). */
+    std::uint64_t footprintPages = 0;
+    /** First page past every write: [coldStart, footprint) is cold. */
+    std::uint64_t coldStart = 0;
+    /** Last record's arrival, relative to the first record's. */
+    Tick span = 0;
+    /**
+     * Content digest over the parsed records (op, lpn, pages). Arrival
+     * timestamps are deliberately excluded: preconditioned FTL state
+     * does not depend on pacing, so re-timed replays of one trace share
+     * a snapshot.
+     */
+    CacheKey digest;
+};
+
+/** Pre-scan a trace file in one bounded-memory pass (fatal on
+ *  malformed input, with the offending line number). */
+TraceScan scanTraceFile(const std::string &path, TraceFormat format);
+
+/**
+ * Streaming trace source: replays a file in order with one line of
+ * lookahead state, after a pre-scan pass has fixed footprint, cold
+ * boundary and the snapshot-cache digest. Timestamps are rebased so the
+ * first record arrives at tick 0. Malformed lines, zero-length
+ * requests and `lpn + pages` overflow are fatal with `path:line:`
+ * context (both passes run the same validator).
+ */
+class StreamTrace : public TraceSource
+{
+  public:
+    /** Open with dialect auto-detection. */
+    explicit StreamTrace(const std::string &path);
+    StreamTrace(const std::string &path, TraceFormat format);
+
+    bool next(IoRecord &out) override;
+    std::uint64_t footprintPages() const override;
+    std::uint64_t coldRegionStart() const override;
+
+    /** Cacheable: footprint, cold boundary and the content digest. */
+    bool preconditionDigest(Hasher &h) const override;
+
+    TraceFormat format() const { return format_; }
+    const TraceScan &scan() const { return scan_; }
+
+  private:
+    std::string path_;
+    TraceFormat format_;
+    TraceScan scan_;
+    std::ifstream in_;
+    /** Reused line buffer — the only per-record storage. */
+    std::string line_;
+    std::uint64_t lineNo_ = 0;
+    /** First record's absolute timestamp (arrival rebase). */
+    std::uint64_t baseTime_ = 0;
+    bool haveBase_ = false;
+    /** Monotonic clamp: arrivals never go backwards. */
+    Tick lastArrival_ = 0;
+};
+
+} // namespace trace
+} // namespace rif
+
+#endif // RIF_TRACE_STREAM_H

@@ -1,11 +1,10 @@
 #include "trace/trace.h"
 
 #include <algorithm>
-#include <fstream>
-#include <sstream>
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "trace/stream.h"
 
 namespace rif {
 namespace trace {
@@ -174,54 +173,34 @@ SyntheticWorkload::preconditionDigest(Hasher &h) const
 }
 
 FileTrace::FileTrace(const std::string &path)
+    : impl_(std::make_unique<StreamTrace>(path, TraceFormat::Csv))
 {
-    std::ifstream in(path);
-    if (!in)
-        fatal("cannot open trace file '", path, "'");
-    std::string line;
-    while (std::getline(in, line)) {
-        if (line.empty() || line[0] == '#')
-            continue;
-        std::istringstream ls(line);
-        std::string op, lpn_s, pages_s;
-        if (!std::getline(ls, op, ',') || !std::getline(ls, lpn_s, ',') ||
-            !std::getline(ls, pages_s, ',')) {
-            fatal("malformed trace line: '", line, "'");
-        }
-        IoRecord rec;
-        rec.isRead = (op == "R" || op == "r");
-        rec.lpn = std::stoull(lpn_s);
-        rec.pages = static_cast<std::uint32_t>(std::stoul(pages_s));
-        if (rec.pages == 0)
-            fatal("zero-length request in trace: '", line, "'");
-        footprint_ = std::max(footprint_, rec.lpn + rec.pages);
-        if (!rec.isRead)
-            coldStart_ = std::max(coldStart_, rec.lpn + rec.pages);
-        records_.push_back(rec);
-    }
-    if (records_.empty())
-        fatal("trace file '", path, "' contains no requests");
 }
+
+FileTrace::~FileTrace() = default;
 
 bool
 FileTrace::next(IoRecord &out)
 {
-    if (cursor_ >= records_.size())
-        return false;
-    out = records_[cursor_++];
-    return true;
+    return impl_->next(out);
 }
 
 std::uint64_t
 FileTrace::footprintPages() const
 {
-    return footprint_;
+    return impl_->footprintPages();
 }
 
 std::uint64_t
 FileTrace::coldRegionStart() const
 {
-    return coldStart_;
+    return impl_->coldRegionStart();
+}
+
+bool
+FileTrace::preconditionDigest(Hasher &h) const
+{
+    return impl_->preconditionDigest(h);
 }
 
 VectorTrace::VectorTrace(std::vector<IoRecord> records,

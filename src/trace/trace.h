@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/units.h"
 
 namespace rif {
 
@@ -28,6 +29,13 @@ struct IoRecord
     bool isRead = true;
     std::uint64_t lpn = 0;  ///< first logical page number
     std::uint32_t pages = 1; ///< request length in pages
+    /**
+     * Open-loop arrival time relative to the run start. Closed-loop
+     * replay ignores it (the queue depth paces injection); the
+     * timestamp-driven ArrivalPolicy injects at exactly this tick.
+     * Zero (the default) means "as early as possible".
+     */
+    Tick arrival = 0;
 };
 
 /** Pull-based request stream. */
@@ -147,15 +155,21 @@ class SyntheticWorkload : public TraceSource
     bool seqActive_ = false;
 };
 
+class StreamTrace;
+
 /**
- * CSV trace file source. Each line: R|W,<lpn>,<pages>. Lines starting
- * with '#' are comments. Footprint is the max touched page + 1 (the
- * file is scanned once at construction).
+ * CSV trace file source. Each line: R|W,<lpn>,<pages>[,<arrival_us>].
+ * Lines starting with '#' are comments. Footprint is the max touched
+ * page + 1. Implemented over the streaming reader (trace/stream.h):
+ * one pre-scan pass computes footprint, cold boundary and a content
+ * digest — so CSV traces hit the FTL snapshot cache — and replay holds
+ * a single line in memory, never the whole file.
  */
 class FileTrace : public TraceSource
 {
   public:
     explicit FileTrace(const std::string &path);
+    ~FileTrace() override;
 
     bool next(IoRecord &out) override;
     std::uint64_t footprintPages() const override;
@@ -166,11 +180,11 @@ class FileTrace : public TraceSource
      */
     std::uint64_t coldRegionStart() const override;
 
+    /** Cacheable: the pre-scan digests the parsed records. */
+    bool preconditionDigest(Hasher &h) const override;
+
   private:
-    std::vector<IoRecord> records_;
-    std::size_t cursor_ = 0;
-    std::uint64_t footprint_ = 0;
-    std::uint64_t coldStart_ = 0;
+    std::unique_ptr<StreamTrace> impl_;
 };
 
 /** In-memory trace source (tests and timeline studies). */

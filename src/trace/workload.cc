@@ -1,0 +1,124 @@
+#include "trace/workload.h"
+
+#include "common/logging.h"
+#include "trace/arrival.h"
+#include "trace/stream.h"
+
+namespace rif {
+namespace trace {
+
+const char *
+arrivalModeName(ArrivalMode m)
+{
+    switch (m) {
+    case ArrivalMode::Closed:
+        return "closed";
+    case ArrivalMode::Timestamp:
+        return "timestamp";
+    case ArrivalMode::Rate:
+        return "rate";
+    case ArrivalMode::Poisson:
+        return "poisson";
+    case ArrivalMode::OnOff:
+        return "onoff";
+    case ArrivalMode::Diurnal:
+        return "diurnal";
+    }
+    return "?";
+}
+
+bool
+parseArrivalMode(const std::string &name, ArrivalMode &out)
+{
+    for (ArrivalMode m :
+         {ArrivalMode::Closed, ArrivalMode::Timestamp, ArrivalMode::Rate,
+          ArrivalMode::Poisson, ArrivalMode::OnOff,
+          ArrivalMode::Diurnal}) {
+        if (name == arrivalModeName(m)) {
+            out = m;
+            return true;
+        }
+    }
+    return false;
+}
+
+ArrivalMode
+WorkloadConfig::mode() const
+{
+    ArrivalMode m = ArrivalMode::Closed;
+    if (!parseArrivalMode(arrival, m))
+        fatal("workload.arrival: unknown mode '", arrival,
+              "' (expected closed|timestamp|rate|poisson|onoff|"
+              "diurnal)");
+    return m;
+}
+
+void
+WorkloadConfig::validate() const
+{
+    (void)mode();
+    TraceFormat f = TraceFormat::Csv;
+    if (format != "auto" && !parseTraceFormat(format, f))
+        fatal("workload.format: unknown dialect '", format,
+              "' (expected auto|csv|msr|alibaba)");
+    if (!(rateKiops > 0.0))
+        fatal("workload.rateKiops must be positive");
+    if (!(onMs > 0.0) || offMs < 0.0)
+        fatal("workload.onMs must be positive and workload.offMs "
+              "non-negative");
+    if (!(periodMs > 0.0))
+        fatal("workload.periodMs must be positive");
+    if (amplitude < 0.0 || amplitude >= 1.0)
+        fatal("workload.amplitude must lie in [0, 1)");
+    if (queueCap < 1)
+        fatal("workload.queueCap must be at least 1");
+}
+
+std::unique_ptr<TraceSource>
+openWorkload(const WorkloadConfig &cfg, const WorkloadSpec &fallback,
+             std::uint64_t requests, std::uint64_t seed)
+{
+    cfg.validate();
+
+    std::unique_ptr<TraceSource> base;
+    if (cfg.trace.empty()) {
+        base = std::make_unique<SyntheticWorkload>(fallback, requests,
+                                                   seed);
+    } else if (cfg.format == "auto") {
+        base = std::make_unique<StreamTrace>(cfg.trace);
+    } else {
+        TraceFormat f = TraceFormat::Csv;
+        parseTraceFormat(cfg.format, f);
+        base = std::make_unique<StreamTrace>(cfg.trace, f);
+    }
+
+    const double iops = cfg.rateKiops * 1e3;
+    std::unique_ptr<ArrivalProcess> proc;
+    switch (cfg.mode()) {
+    case ArrivalMode::Closed:
+    case ArrivalMode::Timestamp:
+        // Closed loop ignores timestamps; timestamp mode replays the
+        // ones already on the records.
+        return base;
+    case ArrivalMode::Rate:
+        proc = std::make_unique<FixedRateArrivals>(iops);
+        break;
+    case ArrivalMode::Poisson:
+        proc =
+            std::make_unique<PoissonArrivals>(iops, cfg.arrivalSeed);
+        break;
+    case ArrivalMode::OnOff:
+        proc = std::make_unique<OnOffArrivals>(iops, cfg.onMs,
+                                               cfg.offMs);
+        break;
+    case ArrivalMode::Diurnal:
+        proc = std::make_unique<DiurnalArrivals>(iops, cfg.periodMs,
+                                                 cfg.amplitude);
+        break;
+    }
+    return std::make_unique<TimedTrace>(std::move(base),
+                                        std::move(proc));
+}
+
+} // namespace trace
+} // namespace rif

@@ -10,9 +10,11 @@ if(NOT DEFINED RIF_BIN)
 endif()
 
 # Cheap scenarios spanning the cached artifact kinds (curve fits,
-# calibrations, accuracy sweeps) plus one parallel SSD sweep.
+# calibrations, accuracy sweeps), one parallel SSD sweep, and the two
+# open-loop workload-engine scenarios (trace streaming + offered-load
+# sweep must stay byte-identical across jobs and cache states too).
 set(scenarios fig04_retention fig11_14_rp_accuracy ablation_tpred
-    table01_config)
+    table01_config trace_replay fleet_open_loop)
 
 function(run_rif out)
     execute_process(

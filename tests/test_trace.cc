@@ -2,19 +2,65 @@
  * @file
  * Tests of the workload substrate: the Table II specs, the synthetic
  * generator's realized read/cold-read ratios, address-bound invariants,
- * the CSV file parser and the in-memory source.
+ * the streaming trace readers (CSV / MSR-Cambridge / Alibaba dialects,
+ * with line-numbered validation), the in-memory source, the arrival
+ * processes and the WorkloadConfig front door.
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <string>
+#include <vector>
 
+#include "common/hash.h"
+#include "trace/arrival.h"
+#include "trace/stream.h"
 #include "trace/trace.h"
+#include "trace/workload.h"
+
+#ifndef RIF_TRACE_DIR
+#error "RIF_TRACE_DIR must point at tests/traces"
+#endif
 
 namespace rif {
 namespace trace {
 namespace {
+
+std::string
+traceDir(const std::string &name)
+{
+    return std::string(RIF_TRACE_DIR) + "/" + name;
+}
+
+/** Write a throwaway trace file and clean it up on scope exit. */
+class TempTrace
+{
+  public:
+    TempTrace(const std::string &name, const std::string &content)
+        : path_(name)
+    {
+        std::ofstream out(path_, std::ios::trunc);
+        out << content;
+    }
+    ~TempTrace() { std::remove(path_.c_str()); }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+CacheKey
+digestOf(const TraceSource &s)
+{
+    Hasher h;
+    EXPECT_TRUE(s.preconditionDigest(h));
+    return h.finish();
+}
 
 TEST(Workloads, TableTwoSpecs)
 {
@@ -164,6 +210,374 @@ TEST(Characteristics, EmptyIsSafe)
     TraceCharacteristics c;
     EXPECT_EQ(c.readRatio(), 0.0);
     EXPECT_EQ(c.coldReadRatio(), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Streaming readers: dialects, timestamps, validation.
+// ---------------------------------------------------------------------
+
+TEST(StreamTrace, CsvArrivalColumnRebasesAndNeverRegresses)
+{
+    TempTrace t("rif_test_arrivals.csv",
+                "R,10,1,5.0\n"
+                "R,20,1,7.5\n"
+                "R,30,1,7.0\n"); // out-of-order tail
+    StreamTrace st(t.path());
+    EXPECT_EQ(st.format(), TraceFormat::Csv);
+    IoRecord rec;
+    ASSERT_TRUE(st.next(rec));
+    EXPECT_EQ(rec.arrival, 0u); // rebased against the first record
+    ASSERT_TRUE(st.next(rec));
+    EXPECT_EQ(rec.arrival, usToTicks(2.5));
+    ASSERT_TRUE(st.next(rec));
+    // The regressing timestamp is clamped, not reordered.
+    EXPECT_EQ(rec.arrival, usToTicks(2.5));
+    EXPECT_FALSE(st.next(rec));
+}
+
+TEST(StreamTrace, ParsesMsrDialect)
+{
+    StreamTrace st(traceDir("sample_msr.csv"));
+    EXPECT_EQ(st.format(), TraceFormat::Msr);
+    EXPECT_EQ(st.scan().records, 6u);
+    EXPECT_EQ(st.scan().readRecords, 4u);
+    // Max touched page: offset 5242880 -> lpn 320, one 16-KiB page.
+    EXPECT_EQ(st.footprintPages(), 321u);
+    // Highest write end: 1048576+32768 bytes -> page 66.
+    EXPECT_EQ(st.coldRegionStart(), 66u);
+    // Six records, 1 ms apart in 100-ns filetime units.
+    EXPECT_EQ(st.scan().span, usToTicks(5000.0));
+
+    IoRecord rec;
+    ASSERT_TRUE(st.next(rec));
+    EXPECT_TRUE(rec.isRead);
+    EXPECT_EQ(rec.lpn, 20u);
+    EXPECT_EQ(rec.pages, 1u);
+    EXPECT_EQ(rec.arrival, 0u);
+    ASSERT_TRUE(st.next(rec));
+    EXPECT_FALSE(rec.isRead);
+    EXPECT_EQ(rec.lpn, 64u);
+    EXPECT_EQ(rec.pages, 2u);
+    EXPECT_EQ(rec.arrival, usToTicks(1000.0));
+}
+
+TEST(StreamTrace, ParsesAlibabaDialect)
+{
+    StreamTrace st(traceDir("sample_alibaba.csv"));
+    EXPECT_EQ(st.format(), TraceFormat::Alibaba);
+    EXPECT_EQ(st.scan().records, 6u);
+    EXPECT_EQ(st.scan().readRecords, 4u);
+    EXPECT_EQ(st.footprintPages(), 321u);
+    EXPECT_EQ(st.coldRegionStart(), 66u);
+    EXPECT_EQ(st.scan().span, usToTicks(3100.0));
+
+    IoRecord rec;
+    ASSERT_TRUE(st.next(rec));
+    EXPECT_TRUE(rec.isRead);
+    EXPECT_EQ(rec.lpn, 20u);
+    ASSERT_TRUE(st.next(rec));
+    EXPECT_FALSE(rec.isRead);
+    EXPECT_EQ(rec.arrival, usToTicks(500.0));
+}
+
+TEST(StreamTrace, UnalignedByteExtentsRoundOutward)
+{
+    // 16000 bytes at offset 16000: spans pages 0 and 1.
+    TempTrace t("rif_test_unaligned.csv",
+                "0,R,16000,16000,10\n");
+    StreamTrace st(t.path());
+    EXPECT_EQ(st.format(), TraceFormat::Alibaba);
+    IoRecord rec;
+    ASSERT_TRUE(st.next(rec));
+    EXPECT_EQ(rec.lpn, 0u);
+    EXPECT_EQ(rec.pages, 2u);
+}
+
+TEST(StreamTrace, DigestIgnoresPacingButNotContent)
+{
+    TempTrace a("rif_test_digest_a.csv", "R,10,1,5.0\nW,20,2,9.0\n");
+    TempTrace b("rif_test_digest_b.csv", "R,10,1,50.0\nW,20,2,900.0\n");
+    TempTrace c("rif_test_digest_c.csv", "R,10,1,5.0\nW,21,2,9.0\n");
+    const StreamTrace sa(a.path()), sb(b.path()), sc(c.path());
+    // Same records, different timestamps: one snapshot-cache entry.
+    EXPECT_EQ(digestOf(sa).lo, digestOf(sb).lo);
+    EXPECT_EQ(digestOf(sa).hi, digestOf(sb).hi);
+    // Different records: different entry.
+    EXPECT_NE(digestOf(sa).lo, digestOf(sc).lo);
+}
+
+TEST(StreamTrace, FileTraceMatchesStreamingReplay)
+{
+    // Round-trip: synthetic records written as CSV come back verbatim
+    // through both the streaming reader and the FileTrace facade.
+    SyntheticWorkload gen(workloadByName("Ali124"), 500, 21);
+    std::vector<IoRecord> want;
+    {
+        std::ofstream out("rif_test_roundtrip.csv", std::ios::trunc);
+        IoRecord rec;
+        while (gen.next(rec)) {
+            want.push_back(rec);
+            out << (rec.isRead ? 'R' : 'W') << ',' << rec.lpn << ','
+                << rec.pages << '\n';
+        }
+    }
+    StreamTrace st("rif_test_roundtrip.csv");
+    FileTrace ft("rif_test_roundtrip.csv");
+    for (const IoRecord &w : want) {
+        IoRecord a, b;
+        ASSERT_TRUE(st.next(a));
+        ASSERT_TRUE(ft.next(b));
+        EXPECT_EQ(a.isRead, w.isRead);
+        EXPECT_EQ(a.lpn, w.lpn);
+        EXPECT_EQ(a.pages, w.pages);
+        EXPECT_EQ(b.isRead, w.isRead);
+        EXPECT_EQ(b.lpn, w.lpn);
+        EXPECT_EQ(b.pages, w.pages);
+    }
+    IoRecord rec;
+    EXPECT_FALSE(st.next(rec));
+    EXPECT_FALSE(ft.next(rec));
+    EXPECT_EQ(ft.footprintPages(), st.footprintPages());
+    EXPECT_EQ(ft.coldRegionStart(), st.coldRegionStart());
+    EXPECT_EQ(digestOf(ft).lo, digestOf(st).lo);
+    std::remove("rif_test_roundtrip.csv");
+}
+
+TEST(StreamTraceDeathTest, MalformedLinesAreFatalWithLineNumber)
+{
+    TempTrace op("rif_bad_op.csv", "R,10,1\nX,20,1\n");
+    EXPECT_DEATH(StreamTrace(op.path()),
+                 "rif_bad_op.csv:2: malformed op");
+    TempTrace lpn("rif_bad_lpn.csv", "R,ten,1\n");
+    EXPECT_DEATH(StreamTrace(lpn.path()),
+                 "rif_bad_lpn.csv:1: malformed lpn");
+    TempTrace count("rif_bad_fields.csv", "R,10,1,2,3\n");
+    EXPECT_DEATH(StreamTrace(count.path(), TraceFormat::Csv),
+                 "rif_bad_fields.csv:1: malformed line");
+}
+
+TEST(StreamTraceDeathTest, ZeroLengthRequestsAreFatal)
+{
+    TempTrace csv("rif_zero_csv.csv", "R,10,0\n");
+    EXPECT_DEATH(StreamTrace(csv.path()),
+                 "rif_zero_csv.csv:1: zero-length request");
+    TempTrace ali("rif_zero_ali.csv", "0,R,16384,0,10\n");
+    EXPECT_DEATH(StreamTrace(ali.path()),
+                 "rif_zero_ali.csv:1: zero-length request");
+}
+
+TEST(StreamTraceDeathTest, AddressOverflowIsFatal)
+{
+    TempTrace csv("rif_ovf_csv.csv",
+                  "R,18446744073709551615,1\n");
+    EXPECT_DEATH(StreamTrace(csv.path()),
+                 "rif_ovf_csv.csv:1: lpn . pages overflows");
+    TempTrace ali("rif_ovf_ali.csv",
+                  "0,R,18446744073709551615,2,10\n");
+    EXPECT_DEATH(StreamTrace(ali.path()),
+                 "rif_ovf_ali.csv:1: offset . length overflows");
+}
+
+TEST(StreamTraceDeathTest, EmptyAndUnknownDialectsAreFatal)
+{
+    TempTrace empty("rif_empty.csv", "# only comments\n\n");
+    EXPECT_DEATH(StreamTrace(empty.path()), "contains no requests");
+    TempTrace weird("rif_weird.csv", "1,2\n");
+    EXPECT_DEATH(StreamTrace(weird.path()),
+                 "unrecognized trace dialect");
+    EXPECT_DEATH(StreamTrace("/nonexistent/trace.csv"), "cannot open");
+}
+
+// ---------------------------------------------------------------------
+// Arrival processes and composition.
+// ---------------------------------------------------------------------
+
+TEST(ArrivalProcesses, FixedRateStepsAtTheConfiguredGap)
+{
+    FixedRateArrivals a(250000); // 4 us apart
+    EXPECT_EQ(a.next(), usToTicks(0.0));
+    EXPECT_EQ(a.next(), usToTicks(4.0));
+    EXPECT_EQ(a.next(), usToTicks(8.0));
+}
+
+TEST(ArrivalProcesses, PoissonIsDeterministicAndMonotonic)
+{
+    PoissonArrivals a(100000, 7), b(100000, 7);
+    Tick prev = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const Tick ta = a.next();
+        EXPECT_EQ(ta, b.next());
+        EXPECT_GE(ta, prev);
+        prev = ta;
+    }
+    // A different seed is a different process.
+    PoissonArrivals c(100000, 8);
+    c.next();
+    EXPECT_NE(a.next(), c.next());
+}
+
+TEST(ArrivalProcesses, OnOffArrivalsLandInsideOnWindows)
+{
+    const double on_us = 2000.0, period_us = 5000.0;
+    OnOffArrivals a(100000, 2.0, 3.0);
+    Tick prev = 0;
+    for (int i = 0; i < 500; ++i) {
+        const Tick t = a.next();
+        EXPECT_GE(t, prev);
+        prev = t;
+        const double phase =
+            std::fmod(ticksToUs(t), period_us);
+        EXPECT_LT(phase, on_us + 1e-6);
+    }
+}
+
+TEST(ArrivalProcesses, DiurnalRateSwingsAroundTheMean)
+{
+    DiurnalArrivals a(100000, 1.0, 0.9);
+    Tick prev = 0;
+    std::vector<double> gaps;
+    for (int i = 0; i < 2000; ++i) {
+        const Tick t = a.next();
+        EXPECT_GE(t, prev);
+        if (i > 0)
+            gaps.push_back(ticksToUs(t) - ticksToUs(prev));
+        prev = t;
+    }
+    const auto [lo, hi] =
+        std::minmax_element(gaps.begin(), gaps.end());
+    // Amplitude 0.9: instantaneous gaps spread ~1/1.9 .. 1/0.1 of
+    // the mean 10 us.
+    EXPECT_LT(*lo, 7.0);
+    EXPECT_GT(*hi, 30.0);
+}
+
+TEST(TimedTrace, StampsArrivalsAndForwardsEverythingElse)
+{
+    SyntheticWorkload inner(workloadByName("Sys0"), 100, 3);
+    SyntheticWorkload bare(workloadByName("Sys0"), 100, 3);
+    FixedRateArrivals gen(500000); // 2 us apart
+    TimedTrace timed(inner, gen);
+    EXPECT_EQ(timed.footprintPages(), bare.footprintPages());
+    EXPECT_EQ(timed.coldRegionStart(), bare.coldRegionStart());
+    EXPECT_EQ(timed.isCold(0), bare.isCold(0));
+    // Pacing does not perturb the snapshot-cache identity.
+    EXPECT_EQ(digestOf(timed).lo, digestOf(bare).lo);
+    EXPECT_EQ(digestOf(timed).hi, digestOf(bare).hi);
+
+    IoRecord rec, want;
+    int i = 0;
+    while (timed.next(rec)) {
+        ASSERT_TRUE(bare.next(want));
+        EXPECT_EQ(rec.lpn, want.lpn);
+        EXPECT_EQ(rec.arrival, usToTicks(2.0 * i++));
+    }
+    EXPECT_EQ(i, 100);
+}
+
+TEST(OffsetTrace, PreservesArrivalsAndAnswersColdnessWhenTimed)
+{
+    // A timestamped tenant shifted into its partition: arrivals pass
+    // through untouched, coldness still answers inside the partition.
+    VectorTrace inner({{true, 0, 2, usToTicks(3.0)},
+                       {false, 4, 1, usToTicks(9.0)}},
+                      100, 50);
+    OffsetTrace shifted(inner, 1000);
+    FixedRateArrivals gen(1000000);
+    TimedTrace timed(shifted, gen);
+    EXPECT_TRUE(timed.isCold(1060));
+    EXPECT_FALSE(timed.isCold(1010));
+
+    IoRecord rec;
+    ASSERT_TRUE(shifted.next(rec));
+    EXPECT_EQ(rec.lpn, 1000u);
+    EXPECT_EQ(rec.arrival, usToTicks(3.0));
+    ASSERT_TRUE(timed.next(rec));
+    EXPECT_EQ(rec.lpn, 1004u);
+    // Restamped by the process (its first arrival, tick zero), not the
+    // record's own timestamp.
+    EXPECT_EQ(rec.arrival, usToTicks(0.0));
+}
+
+// ---------------------------------------------------------------------
+// WorkloadConfig: the workload engine's front door.
+// ---------------------------------------------------------------------
+
+TEST(WorkloadConfig, ParsesEveryArrivalMode)
+{
+    for (ArrivalMode m :
+         {ArrivalMode::Closed, ArrivalMode::Timestamp, ArrivalMode::Rate,
+          ArrivalMode::Poisson, ArrivalMode::OnOff,
+          ArrivalMode::Diurnal}) {
+        ArrivalMode out = ArrivalMode::Closed;
+        ASSERT_TRUE(parseArrivalMode(arrivalModeName(m), out));
+        EXPECT_EQ(out, m);
+    }
+    ArrivalMode out;
+    EXPECT_FALSE(parseArrivalMode("sometimes", out));
+    WorkloadConfig cfg;
+    EXPECT_FALSE(cfg.openLoop());
+    cfg.arrival = "poisson";
+    EXPECT_TRUE(cfg.openLoop());
+}
+
+TEST(WorkloadConfigDeathTest, ValidateCatchesNonsense)
+{
+    {
+        WorkloadConfig cfg;
+        cfg.arrival = "sometimes";
+        EXPECT_DEATH(cfg.validate(), "unknown mode");
+    }
+    {
+        WorkloadConfig cfg;
+        cfg.format = "vhd";
+        EXPECT_DEATH(cfg.validate(), "unknown dialect");
+    }
+    {
+        WorkloadConfig cfg;
+        cfg.rateKiops = 0.0;
+        EXPECT_DEATH(cfg.validate(), "rateKiops");
+    }
+    {
+        WorkloadConfig cfg;
+        cfg.amplitude = 1.0;
+        EXPECT_DEATH(cfg.validate(), "amplitude");
+    }
+    {
+        WorkloadConfig cfg;
+        cfg.queueCap = 0;
+        EXPECT_DEATH(cfg.validate(), "queueCap");
+    }
+}
+
+TEST(WorkloadConfig, OpenWorkloadAssemblesTheConfiguredChain)
+{
+    // No trace: the synthetic fallback, untimed for closed loop.
+    WorkloadConfig closed;
+    auto synth = openWorkload(closed, workloadByName("Sys1"), 50, 9);
+    IoRecord rec;
+    ASSERT_TRUE(synth->next(rec));
+    EXPECT_EQ(rec.arrival, 0u);
+
+    // A trace with its own timestamps, replayed as-is.
+    TempTrace t("rif_test_open.csv", "R,10,1,5.0\nR,20,1,8.0\n");
+    WorkloadConfig ts;
+    ts.trace = t.path();
+    ts.arrival = "timestamp";
+    auto replay = openWorkload(ts, workloadByName("Sys1"), 50, 9);
+    ASSERT_TRUE(replay->next(rec));
+    ASSERT_TRUE(replay->next(rec));
+    EXPECT_EQ(rec.arrival, usToTicks(3.0));
+
+    // The same trace restamped by a generated process.
+    WorkloadConfig rate = ts;
+    rate.arrival = "rate";
+    rate.rateKiops = 1000.0; // 1 us gaps
+    auto timed = openWorkload(rate, workloadByName("Sys1"), 50, 9);
+    ASSERT_TRUE(timed->next(rec));
+    EXPECT_EQ(rec.arrival, 0u);
+    ASSERT_TRUE(timed->next(rec));
+    EXPECT_EQ(rec.arrival, usToTicks(1.0));
+    EXPECT_EQ(timed->footprintPages(), 21u);
 }
 
 } // namespace
