@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the fleet round machinery: full
+ * fleet replays through the persistent drive-worker runtime
+ * (BM_FleetRound), the coalesced single-active-drive fast path
+ * (BM_FleetRoundCoalesced), and the cross-page staged RP syndrome
+ * datapath against the per-page scalar baseline (BM_RpSyndromeStaged /
+ * BM_RpSyndromeScalar).
+ *
+ * The binary also carries the zero-allocation audit for the steady
+ * fleet round loop: global operator new/delete are counted, and main()
+ * replays the same fleet at two record counts before running the
+ * benchmarks. A round loop that allocates per round (or per record)
+ * would scale the allocation count with the replay length; the audit
+ * demands the growth stays within the latency-tracker's amortized
+ * vector doubling.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "common/parallel.h"
+#include "fabric/config.h"
+#include "fabric/fleet.h"
+#include "ldpc/channel.h"
+#include "ldpc/code.h"
+#include "odear/rearrange.h"
+#include "odear/rp_module.h"
+#include "ssd/config.h"
+#include "ssd/rp_stage.h"
+#include "trace/trace.h"
+
+namespace {
+
+std::atomic<std::uint64_t> gAllocs{0};
+
+} // namespace
+
+// Counting overrides for the allocation audit. Deliberately minimal:
+// every allocation in the process (any thread, any library) bumps the
+// counter, which is exactly what the steady-state audit wants to see.
+void *
+operator new(std::size_t n)
+{
+    gAllocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(n ? n : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t n)
+{
+    return ::operator new(n);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace {
+
+using namespace rif;
+
+trace::WorkloadSpec
+benchWorkload()
+{
+    trace::WorkloadSpec spec;
+    spec.name = "micro_fleet";
+    spec.readRatio = 0.8;
+    spec.coldReadRatio = 0.7;
+    spec.footprintPages = 8192;
+    return spec;
+}
+
+fabric::FleetConfig
+benchFleet(int drives)
+{
+    fabric::FleetConfig fc;
+    fc.drives = drives;
+    fc.stripePages = 4;
+    return fc;
+}
+
+/** One full replay; returns (stats, allocations during run()). */
+fabric::FleetStats
+replayFleet(int drives, std::uint64_t requests, std::uint64_t *allocs)
+{
+    ssd::SsdConfig cfg;
+    fabric::Fleet fleet(cfg, benchFleet(drives));
+    trace::SyntheticWorkload src(benchWorkload(), requests, 11);
+    const std::uint64_t before = gAllocs.load(std::memory_order_relaxed);
+    const fabric::FleetStats fs = fleet.run(src);
+    if (allocs)
+        *allocs = gAllocs.load(std::memory_order_relaxed) - before;
+    return fs;
+}
+
+/**
+ * Zero-allocation audit of the steady fleet round loop. The same
+ * replay runs twice: with a 1-thread budget every round executes
+ * inline (the dispatch vehicle is never touched), and with a 4-thread
+ * budget multi-drive rounds go through the persistent worker team's
+ * epoch barrier. The simulated work is bit-identical by contract, so
+ * the allocation-count delta between the two runs is exactly what the
+ * round dispatch machinery allocates: team construction (threads plus
+ * scratch, one-time) must be all of it. A vehicle that allocated per
+ * round — a published pool job, a freshly built std::function — would
+ * scale the delta with the replay's thousands of rounds and blow the
+ * tolerance.
+ */
+bool
+runAllocationAudit()
+{
+    constexpr std::uint64_t kRequests = 1200;
+    constexpr std::uint64_t kTolerance = 64;
+    setGlobalThreadCount(1);
+    std::uint64_t inlineAllocs = 0;
+    const fabric::FleetStats serial =
+        replayFleet(4, kRequests, &inlineAllocs);
+    setGlobalThreadCount(4);
+    std::uint64_t teamAllocs = 0;
+    const fabric::FleetStats threaded =
+        replayFleet(4, kRequests, &teamAllocs);
+    setGlobalThreadCount(0);
+    const std::uint64_t delta =
+        teamAllocs > inlineAllocs ? teamAllocs - inlineAllocs : 0;
+    const bool identical = serial.makespan == threaded.makespan &&
+                           serial.syncRounds == threaded.syncRounds;
+    const bool ok = identical && delta <= kTolerance;
+    std::printf("fleet_round_alloc_audit: rounds=%llu inline=%llu "
+                "team=%llu delta=%llu tolerance=%llu identical=%s %s\n",
+                static_cast<unsigned long long>(threaded.syncRounds),
+                static_cast<unsigned long long>(inlineAllocs),
+                static_cast<unsigned long long>(teamAllocs),
+                static_cast<unsigned long long>(delta),
+                static_cast<unsigned long long>(kTolerance),
+                identical ? "yes" : "no", ok ? "PASS" : "FAIL");
+    return ok;
+}
+
+/**
+ * Full fleet replay, multi-drive: rounds dispatch onto the persistent
+ * worker team. Items processed = host commands, so items/s is simulated
+ * host IOPS throughput of the harness.
+ */
+void
+BM_FleetRound(benchmark::State &state)
+{
+    const int drives = static_cast<int>(state.range(0));
+    constexpr std::uint64_t kRequests = 1500;
+    std::uint64_t rounds = 0, coalesced = 0;
+    for (auto _ : state) {
+        const fabric::FleetStats fs =
+            replayFleet(drives, kRequests, nullptr);
+        rounds = fs.syncRounds;
+        coalesced = fs.roundsCoalesced;
+        benchmark::DoNotOptimize(rounds);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * kRequests));
+    state.counters["sync_rounds"] = static_cast<double>(rounds);
+    state.counters["coalesced"] = static_cast<double>(coalesced);
+}
+BENCHMARK(BM_FleetRound)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+/**
+ * The coalescing fast path: one drive behind a real link means every
+ * round has at most one active drive, so the whole replay stays on the
+ * host thread and never touches the barrier. The gap between this and
+ * BM_FleetRound/1-drive-per-worker is the pure dispatch overhead.
+ */
+void
+BM_FleetRoundCoalesced(benchmark::State &state)
+{
+    constexpr std::uint64_t kRequests = 1500;
+    std::uint64_t rounds = 0, coalesced = 0;
+    for (auto _ : state) {
+        const fabric::FleetStats fs = replayFleet(1, kRequests, nullptr);
+        rounds = fs.syncRounds;
+        coalesced = fs.roundsCoalesced;
+        benchmark::DoNotOptimize(rounds);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * kRequests));
+    state.counters["sync_rounds"] = static_cast<double>(rounds);
+    state.counters["coalesced"] = static_cast<double>(coalesced);
+}
+BENCHMARK(BM_FleetRoundCoalesced)->Unit(benchmark::kMillisecond);
+
+/** Shared fixture for the RP syndrome benches: noisy flash-layout
+ *  codewords, reused across iterations. */
+struct RpFixture
+{
+    RpFixture() : code(params()), rp(code, odear::RpConfig{})
+    {
+        const odear::CodewordRearranger &rr = rp.rearranger();
+        Rng rng(3);
+        words.reserve(kWords);
+        for (int i = 0; i < kWords; ++i) {
+            ldpc::HardWord w =
+                code.encode(ldpc::randomData(code.params().k(), rng));
+            ldpc::injectErrors(w, 0.004 + 0.002 * (i % 3), rng);
+            words.push_back(rr.toFlashLayout(ldpc::toBitVec(w)));
+        }
+    }
+
+    static ldpc::CodeParams params()
+    {
+        ldpc::CodeParams p;
+        p.circulant = 64;
+        return p;
+    }
+
+    static constexpr int kWords = 256;
+    ldpc::QcLdpcCode code;
+    odear::RpModule rp;
+    std::vector<BitVec> words;
+};
+
+RpFixture &
+rpFixture()
+{
+    static RpFixture fx;
+    return fx;
+}
+
+/**
+ * Cross-page staged RP syndrome: groups of range(0) concurrently
+ * in-flight codewords staged into the ChannelRpStage and flushed
+ * through the 8-lane batch kernels (scalar tail below 8).
+ */
+void
+BM_RpSyndromeStaged(benchmark::State &state)
+{
+    RpFixture &fx = rpFixture();
+    const auto group = static_cast<std::size_t>(state.range(0));
+    ssd::ChannelRpStage stage(fx.rp, 1);
+    std::uint64_t retries = 0;
+    for (auto _ : state) {
+        std::size_t i = 0;
+        while (i < fx.words.size()) {
+            stage.reset();
+            const std::size_t lanes =
+                std::min(group, fx.words.size() - i);
+            for (std::size_t l = 0; l < lanes; ++l)
+                (void)stage.stage(0, fx.words[i + l]);
+            stage.flushAll();
+            for (std::size_t l = 0; l < lanes; ++l)
+                retries += stage.retry({0, l}) ? 1 : 0;
+            i += lanes;
+        }
+        benchmark::DoNotOptimize(retries);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * fx.words.size()));
+}
+BENCHMARK(BM_RpSyndromeStaged)->Arg(1)->Arg(3)->Arg(8)->Arg(64);
+
+/** The per-page scalar baseline the staging buffer replaces. */
+void
+BM_RpSyndromeScalar(benchmark::State &state)
+{
+    RpFixture &fx = rpFixture();
+    std::uint64_t retries = 0;
+    for (auto _ : state) {
+        for (const BitVec &w : fx.words)
+            retries += fx.rp.predictRetry(w) ? 1 : 0;
+        benchmark::DoNotOptimize(retries);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * fx.words.size()));
+}
+BENCHMARK(BM_RpSyndromeScalar);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    if (!runAllocationAudit())
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,6 +1,7 @@
 #include "fabric/fleet.h"
 
 #include <algorithm>
+#include <atomic>
 #include <string>
 
 #include "common/hash.h"
@@ -182,24 +183,79 @@ Fleet::run(trace::TraceSource &source, ssd::ArrivalPolicy &policy)
     // horizon concurrently, then completions cross (phase two) and the
     // host catches up (phase three), scheduling next-round submissions
     // that provably land past the horizon.
+    //
+    // Execution is decoupled from that logical structure (DESIGN §5i):
+    // a persistent worker team replaces the per-round pool publish —
+    // members park on an epoch barrier between rounds — and a round
+    // dispatches only the drives whose own bound lies inside the
+    // window. Skipping an idle drive is exact: runUntil past an empty
+    // window pops nothing, refills nothing, and only advances the
+    // drive clock, which no event or bound query can observe (see
+    // Simulator::runUntil). Rounds with at most one active drive
+    // coalesce onto this thread and never touch the barrier.
     const Tick lookahead = cfg_.linkTicks();
+    WorkerTeam team(n);
+    boundScratch_.assign(static_cast<std::size_t>(n), 0);
+    activeScratch_.clear();
+    activeScratch_.reserve(static_cast<std::size_t>(n));
+    // Round body built once, outside the loop: per-round state flows
+    // through these locals so the steady round loop never constructs a
+    // std::function (see the zero-allocation audit in micro_fleet).
+    std::atomic<std::size_t> cursor{0};
+    std::size_t roundActive = 0;
+    Tick roundHorizon = 0;
+    const std::function<void(int)> roundBody = [&](int) {
+        while (true) {
+            const std::size_t i =
+                cursor.fetch_add(1, std::memory_order_relaxed);
+            if (i >= roundActive)
+                break;
+            const int d = activeScratch_[i];
+            tracing::TrackScope track(
+                baseTrack + 1 + static_cast<std::uint32_t>(d));
+            drives_[static_cast<std::size_t>(d)]->runUntil(roundHorizon);
+        }
+    };
     while (true) {
         Tick bound = hostSim_.nextEventBound();
-        for (auto &drive : drives_)
-            bound = std::min(bound, drive->nextEventBound());
+        for (int d = 0; d < n; ++d) {
+            boundScratch_[static_cast<std::size_t>(d)] =
+                drives_[static_cast<std::size_t>(d)]->nextEventBound();
+            bound = std::min(bound, boundScratch_[static_cast<std::size_t>(d)]);
+        }
         if (bound == ~Tick(0))
             break; // fully drained
         const Tick horizon = bound + lookahead - 1;
         ++stats_.syncRounds;
 
-        parallelForWorker(
-            static_cast<std::size_t>(n), [&](std::size_t d, int) {
+        activeScratch_.clear();
+        for (int d = 0; d < n; ++d) {
+            const Tick db = boundScratch_[static_cast<std::size_t>(d)];
+            if (db <= horizon) {
+                activeScratch_.push_back(d);
+                stats_.barrierWaitTicks += db - bound;
+            } else {
+                stats_.barrierWaitTicks += lookahead;
+            }
+        }
+
+        const std::size_t nActive = activeScratch_.size();
+        if (nActive <= 1) {
+            ++stats_.roundsCoalesced;
+            if (nActive == 1) {
+                const int d = activeScratch_[0];
                 tracing::TrackScope track(
                     baseTrack + 1 + static_cast<std::uint32_t>(d));
-                drives_[d]->runUntil(horizon);
-            });
+                drives_[static_cast<std::size_t>(d)]->runUntil(horizon);
+            }
+        } else {
+            cursor.store(0, std::memory_order_relaxed);
+            roundActive = nActive;
+            roundHorizon = horizon;
+            team.round(roundBody);
+        }
 
-        for (int d = 0; d < n; ++d) {
+        for (const int d : activeScratch_) {
             auto &buf = doneBufs_[static_cast<std::size_t>(d)];
             for (const DoneRec &rec : buf)
                 deliverCompletion(rec);
@@ -398,6 +454,13 @@ Fleet::publishFleetMetrics() const
     counter("fabric.sync_rounds", "rounds",
             "conservative drive-parallel synchronization rounds",
             stats_.syncRounds);
+    counter("fabric.round.coalesced", "rounds",
+            "rounds coalesced onto the host thread (at most one drive "
+            "had work inside the window)",
+            stats_.roundsCoalesced);
+    counter("fabric.round.barrier_wait_ticks", "ticks",
+            "simulated ticks drive lanes sat idle inside round windows",
+            stats_.barrierWaitTicks);
     counter("fabric.link.busy_ticks", "ticks",
             "interconnect serialization time summed over all links",
             net_.busyTicks());

@@ -8,8 +8,16 @@
  * drive-parallel simulation: each drive advances on its own event lane
  * to a shared horizon bounded by the link latency (no message can cross
  * the interconnect in less than one link delay), so drives execute
- * concurrently on the worker pool and only synchronize at
- * interconnect-crossing events — bit-identical at any thread count.
+ * concurrently and only synchronize at interconnect-crossing events —
+ * bit-identical at any thread count.
+ *
+ * The execution vehicle is a persistent WorkerTeam: drive lanes live on
+ * pinned workers that park on an epoch barrier between rounds instead
+ * of a pool job being re-published per round, a round dispatches only
+ * the drives with work inside its window (skipping an idle drive is a
+ * proven no-op on its kernel), and rounds where at most one drive is
+ * active coalesce onto the host thread with no barrier traffic at all.
+ * See DESIGN.md §5i for the protocol and the correctness argument.
  */
 
 #ifndef RIF_FABRIC_FLEET_H
@@ -44,6 +52,20 @@ struct FleetStats
     std::uint64_t replicaReadsBalanced = 0;
     /** Conservative synchronization rounds (drive-parallel barriers). */
     std::uint64_t syncRounds = 0;
+    /**
+     * Rounds whose drive phase coalesced onto the host thread: at most
+     * one drive had work at or before the horizon, so the round cost
+     * no team wake-up at all. A pure function of simulated state —
+     * identical at any RIF_THREADS / --jobs setting.
+     */
+    std::uint64_t roundsCoalesced = 0;
+    /**
+     * Simulated ticks drive lanes spent parked at round barriers: for
+     * each round, each drive contributes the gap between the round
+     * base and its own earliest pending work (the full window when it
+     * has none). Measures lookahead skew, deterministically.
+     */
+    std::uint64_t barrierWaitTicks = 0;
     std::uint64_t driveEvents = 0;  ///< kernel events across all drives
     std::uint64_t hostEvents = 0;   ///< host-side kernel events
 
@@ -169,6 +191,10 @@ class Fleet : private ssd::InjectPort
 
     ObjectPool<Command> cmdPool_;
     std::vector<SubIo> splitScratch_;
+    /** Per-round scratch (allocated once, reused every round): each
+     *  drive's event bound and the indices with work in the window. */
+    std::vector<Tick> boundScratch_;
+    std::vector<int> activeScratch_;
 
     int outstanding_ = 0;
     int outstandingPeak_ = 0;

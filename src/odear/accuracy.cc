@@ -50,13 +50,15 @@ measureRpAccuracy(const ldpc::QcLdpcCode &code, const RpModule &rp,
     const auto trials = static_cast<std::size_t>(config.trials);
     std::vector<Trial> slots(trials);
 
-    // The decoder — the expensive half of each trial — runs through the
-    // batched SoA datapath in fixed index-based chunks (chunk c = trials
-    // [cB, cB + B)), so batch composition is thread-count independent;
-    // the RP prediction stays scalar per trial (it models the on-die
-    // hardware and is a single pruned weight). decodeBatch is
-    // bit-identical lane for lane to decode(), so the confusion matrix
-    // matches the unbatched harness exactly.
+    // Both halves of each trial run through the batched SoA datapath in
+    // fixed index-based chunks (chunk c = trials [cB, cB + B)), so
+    // batch composition is thread-count independent. The decoder goes
+    // through decodeBatch; the RP predictions of a chunk's concurrently
+    // in-flight codewords stage into a per-worker RpSyndromeStager and
+    // flush through the 8-lane weight kernels (scalar tail on the last
+    // partial chunk). Both are bit-identical lane for lane to their
+    // scalar forms, so the confusion matrix matches the unbatched
+    // harness exactly.
     constexpr std::size_t kBatch = 8;
     const std::size_t chunks = (trials + kBatch - 1) / kBatch;
     struct Scratch
@@ -67,10 +69,13 @@ measureRpAccuracy(const ldpc::QcLdpcCode &code, const RpModule &rp,
         std::vector<ldpc::DecodeResult> results;
     };
     std::vector<Scratch> scratch(globalThreadCount());
+    std::vector<RpSyndromeStager> stagers;
+    stagers.reserve(scratch.size());
     for (Scratch &s : scratch) {
         s.words.resize(kBatch);
         s.ptrs.resize(kBatch);
         s.results.resize(kBatch);
+        stagers.emplace_back(rp);
     }
 
     for (double rber : config.rbers) {
@@ -83,6 +88,8 @@ measureRpAccuracy(const ldpc::QcLdpcCode &code, const RpModule &rp,
             const std::size_t begin = c * kBatch;
             const std::size_t lanes = std::min(kBatch, trials - begin);
             Scratch &s = scratch[worker];
+            RpSyndromeStager &stager = stagers[worker];
+            stager.reset();
             for (std::size_t l = 0; l < lanes; ++l) {
                 Rng &rng = streams[begin + l];
                 ldpc::HardWord data =
@@ -91,13 +98,16 @@ measureRpAccuracy(const ldpc::QcLdpcCode &code, const RpModule &rp,
                 ldpc::injectErrors(s.words[l], rber, rng);
                 const BitVec flash =
                     rearranger.toFlashLayout(ldpc::toBitVec(s.words[l]));
-                slots[begin + l].predictedRetry = rp.predictRetry(flash);
+                stager.stage(flash);
                 s.ptrs[l] = &s.words[l];
             }
+            stager.flush();
             decoder.decodeBatch(s.ptrs.data(), lanes, rber, s.ws,
                                 s.results.data());
-            for (std::size_t l = 0; l < lanes; ++l)
+            for (std::size_t l = 0; l < lanes; ++l) {
+                slots[begin + l].predictedRetry = stager.retry(l);
                 slots[begin + l].decodable = s.results[l].success;
+            }
             ldpc::noteBatchFormed(lanes, kBatch);
         });
 

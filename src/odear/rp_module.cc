@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "ldpc/batch.h"
@@ -10,6 +11,18 @@
 
 namespace rif {
 namespace odear {
+
+namespace {
+
+const metrics::Counter mStageBatched{
+    "odear.rp.stage.batched", "ops",
+    "RP weights computed through full 8-lane staged batches"};
+const metrics::Counter mStageTail{
+    "odear.rp.stage.tail", "ops",
+    "RP weights computed by the scalar datapath from a partial "
+    "staged group"};
+
+} // namespace
 
 RpModule::RpModule(const ldpc::QcLdpcCode &code, const RpConfig &config)
     : code_(code), config_(config), rearranger_(code)
@@ -123,6 +136,83 @@ RpModule::calibrateThreshold(const ldpc::QcLdpcCode &code,
     for (std::size_t w : weights)
         sum += w;
     return sum / static_cast<std::size_t>(trials);
+}
+
+RpSyndromeStager::RpSyndromeStager(const RpModule &rp) : rp_(&rp)
+{
+    batch_.reset(rp.code().params().n(), kLanes);
+}
+
+std::size_t
+RpSyndromeStager::stage(const BitVec &flash_codeword)
+{
+    // With pruning the on-die batch kernel consumes flash-layout lanes
+    // directly. Without pruning computedWeight is the full syndrome of
+    // the restored layout, so restore per lane (the transform is not
+    // part of the weight kernel) and batch the syndrome itself.
+    if (rp_->config().usePruning) {
+        batch_.setLane(inGroup_, flash_codeword);
+    } else {
+        laneScratch_ = rp_->rearranger().toControllerLayout(flash_codeword);
+        batch_.setLane(inGroup_, laneScratch_);
+    }
+    ++inGroup_;
+    const std::size_t slot = staged_++;
+    if (inGroup_ == kLanes)
+        flushGroup();
+    return slot;
+}
+
+void
+RpSyndromeStager::flushGroup()
+{
+    weights_.resize(staged_);
+    std::size_t *out = weights_.data() + staged_ - kLanes;
+    if (rp_->config().usePruning)
+        rp_->rearranger().onDieSyndromeWeightBatch(batch_, synd_, out);
+    else
+        ldpc::syndromeWeightBatch(rp_->code(), batch_, synd_, out);
+    ldpc::noteBatchFormed(kLanes, kLanes);
+    mStageBatched.add(kLanes);
+    inGroup_ = 0;
+}
+
+void
+RpSyndromeStager::flush()
+{
+    if (inGroup_ == 0)
+        return;
+    // Partial tail: too few lanes to fill the vector kernel, so each
+    // staged word takes the scalar datapath. Lanes hold flash layout
+    // when pruning (the on-die weight) and the restored layout when
+    // not (the full syndrome weight) — either way bit-identical to
+    // computedWeight of the original codeword.
+    weights_.resize(staged_);
+    const std::size_t tail = inGroup_;
+    for (std::size_t l = 0; l < tail; ++l) {
+        batch_.extractLane(l, laneScratch_);
+        weights_[staged_ - tail + l] =
+            rp_->config().usePruning
+                ? rp_->rearranger().onDieSyndromeWeight(laneScratch_)
+                : rp_->code().syndromeWeight(laneScratch_);
+    }
+    mStageTail.add(static_cast<std::uint64_t>(tail));
+    inGroup_ = 0;
+}
+
+std::size_t
+RpSyndromeStager::weight(std::size_t slot) const
+{
+    RIF_ASSERT(slot < weights_.size(), "read before flush()");
+    return weights_[slot];
+}
+
+void
+RpSyndromeStager::reset()
+{
+    staged_ = 0;
+    inGroup_ = 0;
+    weights_.clear();
 }
 
 } // namespace odear

@@ -11,8 +11,10 @@
 #define RIF_ODEAR_RP_MODULE_H
 
 #include <cstdint>
+#include <vector>
 
 #include "common/units.h"
+#include "ldpc/batch.h"
 #include "ldpc/code.h"
 #include "odear/rearrange.h"
 
@@ -89,10 +91,77 @@ class RpModule
                                           double capability_rber,
                                           int trials, std::uint64_t seed);
 
+    /** The code this module predicts for (shared with the stager). */
+    const ldpc::QcLdpcCode &code() const { return code_; }
+
   private:
     const ldpc::QcLdpcCode &code_;
     RpConfig config_;
     CodewordRearranger rearranger_;
+};
+
+/**
+ * Cross-page staging buffer for RP syndrome computation. Gathers the
+ * sensed (flash-layout) codewords of reads in flight at the same tick
+ * and pushes them through the 8-lane batched weight kernels instead of
+ * one codeword at a time: every full group of kLanes staged words
+ * flushes through CodewordRearranger::onDieSyndromeWeightBatch (with
+ * pruning) or ldpc::syndromeWeightBatch (without), and flush() finishes
+ * any partial tail group through the scalar datapath. Each slot's
+ * weight — and therefore its retry decision — is bit-identical to
+ * RpModule::computedWeight of that codeword, and results are indexed by
+ * staging order, so decision order is preserved exactly.
+ *
+ * Zero steady-state allocation: the lane batch, the syndrome scratch
+ * and the result vector are grown on first use and reused across
+ * reset() cycles. Not thread-safe; use one stager per worker (the
+ * accuracy harness) or per channel (ssd::ChannelRpStage).
+ */
+class RpSyndromeStager
+{
+  public:
+    /** Lane width of the batched weight kernels (ldpc/batch.h). */
+    static constexpr std::size_t kLanes = 8;
+
+    explicit RpSyndromeStager(const RpModule &rp);
+
+    /**
+     * Stage one sensed codeword (flash layout, as handed to
+     * predictRetry). Returns the slot index — the 0-based staging
+     * order — used to read the result back after flush(). A full
+     * group flushes through the batched kernel immediately.
+     */
+    std::size_t stage(const BitVec &flash_codeword);
+
+    /** Compute any partially-staged tail through the scalar datapath;
+     *  afterwards every staged slot has a result. */
+    void flush();
+
+    /** Codewords staged since the last reset(). */
+    std::size_t staged() const { return staged_; }
+
+    /** Computed weight of a slot (valid after flush()). */
+    std::size_t weight(std::size_t slot) const;
+
+    /** The retry decision for a slot: weight > rho_s. */
+    bool retry(std::size_t slot) const
+    {
+        return weight(slot) > rp_->config().rhoS;
+    }
+
+    /** Drop all slots and results; capacity is retained. */
+    void reset();
+
+  private:
+    void flushGroup();
+
+    const RpModule *rp_;
+    ldpc::CodewordBatch batch_;
+    ldpc::CodewordBatch synd_;
+    std::vector<std::size_t> weights_;
+    std::size_t staged_ = 0;
+    std::size_t inGroup_ = 0;
+    BitVec laneScratch_;
 };
 
 } // namespace odear

@@ -1,0 +1,55 @@
+#include "ssd/rp_stage.h"
+
+#include "common/logging.h"
+
+namespace rif {
+namespace ssd {
+
+ChannelRpStage::ChannelRpStage(const odear::RpModule &rp, int channels)
+{
+    RIF_ASSERT(channels >= 1);
+    lanes_.reserve(static_cast<std::size_t>(channels));
+    for (int c = 0; c < channels; ++c)
+        lanes_.emplace_back(rp);
+}
+
+ChannelRpStage::Slot
+ChannelRpStage::stage(int channel, const BitVec &flash_codeword)
+{
+    RIF_ASSERT(channel >= 0 && channel < channels());
+    Slot s;
+    s.channel = channel;
+    s.index = lanes_[static_cast<std::size_t>(channel)].stage(flash_codeword);
+    ++staged_;
+    return s;
+}
+
+void
+ChannelRpStage::flushAll()
+{
+    for (auto &lane : lanes_)
+        lane.flush();
+}
+
+std::size_t
+ChannelRpStage::weight(Slot s) const
+{
+    return lanes_[static_cast<std::size_t>(s.channel)].weight(s.index);
+}
+
+bool
+ChannelRpStage::retry(Slot s) const
+{
+    return lanes_[static_cast<std::size_t>(s.channel)].retry(s.index);
+}
+
+void
+ChannelRpStage::reset()
+{
+    for (auto &lane : lanes_)
+        lane.reset();
+    staged_ = 0;
+}
+
+} // namespace ssd
+} // namespace rif

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Per-channel RP syndrome staging: the device-path front-end over
+ * odear::RpSyndromeStager. The timing simulator's gathered dispatch
+ * (devices.h) already batches same-tick page reads per channel; this is
+ * the matching front-end for the functional datapath — the codewords of
+ * reads concurrently in flight on one channel stage into that channel's
+ * lane buffer, and one flushAll() drives every channel's full groups
+ * through the 8-lane batched weight kernels (partial tails fall back to
+ * the scalar datapath). Per-channel decision order is the staging
+ * order, exactly as if each prediction had run scalar at its own tick.
+ */
+
+#ifndef RIF_SSD_RP_STAGE_H
+#define RIF_SSD_RP_STAGE_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "odear/rp_module.h"
+
+namespace rif {
+namespace ssd {
+
+/** One RpSyndromeStager per channel, flushed together. */
+class ChannelRpStage
+{
+  public:
+    /** A staged prediction: which channel, and its slot there. */
+    struct Slot
+    {
+        int channel = 0;
+        std::size_t index = 0;
+    };
+
+    ChannelRpStage(const odear::RpModule &rp, int channels);
+
+    int channels() const { return static_cast<int>(lanes_.size()); }
+
+    /** Stage one sensed flash-layout codeword on `channel`. */
+    Slot stage(int channel, const BitVec &flash_codeword);
+
+    /** Finish every channel's partial group; afterwards each staged
+     *  slot has its weight and retry decision. */
+    void flushAll();
+
+    /** Computed weight of a staged prediction (after flushAll()). */
+    std::size_t weight(Slot s) const;
+
+    /** Retry decision of a staged prediction (after flushAll()). */
+    bool retry(Slot s) const;
+
+    /** Total codewords staged since the last reset(). */
+    std::size_t staged() const { return staged_; }
+
+    /** Drop every channel's slots and results; capacity retained. */
+    void reset();
+
+  private:
+    std::vector<odear::RpSyndromeStager> lanes_;
+    std::size_t staged_ = 0;
+};
+
+} // namespace ssd
+} // namespace rif
+
+#endif // RIF_SSD_RP_STAGE_H

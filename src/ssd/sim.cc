@@ -545,6 +545,10 @@ Simulator::runUntil(Tick limit)
             const Tick e = q.earliest(exact);
             // `e` is a lower bound when inexact, so e > limit means the
             // true earliest event is beyond the horizon either way.
+            // Breaking *before* any refill is load-bearing: an
+            // out-of-horizon runUntil must leave every future
+            // nextEventBound() value untouched (the quiescence
+            // contract in sim.h that lets the fleet skip idle lanes).
             if (e > limit)
                 break;
             if (!exact) {

@@ -111,6 +111,15 @@ class Simulator
      * calls are relative to the horizon, not the last event). Events
      * beyond `limit` stay queued; the fabric layer uses this to step
      * each drive to a conservative synchronization horizon.
+     *
+     * Quiescence contract: when nextEventBound() > limit the call is a
+     * pure clock advance — no event pops, no window refill, no change
+     * to any future nextEventBound() value (the loop breaks on the
+     * bound *before* reorganizing windows). The fleet's idle-lane skip
+     * relies on exactly this: not invoking runUntil on a drive whose
+     * bound lies past the horizon leaves the drive in a state
+     * indistinguishable from having invoked it, because the clock is
+     * only ever observed while an event executes.
      */
     Tick runUntil(Tick limit);
 

@@ -102,7 +102,12 @@ class Ssd : private InjectPort
     void submitIo(bool isRead, std::uint64_t lpn, std::uint32_t pages,
                   InlineFunction<void(Tick)> onDone);
 
-    /** Advance this drive's kernel to `limit` (see Simulator::runUntil). */
+    /**
+     * Advance this drive's kernel to `limit` (see Simulator::runUntil).
+     * When nextEventBound() > limit the call is a pure clock advance
+     * (the quiescence contract in sim.h), so a fabric round may skip
+     * the drive entirely instead — the states are indistinguishable.
+     */
     Tick runUntil(Tick limit) { return sim_.runUntil(limit); }
 
     /** Earliest pending tick (lower bound); ~Tick(0) when idle. */

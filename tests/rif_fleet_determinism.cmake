@@ -4,7 +4,10 @@
 # byte-identical CSV output: drives advance concurrently between
 # conservative barriers, so neither the worker budget nor scenario-level
 # parallelism may leak into results. fleet_p99 additionally runs at 16
-# drives (--set fleet.drives=16), the fleet-width determinism target.
+# drives (--set fleet.drives=16), the fleet-width determinism target;
+# fleet_scaling also runs with a 1 us link (tiny lookahead window: many
+# short rounds, the stress case for round coalescing and the epoch
+# barrier), and fleet_open_loop pins the arrival-policy path.
 # Invoked as:
 #   cmake -DRIF_BIN=<path to rif> -P rif_fleet_determinism.cmake
 
@@ -18,6 +21,8 @@ set(cases
     "fleet_p99|--set|fleet.drives=16"
     "fleet_retry_storm"
     "fleet_scaling"
+    "fleet_scaling|--set|fleet.linkUs=1"
+    "fleet_open_loop"
 )
 
 foreach(case ${cases})

@@ -282,6 +282,11 @@ TEST(Fleet, ResultsAreThreadCountInvariant)
     EXPECT_EQ(serial.subIos, threaded.subIos);
     EXPECT_EQ(serial.syncRounds, threaded.syncRounds);
     EXPECT_EQ(serial.driveEvents, threaded.driveEvents);
+    // The round-vehicle counters are pure functions of simulated state,
+    // so they must match too (barrierWaitTicks is simulated ticks, not
+    // wall time).
+    EXPECT_EQ(serial.roundsCoalesced, threaded.roundsCoalesced);
+    EXPECT_EQ(serial.barrierWaitTicks, threaded.barrierWaitTicks);
     ASSERT_EQ(serial.readLatencyUs.count(),
               threaded.readLatencyUs.count());
     EXPECT_DOUBLE_EQ(serial.readLatencyUs.percentile(99),
@@ -294,6 +299,50 @@ TEST(Fleet, ResultsAreThreadCountInvariant)
         EXPECT_EQ(serial.drives[d].makespan,
                   threaded.drives[d].makespan);
     }
+}
+
+TEST(Fleet, SingleDriveRoundsAllCoalesce)
+{
+    // One drive behind a real link: every round has at most one active
+    // drive, so the whole run stays on the host thread and the
+    // coalescing counter must account for every round.
+    const FleetStats fs = runSmallFleet(makeFleet(1), 300);
+    EXPECT_GT(fs.syncRounds, 0u);
+    EXPECT_EQ(fs.roundsCoalesced, fs.syncRounds);
+}
+
+TEST(Fleet, SkewedLoadTortureStaysThreadCountInvariant)
+{
+    // Degenerate striping: a stripe wider than the global footprint
+    // pins every host command on drive 0 while seven drives idle
+    // forever. This is the worst case for the epoch barrier (member
+    // bodies are maximally unbalanced round after round) and for the
+    // idle-drive skip; results must still be byte-identical at any
+    // worker budget.
+    FleetConfig fc = makeFleet(8);
+    fc.stripePages = 16384; // > smallWorkload().footprintPages
+
+    setGlobalThreadCount(1);
+    const FleetStats serial = runSmallFleet(fc, 300);
+    setGlobalThreadCount(8);
+    const FleetStats threaded = runSmallFleet(fc, 300);
+    setGlobalThreadCount(0);
+
+    EXPECT_EQ(serial.makespan, threaded.makespan);
+    EXPECT_EQ(serial.syncRounds, threaded.syncRounds);
+    EXPECT_EQ(serial.driveEvents, threaded.driveEvents);
+    EXPECT_EQ(serial.roundsCoalesced, threaded.roundsCoalesced);
+    EXPECT_EQ(serial.barrierWaitTicks, threaded.barrierWaitTicks);
+    EXPECT_DOUBLE_EQ(serial.readLatencyUs.percentile(99),
+                     threaded.readLatencyUs.percentile(99));
+
+    // All sub-IO really did land on drive 0 and nothing ever forced a
+    // multi-drive round, so every round coalesced onto the host thread.
+    ASSERT_EQ(threaded.drives.size(), 8u);
+    EXPECT_EQ(threaded.drives[0].hostRequests, threaded.subIos);
+    for (std::size_t d = 1; d < 8; ++d)
+        EXPECT_EQ(threaded.drives[d].hostRequests, 0u);
+    EXPECT_EQ(threaded.roundsCoalesced, threaded.syncRounds);
 }
 
 TEST(Fleet, DrivesAutoCollapseTheirKernels)

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "common/rng.h"
 #include "ldpc/channel.h"
 #include "nand/vth_model.h"
@@ -129,6 +131,80 @@ TEST(RpModule, WithoutPruningUsesFullSyndrome)
               code.prunedSyndromeWeight(word));
     EXPECT_GT(rp_full.computedWeight(flash),
               rp_pruned.computedWeight(flash));
+}
+
+/** Stage `count` noisy codewords and check every slot's weight and
+ *  retry decision against the scalar datapath. */
+void
+checkStagerEquivalence(bool use_pruning, std::size_t count)
+{
+    const ldpc::QcLdpcCode code(smallParams());
+    RpConfig cfg;
+    cfg.usePruning = use_pruning;
+    const RpModule rp(code, cfg);
+    const CodewordRearranger &rr = rp.rearranger();
+    RpSyndromeStager stager(rp);
+    Rng rng(41);
+    std::vector<BitVec> flashes;
+    flashes.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        ldpc::HardWord word =
+            code.encode(ldpc::randomData(code.params().k(), rng));
+        ldpc::injectErrors(word, 0.002 + 0.004 * (i % 3), rng);
+        flashes.push_back(rr.toFlashLayout(ldpc::toBitVec(word)));
+        EXPECT_EQ(stager.stage(flashes.back()), i);
+    }
+    stager.flush();
+    ASSERT_EQ(stager.staged(), count);
+    for (std::size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(stager.weight(i), rp.computedWeight(flashes[i]))
+            << "pruning=" << use_pruning << " slot " << i << "/" << count;
+        EXPECT_EQ(stager.retry(i), rp.predictRetry(flashes[i]));
+    }
+}
+
+TEST(RpSyndromeStager, MatchesScalarDatapathAcrossBatchSizes)
+{
+    // 1 and 3 exercise the scalar tail alone, 8 exactly one full
+    // vector group, 64 eight full groups — with and without pruning
+    // (the two kernels behind flushGroup()).
+    for (const std::size_t count : {std::size_t(1), std::size_t(3),
+                                    std::size_t(8), std::size_t(64)}) {
+        checkStagerEquivalence(true, count);
+        checkStagerEquivalence(false, count);
+    }
+}
+
+TEST(RpSyndromeStager, MixedGroupAndTailPreserveStagingOrder)
+{
+    // 11 = one full group + a 3-lane tail; slots must read back in
+    // staging order across the kernel boundary.
+    checkStagerEquivalence(true, 11);
+    checkStagerEquivalence(false, 11);
+}
+
+TEST(RpSyndromeStager, ResetRecyclesWithoutStaleResults)
+{
+    const ldpc::QcLdpcCode code(smallParams());
+    const RpModule rp(code, RpConfig{});
+    const CodewordRearranger &rr = rp.rearranger();
+    RpSyndromeStager stager(rp);
+    Rng rng(43);
+    for (int cycle = 0; cycle < 3; ++cycle) {
+        stager.reset();
+        EXPECT_EQ(stager.staged(), 0u);
+        std::vector<BitVec> flashes;
+        for (std::size_t i = 0; i < 5; ++i) {
+            ldpc::HardWord word =
+                code.encode(ldpc::randomData(code.params().k(), rng));
+            ldpc::injectErrors(word, 0.01, rng);
+            flashes.push_back(rr.toFlashLayout(ldpc::toBitVec(word)));
+            stager.stage(flashes.back());
+        }
+        stager.flush();
+        for (std::size_t i = 0; i < flashes.size(); ++i)
+            EXPECT_EQ(stager.weight(i), rp.computedWeight(flashes[i]));
+    }
 }
 
 TEST(RpModule, PredictionLatencyMatchesPaper)
