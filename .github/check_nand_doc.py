@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""CI check: docs/NAND_MODEL.md must document every NAND-model knob.
+
+Scans the option registry (src/core/options.cc) for `--set` keys in the
+cell-model sections — every "nand.*" and "rvs.*" key — and requires
+each to appear verbatim in docs/NAND_MODEL.md. The reference manual is
+a contract: a knob that can be set but is not in the manual fails CI.
+"""
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+DOC = (ROOT / "docs" / "NAND_MODEL.md").read_text()
+SRC = (ROOT / "src" / "core" / "options.cc").read_text()
+
+# Any registered key literal in the nand./rvs. namespaces. Error-message
+# uses repeat the same literal, so a set() collapses them.
+KEYS = re.compile(r"\"((?:nand|rvs)\.[A-Za-z0-9_.]+)\"")
+
+keys = sorted(set(KEYS.findall(SRC)))
+if not keys:
+    print("check_nand_doc: found no nand.*/rvs.* keys in "
+          "src/core/options.cc — scan broken?", file=sys.stderr)
+    sys.exit(1)
+
+missing = [k for k in keys if k not in DOC]
+if missing:
+    print("check_nand_doc: --set keys missing from docs/NAND_MODEL.md:",
+          file=sys.stderr)
+    for key in missing:
+        print(f"  {key}", file=sys.stderr)
+    sys.exit(1)
+
+print(f"check_nand_doc: all {len(keys)} nand.*/rvs.* keys are in "
+      "docs/NAND_MODEL.md")

@@ -317,6 +317,52 @@ makeFields()
            },
            1, 64);
 
+    // --- nand.* --------------------------------------------------------
+    f.push_back(
+        {"nand.cellType",
+         "NAND cell type: slc|tlc|qlc (also re-bases the parametric "
+         "RBER calibration to the cell's, see cellRberParams)",
+         [](const std::string &v) {
+             const auto parsed = nand::parseCellType(v);
+             if (!parsed)
+                 badValue("nand.cellType", v, "slc|tlc|qlc");
+             return [cell = *parsed](ssd::SsdConfig &c) {
+                 c.cellType = cell;
+                 c.rber = nand::cellRberParams(cell);
+             };
+         },
+         nullptr});
+    addDouble("nand.slcBlockFraction",
+              "fraction of each plane's blocks operated in SLC mode",
+              [](ssd::SsdConfig &c, double v) {
+                  c.slcBlockFraction = v;
+              },
+              0.0, 1.0);
+    addDouble("nand.slcRberFactor",
+              "RBER multiplier of SLC-mode blocks vs the native cell",
+              [](ssd::SsdConfig &c, double v) { c.slcRberFactor = v; },
+              0.0, 1.0, true);
+
+    // --- rvs.* (host-side VREF-tracking cost model) --------------------
+    addDouble("rvs.recharacterizeDays",
+              "days between host VREF re-characterizations",
+              [](ssd::SsdConfig &c, double v) {
+                  c.rvsCost.recharacterizeDays = v;
+              },
+              0.0, 1e5, true);
+    addInt("rvs.samplesPerThreshold",
+           "calibration sample reads per threshold per characterization",
+           [](ssd::SsdConfig &c, long long v) {
+               c.rvsCost.samplesPerThreshold = static_cast<int>(v);
+           },
+           1, 1 << 20);
+    addDouble("rvs.sampleReadUs",
+              "cost of one calibration sample read (us)",
+              [](ssd::SsdConfig &c, double v) {
+                  c.rvsCost.sampleReadUs = v;
+              },
+              0.0, 1e6, true);
+
     // --- timing.* (all in microseconds) --------------------------------
     auto addTiming = [&addDouble](const char *key, const char *help,
                                   void (*set)(ssd::SsdConfig &, double)) {

@@ -1,0 +1,82 @@
+#include "nand/cell.h"
+
+#include "common/logging.h"
+
+namespace rif {
+namespace nand {
+
+const char *
+cellTypeName(CellType cell)
+{
+    switch (cell) {
+      case CellType::Slc:
+        return "slc";
+      case CellType::Tlc:
+        return "tlc";
+      case CellType::Qlc:
+        return "qlc";
+    }
+    panic("unknown cell type");
+}
+
+std::optional<CellType>
+parseCellType(const std::string &name)
+{
+    for (CellType cell : kAllCellTypes) {
+        if (name == cellTypeName(cell))
+            return cell;
+    }
+    return std::nullopt;
+}
+
+const std::vector<int> &
+pageThresholds(CellType cell, PageType type)
+{
+    // SLC: the single threshold separates erased from programmed.
+    static const std::vector<int> slc_lsb{1};
+
+    // TLC 2-3-2 Gray coding — must stay exactly the historical
+    // lsb/csb/msbThresholds() subsets: the golden scenario outputs pin
+    // the iteration order of every RBER sum built from these.
+    static const std::vector<int> tlc_lsb{1, 5};
+    static const std::vector<int> tlc_csb{2, 4, 6};
+    static const std::vector<int> tlc_msb{3, 7};
+
+    // QLC 4-4-4-3 Gray coding (15 thresholds over 4 page types).
+    static const std::vector<int> qlc_lsb{1, 4, 6, 11};
+    static const std::vector<int> qlc_csb{3, 7, 9, 13};
+    static const std::vector<int> qlc_msb{2, 8, 12, 14};
+    static const std::vector<int> qlc_top{5, 10, 15};
+
+    const int t = static_cast<int>(type);
+    RIF_ASSERT(t >= 0 && t < pageTypesOf(cell), "page type ", t,
+               " does not exist on ", cellTypeName(cell), " NAND");
+    switch (cell) {
+      case CellType::Slc:
+        return slc_lsb;
+      case CellType::Tlc:
+        switch (type) {
+          case PageType::Lsb:
+            return tlc_lsb;
+          case PageType::Csb:
+            return tlc_csb;
+          default:
+            return tlc_msb;
+        }
+      case CellType::Qlc:
+        switch (type) {
+          case PageType::Lsb:
+            return qlc_lsb;
+          case PageType::Csb:
+            return qlc_csb;
+          case PageType::Msb:
+            return qlc_msb;
+          default:
+            return qlc_top;
+        }
+    }
+    panic("unknown cell type");
+}
+
+} // namespace nand
+} // namespace rif

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Cell-type layer of the NAND model: the pure layout facts of SLC, TLC
+ * and QLC cells — bits per cell, V_TH state and read-threshold counts,
+ * page types per wordline and the threshold subset each page type reads
+ * (the Gray-coding the V_TH model, the RVS estimator and the read-retry
+ * tables all share). Everything downstream of this header is
+ * parameterized: `VthModel`, `VrefSequence` and `RvsModule` take a
+ * `CellType` and size their grids from these accessors instead of the
+ * historical hardcoded 8-state TLC constants. See docs/NAND_MODEL.md
+ * for the full reference manual.
+ */
+
+#ifndef RIF_NAND_CELL_H
+#define RIF_NAND_CELL_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nand/geometry.h"
+
+namespace rif {
+namespace nand {
+
+/** NAND cell operating mode (bits stored per cell). */
+enum class CellType
+{
+    Slc = 0, ///< 1 bit/cell: 2 states, 1 threshold, 1 page type
+    Tlc = 1, ///< 3 bits/cell: 8 states, 7 thresholds, 3 page types
+    Qlc = 2, ///< 4 bits/cell: 16 states, 15 thresholds, 4 page types
+};
+
+constexpr int kCellTypes = 3;
+
+/** Every cell type, for exhaustive round-trip tests and sweeps. */
+inline constexpr CellType kAllCellTypes[] = {
+    CellType::Slc,
+    CellType::Tlc,
+    CellType::Qlc,
+};
+
+/** Compile-time bounds for fixed-size grids (QLC is the widest cell). */
+constexpr int kMaxStates = 16;
+constexpr int kMaxThresholds = 15;
+
+/** Bits stored per cell: 1 (SLC), 3 (TLC), 4 (QLC). */
+constexpr int
+bitsPerCell(CellType cell)
+{
+    return cell == CellType::Slc ? 1 : cell == CellType::Tlc ? 3 : 4;
+}
+
+/** V_TH states per cell: 2^bitsPerCell. */
+constexpr int
+statesOf(CellType cell)
+{
+    return 1 << bitsPerCell(cell);
+}
+
+/** Read thresholds per cell: states - 1 (VR1 .. VR{states-1}). */
+constexpr int
+thresholdsOf(CellType cell)
+{
+    return statesOf(cell) - 1;
+}
+
+/** Page types sharing one wordline: 1 (SLC), 3 (TLC), 4 (QLC). */
+constexpr int
+pageTypesOf(CellType cell)
+{
+    return cell == CellType::Slc ? 1 : cell == CellType::Tlc ? 3 : 4;
+}
+
+/** Lowercase cell-type label, accepted back by parseCellType(). */
+const char *cellTypeName(CellType cell);
+
+/** Inverse of cellTypeName(); nullopt for an unknown label. */
+std::optional<CellType> parseCellType(const std::string &name);
+
+/**
+ * The 1-based read-threshold indices page `type` of a `cell` wordline
+ * reads. The subsets partition 1..thresholdsOf(cell):
+ *
+ *  - SLC: Lsb {1}
+ *  - TLC (2-3-2 Gray coding, the paper's device): Lsb {1,5},
+ *    Csb {2,4,6}, Msb {3,7}
+ *  - QLC (4-4-4-3 coding): Lsb {1,4,6,11}, Csb {3,7,9,13},
+ *    Msb {2,8,12,14}, Top {5,10,15}
+ *
+ * Panics when `type` does not exist for `cell` (e.g. Top on TLC) —
+ * the silent-grid-corruption failure mode SsdConfig::validate() also
+ * guards against.
+ */
+const std::vector<int> &pageThresholds(CellType cell, PageType type);
+
+/**
+ * Page type from page index within a block for a given cell: the
+ * striped layout generalizes the TLC `page % 3` to the cell's page
+ * type count (SLC blocks hold only Lsb pages; QLC cycles through 4).
+ */
+constexpr PageType
+pageTypeOf(int page_in_block, CellType cell)
+{
+    return static_cast<PageType>(page_in_block % pageTypesOf(cell));
+}
+
+} // namespace nand
+} // namespace rif
+
+#endif // RIF_NAND_CELL_H

@@ -20,9 +20,10 @@ const metrics::Counter mRetentionFits{
 
 BlockPopulation::BlockPopulation(const RberModel &model,
                                  const CharacterizationConfig &config)
-    : model_(model)
+    : model_(model), pageTypes_(config.pageTypes)
 {
     RIF_ASSERT(config.chips > 0 && config.blocksPerChip > 0);
+    RIF_ASSERT(config.pageTypes >= 1 && config.pageTypes <= kMaxPageTypes);
     Rng rng(config.seed);
     factors_.reserve(static_cast<std::size_t>(config.chips) *
                      config.blocksPerChip);
@@ -41,11 +42,11 @@ BlockPopulation::retentionThresholds(double pe) const
     std::vector<double> out(factors_.size());
     parallelFor(factors_.size(), [&](std::size_t i) {
         double sum = 0.0;
-        for (int t = 0; t < kPageTypes; ++t) {
+        for (int t = 0; t < pageTypes_; ++t) {
             sum += model_.retentionUntilCapability(
                 pe, static_cast<PageType>(t), factors_[i]);
         }
-        out[i] = sum / kPageTypes;
+        out[i] = sum / pageTypes_;
     });
     return out;
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "nand/cell.h"
 #include "nand/rber_model.h"
 
 namespace rif {
@@ -25,6 +26,9 @@ struct CharacterizationConfig
     int blocksPerChip = 64;   ///< sampled blocks per chip
     double chipSigma = 0.06;  ///< chip-to-chip lognormal sigma
     std::uint64_t seed = 42;
+    /** Page types averaged per block: 3 for the paper's TLC chips;
+     *  pass pageTypesOf(cell) to characterize another cell type. */
+    int pageTypes = kPageTypes;
 };
 
 /**
@@ -55,6 +59,7 @@ class BlockPopulation
 
   private:
     const RberModel &model_;
+    int pageTypes_;
     std::vector<double> factors_;
 };
 

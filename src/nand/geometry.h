@@ -14,15 +14,24 @@
 namespace rif {
 namespace nand {
 
-/** TLC page types; each is read with a different VREF subset. */
+/**
+ * Page types sharing one wordline; each is read with a different VREF
+ * subset. SLC wordlines hold only Lsb pages, TLC adds Csb/Msb, and QLC
+ * adds the fourth `Top` page (see nand/cell.h for per-cell counts).
+ */
 enum class PageType
 {
     Lsb = 0,
     Csb = 1,
     Msb = 2,
+    Top = 3, ///< QLC only
 };
 
+/** Page types of the default TLC cell (the paper's device). */
 constexpr int kPageTypes = 3;
+
+/** Widest page-type count of any supported cell (QLC). */
+constexpr int kMaxPageTypes = 4;
 
 /** Flash array geometry (defaults follow the paper's Table I). */
 struct Geometry

@@ -7,6 +7,45 @@
 namespace rif {
 namespace nand {
 
+RberParams
+cellRberParams(CellType cell)
+{
+    switch (cell) {
+      case CellType::Tlc:
+        // The golden-pinned Fig. 4 fit: exactly the struct defaults.
+        return RberParams{};
+      case CellType::Slc: {
+        // The huge state margin leaves almost nothing for wear or
+        // retention to erode; SLC-mode blocks effectively never retry.
+        RberParams p;
+        p.peBase = 1.0e-6;
+        p.peCoeff = 5.0e-6;
+        p.retCoeff = 1.0e-7;
+        p.readCoeff = 1.0e-9;
+        p.blockSigma = 0.08;
+        for (double &f : p.typeFactor)
+            f = 1.0;
+        return p;
+      }
+      case CellType::Qlc: {
+        // Denser states start closer to the capability and drift
+        // faster: the median block crosses after ~8 days fresh and
+        // ~1.5 at 1K P/E — about half the TLC window, matching the
+        // QLC V_TH calibration (RARO's conversion motivation).
+        RberParams p;
+        p.peBase = 0.0022;
+        p.peCoeff = 0.0026;
+        p.retCoeff = 1.4e-3;
+        p.retExp = 0.72;
+        p.retPeScale = 0.90;
+        p.blockSigma = 0.12;
+        p.optimalVrefFactor = 0.35;
+        return p;
+      }
+    }
+    panic("unknown cell type");
+}
+
 RberModel::RberModel(const RberParams &params)
     : params_(params)
 {
@@ -87,7 +126,7 @@ BlockRberTable::BlockRberTable(const RberModel &model, double block_factor,
       retPoints_(std::move(ret_points))
 {
     RIF_ASSERT(pePoints_.size() >= 2 && retPoints_.size() >= 2);
-    for (int t = 0; t < kPageTypes; ++t) {
+    for (int t = 0; t < kMaxPageTypes; ++t) {
         values_[t].resize(pePoints_.size() * retPoints_.size());
         for (std::size_t pi = 0; pi < pePoints_.size(); ++pi) {
             for (std::size_t ri = 0; ri < retPoints_.size(); ++ri) {

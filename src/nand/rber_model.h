@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "nand/cell.h"
 #include "nand/geometry.h"
 
 namespace rif {
@@ -38,8 +39,12 @@ struct RberParams
     /** Per-block lognormal variation sigma (process variation). */
     double blockSigma = 0.10;
 
-    /** Page-type multipliers (CSB reads 3 thresholds, LSB/MSB 2). */
-    double typeFactor[kPageTypes] = {0.92, 1.12, 0.96};
+    /**
+     * Page-type multipliers, indexed by PageType. On TLC (CSB reads 3
+     * thresholds, LSB/MSB 2) only the first kPageTypes entries are
+     * reachable; the fourth serves the QLC Top page.
+     */
+    double typeFactor[kMaxPageTypes] = {0.92, 1.12, 0.96, 1.06};
 
     /** ECC correction capability in RBER (measured from our QC-LDPC). */
     double capability = 0.0085;
@@ -50,6 +55,14 @@ struct RberParams
      */
     double optimalVrefFactor = 0.30;
 };
+
+/**
+ * Per-cell-type parametric calibration. Tlc returns RberParams{}
+ * exactly (the Fig. 4 fit); Qlc sits higher and drifts faster, so the
+ * capability crossing lands within days (~4 fresh, ~0.5 at 1K P/E);
+ * Slc is margin-dominated and effectively never crosses.
+ */
+RberParams cellRberParams(CellType cell);
 
 /** Median-block RBER model. */
 class RberModel
@@ -125,7 +138,7 @@ class BlockRberTable
     std::vector<double> pePoints_;
     std::vector<double> retPoints_;
     /** values_[type][pi * retPoints + ri] */
-    std::vector<double> values_[kPageTypes];
+    std::vector<double> values_[kMaxPageTypes];
 };
 
 } // namespace nand

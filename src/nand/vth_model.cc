@@ -3,11 +3,18 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace rif {
 namespace nand {
 
 namespace {
+
+const metrics::Counter mCellModels{
+    "nand.cell.models", "ops", "V_TH cell models constructed"};
+const metrics::Gauge mCellStates{
+    "nand.cell.states", "states",
+    "widest V_TH state count of any constructed cell model"};
 
 /** Standard normal CDF. */
 double
@@ -25,6 +32,44 @@ density(const StateDist &s, double x)
 }
 
 } // namespace
+
+DistortionParams
+defaultDistortionParams(CellType cell)
+{
+    switch (cell) {
+      case CellType::Tlc:
+        // The golden-pinned paper device: exactly the struct defaults.
+        return DistortionParams{};
+      case CellType::Slc: {
+        // One programmed state far above the erase distribution; the
+        // enormous margin makes SLC RBER negligible at any realistic
+        // wear, which is what hybrid SLC-mode blocks buy.
+        DistortionParams p;
+        p.firstProgMean = 2.8;
+        p.stateStep = 0.8; // unused beyond P1
+        return p;
+      }
+      case CellType::Qlc: {
+        // Sixteen denser, tighter states in a similar voltage window,
+        // with faster charge loss (more electrons per level lost to the
+        // same traps) — calibrated so a fresh page decodes but the
+        // capability crossing lands within days, not weeks (RARO /
+        // Cai et al. in PAPERS.md).
+        DistortionParams p;
+        p.eraseMean = -1.6;
+        p.eraseSigma = 0.30;
+        p.firstProgMean = 0.35;
+        p.stateStep = 0.32;
+        p.progSigma = 0.060;
+        p.sigmaPePerK = 0.10;
+        p.sigmaRetPerSqrtDay = 0.016;
+        p.retShiftCoeff = 0.0165;
+        p.retShiftPePerK = 0.70;
+        return p;
+      }
+    }
+    panic("unknown cell type");
+}
 
 const std::array<int, 2> &
 lsbThresholds()
@@ -47,17 +92,28 @@ msbThresholds()
     return t;
 }
 
-VthModel::VthModel(const DistortionParams &params)
-    : params_(params)
+VthModel::VthModel(const DistortionParams &params, CellType cell)
+    : params_(params),
+      cell_(cell),
+      numStates_(statesOf(cell)),
+      numThresholds_(thresholdsOf(cell)),
+      stateSpan_(static_cast<double>(statesOf(cell) - 1))
+{
+    mCellModels.inc();
+    mCellStates.observe(static_cast<std::uint64_t>(numStates_));
+}
+
+VthModel::VthModel(CellType cell)
+    : VthModel(defaultDistortionParams(cell), cell)
 {
 }
 
-std::array<StateDist, kStates>
+VthModel::StateArray
 VthModel::states(double pe, double ret_days) const
 {
     RIF_ASSERT(pe >= 0.0 && ret_days >= 0.0);
     const auto &p = params_;
-    std::array<StateDist, kStates> out;
+    StateArray out{};
 
     const double pe_k = pe / 1000.0;
     const double sigma_scale = 1.0 + p.sigmaPePerK * pe_k +
@@ -66,7 +122,7 @@ VthModel::states(double pe, double ret_days) const
                            (1.0 + p.retShiftPePerK * pe_k) *
                            std::pow(ret_days, p.retShiftExp);
 
-    for (int s = 0; s < kStates; ++s) {
+    for (int s = 0; s < numStates_; ++s) {
         StateDist d;
         if (s == 0) {
             // The erased state gains charge under wear (moves up) but we
@@ -76,7 +132,7 @@ VthModel::states(double pe, double ret_days) const
         } else {
             d.mean = p.firstProgMean + p.stateStep * (s - 1);
             const double f = p.stateFactorBase +
-                             (1.0 - p.stateFactorBase) * s / 7.0;
+                             (1.0 - p.stateFactorBase) * s / stateSpan_;
             d.mean -= ret_mag * f;       // retention charge loss
             d.mean -= p.peShiftPerK * pe_k; // permanent trap-up shift
             d.sigma = p.progSigma * sigma_scale;
@@ -89,7 +145,7 @@ VthModel::states(double pe, double ret_days) const
 double
 VthModel::defaultVref(int i) const
 {
-    RIF_ASSERT(i >= 1 && i <= kThresholds);
+    RIF_ASSERT(i >= 1 && i <= numThresholds_);
     const auto fresh = states(0.0, 0.0);
     // Factory trim: equal-density crossing of the fresh distributions.
     const StateDist &lo = fresh[i - 1];
@@ -110,7 +166,7 @@ VthModel::defaultVref(int i) const
 double
 VthModel::optimalVref(int i, double pe, double ret_days) const
 {
-    RIF_ASSERT(i >= 1 && i <= kThresholds);
+    RIF_ASSERT(i >= 1 && i <= numThresholds_);
     const auto st = states(pe, ret_days);
     const StateDist &lo = st[i - 1];
     const StateDist &hi = st[i];
@@ -129,17 +185,17 @@ double
 VthModel::thresholdErrorProb(int i, double vref, double pe,
                              double ret_days) const
 {
-    RIF_ASSERT(i >= 1 && i <= kThresholds);
+    RIF_ASSERT(i >= 1 && i <= numThresholds_);
     const auto st = states(pe, ret_days);
     // A cell in state s < i must lie below vref; a cell in state s >= i
-    // must lie above it. Uniform occupancy of 1/8 per state.
+    // must lie above it. Uniform occupancy of 1/numStates per state.
     double err = 0.0;
-    for (int s = 0; s < kStates; ++s) {
+    for (int s = 0; s < numStates_; ++s) {
         const double below = phi((vref - st[s].mean) / st[s].sigma);
         if (s < i)
-            err += (1.0 - below) / kStates;
+            err += (1.0 - below) / numStates_;
         else
-            err += below / kStates;
+            err += below / numStates_;
     }
     return err;
 }
@@ -148,55 +204,33 @@ double
 VthModel::pageRber(PageType type, double pe, double ret_days,
                    double vref_offset) const
 {
-    auto sum = [&](auto const &thresholds) {
-        double r = 0.0;
-        for (int t : thresholds) {
-            r += thresholdErrorProb(t, defaultVref(t) + vref_offset, pe,
-                                    ret_days);
-        }
-        return r;
-    };
-    switch (type) {
-      case PageType::Lsb:
-        return sum(lsbThresholds());
-      case PageType::Csb:
-        return sum(csbThresholds());
-      case PageType::Msb:
-        return sum(msbThresholds());
+    double r = 0.0;
+    for (int t : pageThresholds(cell_, type)) {
+        r += thresholdErrorProb(t, defaultVref(t) + vref_offset, pe,
+                                ret_days);
     }
-    panic("unknown page type");
+    return r;
 }
 
 double
 VthModel::pageRberOptimal(PageType type, double pe, double ret_days) const
 {
-    auto sum = [&](auto const &thresholds) {
-        double r = 0.0;
-        for (int t : thresholds) {
-            r += thresholdErrorProb(t, optimalVref(t, pe, ret_days), pe,
-                                    ret_days);
-        }
-        return r;
-    };
-    switch (type) {
-      case PageType::Lsb:
-        return sum(lsbThresholds());
-      case PageType::Csb:
-        return sum(csbThresholds());
-      case PageType::Msb:
-        return sum(msbThresholds());
+    double r = 0.0;
+    for (int t : pageThresholds(cell_, type)) {
+        r += thresholdErrorProb(t, optimalVref(t, pe, ret_days), pe,
+                                ret_days);
     }
-    panic("unknown page type");
+    return r;
 }
 
 double
 VthModel::onesFraction(int i, double vref, double pe, double ret_days) const
 {
-    RIF_ASSERT(i >= 1 && i <= kThresholds);
+    RIF_ASSERT(i >= 1 && i <= numThresholds_);
     const auto st = states(pe, ret_days);
     double ones = 0.0;
-    for (int s = 0; s < kStates; ++s)
-        ones += phi((vref - st[s].mean) / st[s].sigma) / kStates;
+    for (int s = 0; s < numStates_; ++s)
+        ones += phi((vref - st[s].mean) / st[s].sigma) / numStates_;
     return ones;
 }
 

@@ -1,0 +1,100 @@
+#include "odear/rvs_cost.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "nand/cell.h"
+
+namespace rif {
+namespace odear {
+
+namespace {
+
+const metrics::Counter mRecharacterizations{
+    "odear.rvs.cost.recharacterizations", "ops",
+    "host-side VREF re-characterization campaigns"};
+const metrics::Counter mSampleReads{
+    "odear.rvs.cost.sample_reads", "ops",
+    "calibration sample reads spent by host-side characterization"};
+const metrics::Counter mTrackedReads{
+    "odear.rvs.cost.tracked_reads", "ops",
+    "host reads served at host-tracked (possibly stale) VREFs"};
+const metrics::Distribution mStaleDays{
+    "odear.rvs.cost.stale_days", "days",
+    "age of the tracked VREFs at each accounted read"};
+
+} // namespace
+
+RvsCostEngine::RvsCostEngine(const nand::VthModel &model,
+                             const RvsCostParams &params)
+    : model_(model), params_(params)
+{
+    RIF_ASSERT(params_.recharacterizeDays > 0.0);
+    RIF_ASSERT(params_.samplesPerThreshold >= 1);
+    RIF_ASSERT(params_.sampleReadUs > 0.0);
+}
+
+double
+RvsCostEngine::lastCharacterizationAge(double ret_days) const
+{
+    RIF_ASSERT(ret_days >= 0.0);
+    return std::floor(ret_days / params_.recharacterizeDays) *
+           params_.recharacterizeDays;
+}
+
+double
+RvsCostEngine::rberAtTrackedVref(nand::PageType type, double pe,
+                                 double ret_days) const
+{
+    const double char_age = lastCharacterizationAge(ret_days);
+    double r = 0.0;
+    for (int i : nand::pageThresholds(model_.cellType(), type)) {
+        const double v = model_.optimalVref(i, pe, char_age);
+        r += model_.thresholdErrorProb(i, v, pe, ret_days);
+    }
+    return r;
+}
+
+int
+RvsCostEngine::characterizationReads(nand::PageType type) const
+{
+    const auto &thresholds =
+        nand::pageThresholds(model_.cellType(), type);
+    return static_cast<int>(thresholds.size()) *
+           params_.samplesPerThreshold;
+}
+
+double
+RvsCostEngine::characterizationUs(nand::PageType type) const
+{
+    return characterizationReads(type) * params_.sampleReadUs;
+}
+
+double
+RvsCostEngine::amortizedUsPerRead(nand::PageType type,
+                                  double reads_per_day) const
+{
+    RIF_ASSERT(reads_per_day > 0.0);
+    const double reads_per_window =
+        reads_per_day * params_.recharacterizeDays;
+    return characterizationUs(type) / reads_per_window;
+}
+
+void
+RvsCostEngine::recordTrackedRead(nand::PageType type,
+                                 double ret_days) const
+{
+    const double char_age = lastCharacterizationAge(ret_days);
+    if (char_age != lastAccountedChar_) {
+        lastAccountedChar_ = char_age;
+        mRecharacterizations.inc();
+        mSampleReads.add(
+            static_cast<std::uint64_t>(characterizationReads(type)));
+    }
+    mTrackedReads.inc();
+    mStaleDays.observe(ret_days - char_age);
+}
+
+} // namespace odear
+} // namespace rif

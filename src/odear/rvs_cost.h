@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Cost model of host-side read-voltage tracking (the SWR+ / [MICRO'19]
+ * alternative to RiF's in-die RVS). Earlier PRs modeled the host
+ * tracker as a free oracle; this engine prices it: every
+ * re-characterization spends calibration sample reads per threshold,
+ * the cadence bounds how often that happens, and between refreshes the
+ * tracked VREFs go stale — the engine evaluates the page at voltages
+ * that were optimal at the *last characterization age* while the data
+ * has kept drifting, so the stale-VREF penalty emerges from the V_TH
+ * physics instead of a fudge factor. See docs/NAND_MODEL.md §5 and the
+ * `qlc_retry` / `rvs_cadence` scenarios it drives.
+ */
+
+#ifndef RIF_ODEAR_RVS_COST_H
+#define RIF_ODEAR_RVS_COST_H
+
+#include "nand/vth_model.h"
+
+namespace rif {
+namespace odear {
+
+/** Knobs of the host-side tracking cost model (`--set rvs.*`). */
+struct RvsCostParams
+{
+    /**
+     * Days between host re-characterizations of a block's VREFs. Data
+     * written at age t is read with the VREFs characterized at
+     * floor(t / cadence) * cadence — longer cadences are cheaper but
+     * staler (the `rvs_cadence` ablation sweeps this).
+     */
+    double recharacterizeDays = 1.0;
+
+    /** Calibration sample reads per threshold per characterization. */
+    int samplesPerThreshold = 5;
+
+    /** Cost of one calibration sample read in microseconds (a full
+     *  page sense at a probe voltage; tR-class). */
+    double sampleReadUs = 40.0;
+};
+
+/** Prices host-side VREF tracking against the V_TH model. */
+class RvsCostEngine
+{
+  public:
+    RvsCostEngine(const nand::VthModel &model,
+                  const RvsCostParams &params = RvsCostParams{});
+
+    const RvsCostParams &params() const { return params_; }
+
+    /** Age (days) of the newest characterization covering data of age
+     *  ret_days: floor(ret_days / cadence) * cadence. */
+    double lastCharacterizationAge(double ret_days) const;
+
+    /** How long the tracked VREFs have been stale at ret_days. */
+    double staleDays(double ret_days) const
+    {
+        return ret_days - lastCharacterizationAge(ret_days);
+    }
+
+    /**
+     * Page RBER when read at the host-tracked VREFs: each threshold is
+     * read at the voltage that was optimal at the last
+     * characterization age, while the states have drifted to ret_days.
+     * Equals the fully-optimal RBER right after a refresh and decays
+     * toward the default-VREF RBER as the tracking goes stale.
+     */
+    double rberAtTrackedVref(nand::PageType type, double pe,
+                             double ret_days) const;
+
+    /** Calibration sample reads one characterization of a page type
+     *  spends (thresholds read by the type x samplesPerThreshold). */
+    int characterizationReads(nand::PageType type) const;
+
+    /** Microseconds one characterization of a page type spends. */
+    double characterizationUs(nand::PageType type) const;
+
+    /**
+     * Characterization overhead amortized over the host reads served
+     * between two refreshes: characterizationUs / (reads_per_day *
+     * cadence). The break-even against RiF's per-read in-die cost.
+     */
+    double amortizedUsPerRead(nand::PageType type,
+                              double reads_per_day) const;
+
+    /**
+     * Account one tracked read at the given data age: bumps the
+     * `odear.rvs.cost.*` counters, including the re-characterization
+     * campaign whenever the read's characterization window differs
+     * from the previously accounted one.
+     */
+    void recordTrackedRead(nand::PageType type, double ret_days) const;
+
+  private:
+    const nand::VthModel &model_;
+    RvsCostParams params_;
+    /** Last accounted characterization age (for recordTrackedRead). */
+    mutable double lastAccountedChar_ = -1.0;
+};
+
+} // namespace odear
+} // namespace rif
+
+#endif // RIF_ODEAR_RVS_COST_H

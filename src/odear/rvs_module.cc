@@ -16,20 +16,6 @@ namespace {
 const metrics::Counter mRvsSelections{
     "odear.rvs.selections", "ops", "RVS near-optimal VREF selections"};
 
-std::vector<int>
-thresholdsFor(PageType type)
-{
-    switch (type) {
-      case PageType::Lsb:
-        return {nand::lsbThresholds().begin(), nand::lsbThresholds().end()};
-      case PageType::Csb:
-        return {nand::csbThresholds().begin(), nand::csbThresholds().end()};
-      case PageType::Msb:
-        return {nand::msbThresholds().begin(), nand::msbThresholds().end()};
-    }
-    panic("unknown page type");
-}
-
 } // namespace
 
 RvsModule::RvsModule(const nand::VthModel &model,
@@ -47,12 +33,13 @@ RvsModule::select(PageType type, double pe, double ret_days, Rng &rng) const
 {
     mRvsSelections.inc();
     VrefSelection sel;
-    for (int i = 1; i <= nand::kThresholds; ++i)
+    for (int i = 1; i <= model_.numThresholds(); ++i)
         sel.vref[i] = model_.defaultVref(i);
 
     const auto &dp = model_.params();
+    const double span = static_cast<double>(model_.numStates() - 1);
     const double n = static_cast<double>(cellsCounted_);
-    for (int i : thresholdsFor(type)) {
+    for (int i : nand::pageThresholds(model_.cellType(), type)) {
         const double v0 = model_.defaultVref(i);
         // Calibration sense on the upper adjacent state's flank: the
         // ones fraction there moves steeply with the state's V_TH
@@ -85,10 +72,10 @@ RvsModule::select(PageType type, double pe, double ret_days, Rng &rng) const
         // follows the *average* of the two adjacent states' shifts,
         // and the lower state loses proportionally less charge.
         const double f_up = dp.stateFactorBase +
-                            (1.0 - dp.stateFactorBase) * i / 7.0;
+                            (1.0 - dp.stateFactorBase) * i / span;
         const double f_lo_state =
             dp.stateFactorBase +
-            (1.0 - dp.stateFactorBase) * (i - 1) / 7.0;
+            (1.0 - dp.stateFactorBase) * (i - 1) / span;
         const double beta =
             i == 1 ? 0.5 : (f_up + f_lo_state) / (2.0 * f_up);
 
@@ -105,7 +92,7 @@ RvsModule::rberAfterSelection(PageType type, double pe, double ret_days,
                               const VrefSelection &sel) const
 {
     double r = 0.0;
-    for (int i : thresholdsFor(type))
+    for (int i : nand::pageThresholds(model_.cellType(), type))
         r += model_.thresholdErrorProb(i, sel.vref[i], pe, ret_days);
     return r;
 }

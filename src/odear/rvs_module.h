@@ -22,8 +22,9 @@ namespace odear {
 /** Result of one in-die VREF selection. */
 struct VrefSelection
 {
-    /** Estimated per-threshold read voltages (index 1..7 used). */
-    std::array<double, nand::kThresholds + 1> vref{};
+    /** Estimated per-threshold read voltages (index
+     *  1..model.numThresholds() used; sized for the widest cell). */
+    std::array<double, nand::kMaxThresholds + 1> vref{};
     /** RBER the page would exhibit when re-read at those voltages. */
     double predictedRber = 0.0;
     /** RBER at the true optimal voltages (lower bound). */

@@ -119,6 +119,43 @@ SsdConfig::validate() const
     if (!(rber.capability > 0.0))
         fatal("SsdConfig: rber.capability must be positive, got ",
               rber.capability);
+    // Cell-model combinations (docs/NAND_MODEL.md §2). A block must
+    // hold at least one full wordline stripe of the cell's page types;
+    // fewer pages would leave page types that can never be read and
+    // silently skew every per-type RBER statistic.
+    const int page_types = nand::pageTypesOf(cellType);
+    if (g.pagesPerBlock < page_types)
+        fatal("SsdConfig: geometry.pagesPerBlock (", g.pagesPerBlock,
+              ") must hold at least one stripe of the ", page_types,
+              " page types of ", nand::cellTypeName(cellType),
+              " NAND (docs/NAND_MODEL.md §2)");
+    if (!(slcBlockFraction >= 0.0 && slcBlockFraction <= 1.0))
+        fatal("SsdConfig: nand.slcBlockFraction must be in [0,1], got ",
+              slcBlockFraction, " (docs/NAND_MODEL.md §6)");
+    if (cellType == nand::CellType::Slc && slcBlockFraction > 0.0)
+        fatal("SsdConfig: nand.slcBlockFraction (", slcBlockFraction,
+              ") is meaningless on an slc drive — every block is "
+              "already SLC (docs/NAND_MODEL.md §6)");
+    if (!(slcRberFactor > 0.0 && slcRberFactor <= 1.0))
+        fatal("SsdConfig: nand.slcRberFactor must be in (0,1], got ",
+              slcRberFactor, " (docs/NAND_MODEL.md §6)");
+    // Tracking-cadence combinations (docs/NAND_MODEL.md §5).
+    if (!(rvsCost.recharacterizeDays > 0.0))
+        fatal("SsdConfig: rvs.recharacterizeDays must be positive, "
+              "got ", rvsCost.recharacterizeDays,
+              " (docs/NAND_MODEL.md §5)");
+    if (rvsCost.recharacterizeDays > refreshDays)
+        fatal("SsdConfig: rvs.recharacterizeDays (",
+              rvsCost.recharacterizeDays,
+              ") must not exceed refreshDays (", refreshDays,
+              "): data would be refreshed before it is ever "
+              "re-characterized (docs/NAND_MODEL.md §5)");
+    if (rvsCost.samplesPerThreshold < 1)
+        fatal("SsdConfig: rvs.samplesPerThreshold must be >= 1, got ",
+              rvsCost.samplesPerThreshold, " (docs/NAND_MODEL.md §5)");
+    if (!(rvsCost.sampleReadUs > 0.0))
+        fatal("SsdConfig: rvs.sampleReadUs must be positive, got ",
+              rvsCost.sampleReadUs, " (docs/NAND_MODEL.md §5)");
 }
 
 nand::Geometry

@@ -13,8 +13,10 @@
 #include <string>
 
 #include "common/units.h"
+#include "nand/cell.h"
 #include "nand/geometry.h"
 #include "nand/rber_model.h"
+#include "odear/rvs_cost.h"
 
 namespace rif {
 namespace ssd {
@@ -81,6 +83,29 @@ struct SsdConfig
     nand::RberParams rber;
     /** RBER substrate used by the FTL's read translation. */
     RberSource rberSource = RberSource::Parametric;
+
+    /**
+     * NAND cell type of the array (`--set nand.cellType=slc|tlc|qlc`).
+     * Drives the page-type striping, the V_TH state count and the VREF
+     * subsets end to end; setting it via `--set` also re-bases `rber`
+     * to that cell's parametric calibration (cellRberParams). The TLC
+     * default is the paper's device and is golden-pinned.
+     */
+    nand::CellType cellType = nand::CellType::Tlc;
+
+    /**
+     * Hybrid SLC-mode conversion: the fraction of each plane's blocks
+     * (rounded down) operated in SLC mode — every page in them behaves
+     * as an Lsb page with `slcRberFactor` times the RBER, the RARO
+     * trade: capacity for reliability. 0 disables.
+     */
+    double slcBlockFraction = 0.0;
+
+    /** RBER multiplier of SLC-mode blocks vs. the native cell. */
+    double slcRberFactor = 0.02;
+
+    /** Host-side VREF-tracking cost model (`--set rvs.*`). */
+    odear::RvsCostParams rvsCost;
 
     PolicyKind policy = PolicyKind::Rif;
 

@@ -3,14 +3,32 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace rif {
 namespace ssd {
 
+namespace {
+
+const metrics::Counter mSlcReads{
+    "nand.cell.slc_reads", "ops",
+    "reads served from hybrid SLC-mode blocks"};
+
+} // namespace
+
 Ftl::Ftl(const SsdConfig &config, Rng rng)
-    : config_(config), rberModel_(config.rber), rng_(rng)
+    : config_(config),
+      rberModel_(config.rber),
+      vthModel_(nand::defaultDistortionParams(config.cellType),
+                config.cellType),
+      rng_(rng)
 {
     const auto &g = config_.geometry;
+    // Hybrid SLC-mode conversion: the first slcBlocksPerPlane_ blocks
+    // of every plane (rounded down from the configured fraction) are
+    // operated one-bit-per-cell.
+    slcBlocksPerPlane_ = static_cast<int>(config_.slcBlockFraction *
+                                          g.blocksPerPlane);
     const std::size_t nplanes = g.totalPlanes();
     planes_.resize(nplanes);
     const std::size_t nblocks =
@@ -241,7 +259,13 @@ Ftl::translateRead(std::uint64_t lpn)
         ppn = mapping_[lpn];
     }
     out.addr = decodePpn(ppn);
-    out.type = nand::pageTypeOf(out.addr.page);
+    out.type = nand::pageTypeOf(out.addr.page, config_.cellType);
+    const bool slc_mode = out.addr.block < slcBlocksPerPlane_;
+    if (slc_mode) {
+        // SLC-mode block: one bit per cell, read like an Lsb page.
+        out.type = nand::PageType::Lsb;
+        mSlcReads.inc();
+    }
 
     const std::size_t pi =
         planeIndex(out.addr.channel, out.addr.die, out.addr.plane);
@@ -267,6 +291,8 @@ Ftl::translateRead(std::uint64_t lpn)
         out.rber = rberModel_.rber(config_.peCycles, retentionDays_[lpn],
                                    meta.readCount, out.type, meta.factor);
     }
+    if (slc_mode)
+        out.rber *= config_.slcRberFactor;
     return out;
 }
 

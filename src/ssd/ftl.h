@@ -266,6 +266,8 @@ class Ftl
     nand::RberModel rberModel_;
     nand::VthModel vthModel_;
     Rng rng_;
+    /** Leading blocks of each plane operated in SLC mode (0 = none). */
+    int slcBlocksPerPlane_ = 0;
 
     std::vector<Ppn> mapping_;
     std::vector<float> retentionDays_;

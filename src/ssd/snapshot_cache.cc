@@ -9,7 +9,7 @@ namespace ssd {
 namespace {
 
 /** Bump when the snapshot semantics or key contents change. */
-constexpr int kSnapshotKeySchema = 1;
+constexpr int kSnapshotKeySchema = 2; // 2: cell type + hybrid SLC keys
 
 const metrics::Counter mSnapshotHits{
     "cache.snapshot.hits", "ops", "preconditioned-FTL snapshot reuses"};
@@ -106,6 +106,12 @@ preconditionCacheKey(Hasher &h, const SsdConfig &config,
         h.add(f);
     h.add(r.capability);
     h.add(r.optimalVrefFactor);
+
+    // Cell type and hybrid SLC split change the page-type striping and
+    // per-read typing of everything the snapshot captures.
+    h.add(static_cast<int>(config.cellType));
+    h.add(config.slcBlockFraction);
+    h.add(config.slcRberFactor);
 
     h.add(config.seed);
     h.add(config.preconditionFill);

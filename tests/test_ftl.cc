@@ -266,6 +266,47 @@ TEST(Ftl, SnapshotRestoreEqualsFreshPrecondition)
     }
 }
 
+TEST(Ftl, HybridSlcBlocksReadAsLsbWithScaledRber)
+{
+    SsdConfig cfg = tinyConfig();
+    cfg.slcBlockFraction = 0.5;
+    cfg.slcRberFactor = 0.02;
+    Ftl hybrid(cfg, Rng(7));
+    cfg.slcBlockFraction = 0.0;
+    Ftl native(cfg, Rng(7));
+    const std::uint64_t footprint = 4096;
+    hybrid.precondition(footprint, footprint / 2);
+    native.precondition(footprint, footprint / 2);
+
+    const int slc_blocks =
+        static_cast<int>(0.5 * cfg.geometry.blocksPerPlane);
+    ASSERT_GT(slc_blocks, 0);
+    std::uint64_t slc_reads = 0;
+    for (std::uint64_t lpn = 0; lpn < footprint; ++lpn) {
+        const ReadTranslation h = hybrid.translateRead(lpn);
+        const ReadTranslation n = native.translateRead(lpn);
+        // Same seed and geometry: the physical layout is identical;
+        // only the SLC-mode typing and RBER scaling may differ.
+        ASSERT_EQ(h.addr.block, n.addr.block);
+        ASSERT_EQ(h.addr.page, n.addr.page);
+        if (h.addr.block < slc_blocks) {
+            ++slc_reads;
+            EXPECT_EQ(h.type, nand::PageType::Lsb);
+            // SLC-mode reads sense one wide threshold: far below the
+            // native RBER at any page type...
+            EXPECT_LT(h.rber, n.rber);
+            // ...and exactly the scaled Lsb RBER where the native
+            // page is itself an Lsb page.
+            if (n.type == nand::PageType::Lsb)
+                EXPECT_DOUBLE_EQ(h.rber, n.rber * cfg.slcRberFactor);
+        } else {
+            EXPECT_EQ(h.type, n.type);
+            EXPECT_EQ(h.rber, n.rber);
+        }
+    }
+    EXPECT_GT(slc_reads, 0u);
+}
+
 } // namespace
 } // namespace ssd
 } // namespace rif

@@ -8,6 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "common/rng.h"
 #include "nand/characterization.h"
 #include "nand/geometry.h"
@@ -119,7 +122,7 @@ TEST(VthModel, OnesFractionMatchesUniformOccupancy)
     const VthModel m;
     for (int i = 1; i <= kThresholds; ++i) {
         const double f = m.onesFraction(i, m.defaultVref(i), 0.0, 0.0);
-        EXPECT_NEAR(f, VthModel::expectedOnesFraction(i), 0.01)
+        EXPECT_NEAR(f, m.expectedOnesFraction(i), 0.01)
             << "threshold " << i;
     }
 }
@@ -342,6 +345,178 @@ TEST(ChunkSimilarity, SmallerChunksSpreadMore)
     EXPECT_GT(c1.maxSpread, c4.maxSpread);
     EXPECT_GT(c4.maxSpread, 0.0);
     EXPECT_LT(c4.meanSpread, c4.maxSpread + 1e-12);
+}
+
+// ---------------------------------------------------------------------
+// Cell model: the SLC/TLC/QLC generalization.
+// ---------------------------------------------------------------------
+
+TEST(CellModel, GeometryOfEachCellType)
+{
+    EXPECT_EQ(bitsPerCell(CellType::Slc), 1);
+    EXPECT_EQ(bitsPerCell(CellType::Tlc), 3);
+    EXPECT_EQ(bitsPerCell(CellType::Qlc), 4);
+    for (CellType cell : kAllCellTypes) {
+        EXPECT_EQ(statesOf(cell), 1 << bitsPerCell(cell));
+        EXPECT_EQ(thresholdsOf(cell), statesOf(cell) - 1);
+        EXPECT_EQ(parseCellType(cellTypeName(cell)), cell);
+    }
+    EXPECT_FALSE(parseCellType("mlc").has_value());
+    EXPECT_FALSE(parseCellType("TLC").has_value());
+}
+
+TEST(CellModel, PageThresholdsPartitionTheWindow)
+{
+    // Every cell's page types must read disjoint threshold subsets
+    // whose union is exactly {1, ..., thresholds}: each threshold
+    // decides one bit of the cell, and each bit lands on one page.
+    for (CellType cell : kAllCellTypes) {
+        std::vector<int> seen(thresholdsOf(cell) + 1, 0);
+        for (int ty = 0; ty < pageTypesOf(cell); ++ty)
+            for (int i : pageThresholds(cell, PageType(ty))) {
+                ASSERT_GE(i, 1);
+                ASSERT_LE(i, thresholdsOf(cell));
+                ++seen[i];
+            }
+        for (int i = 1; i <= thresholdsOf(cell); ++i)
+            EXPECT_EQ(seen[i], 1) << cellTypeName(cell)
+                                  << " threshold " << i;
+    }
+}
+
+TEST(CellModel, TlcPathMatchesLegacyFreeFunctions)
+{
+    // The parameterized model must be the historical TLC chain when
+    // asked for TLC — this is what keeps the 25 goldens byte-frozen.
+    const VthModel legacy;
+    const VthModel tlc(CellType::Tlc);
+    EXPECT_EQ(legacy.cellType(), CellType::Tlc);
+    EXPECT_EQ(tlc.numStates(), kStates);
+    EXPECT_EQ(tlc.numThresholds(), kThresholds);
+    EXPECT_TRUE(std::equal(lsbThresholds().begin(),
+                           lsbThresholds().end(),
+                           pageThresholds(CellType::Tlc, PageType::Lsb)
+                               .begin()));
+    EXPECT_TRUE(std::equal(csbThresholds().begin(),
+                           csbThresholds().end(),
+                           pageThresholds(CellType::Tlc, PageType::Csb)
+                               .begin()));
+    EXPECT_TRUE(std::equal(msbThresholds().begin(),
+                           msbThresholds().end(),
+                           pageThresholds(CellType::Tlc, PageType::Msb)
+                               .begin()));
+    for (int i = 1; i <= kThresholds; ++i)
+        EXPECT_EQ(tlc.expectedOnesFraction(i), i / 8.0);
+    for (const PageType t :
+         {PageType::Lsb, PageType::Csb, PageType::Msb})
+        for (const double pe : {0.0, 500.0, 2000.0})
+            for (const double days : {0.0, 1.0, 10.0, 30.0}) {
+                EXPECT_EQ(legacy.pageRber(t, pe, days),
+                          tlc.pageRber(t, pe, days));
+                EXPECT_EQ(legacy.pageRberOptimal(t, pe, days),
+                          tlc.pageRberOptimal(t, pe, days));
+            }
+}
+
+TEST(QlcVthModel, SixteenStatesOrderedAndSeparated)
+{
+    const VthModel q(CellType::Qlc);
+    EXPECT_EQ(q.numStates(), 16);
+    EXPECT_EQ(q.numThresholds(), 15);
+    const auto st = q.states(0.0, 0.0);
+    for (int s = 1; s < q.numStates(); ++s) {
+        EXPECT_GT(st[s].mean, st[s - 1].mean);
+        EXPECT_GT(st[s].sigma, 0.0);
+    }
+    for (int i = 1; i <= q.numThresholds(); ++i) {
+        const double v = q.defaultVref(i);
+        EXPECT_GT(v, st[i - 1].mean);
+        EXPECT_LT(v, st[i].mean);
+    }
+}
+
+TEST(QlcVthModel, RberGrowsWithRetentionAndWear)
+{
+    const VthModel q(CellType::Qlc);
+    for (int ty = 0; ty < pageTypesOf(CellType::Qlc); ++ty) {
+        const PageType t{ty};
+        double prev = q.pageRber(t, 0.0, 0.0);
+        for (const double days : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+            const double r = q.pageRber(t, 0.0, days);
+            EXPECT_GT(r, prev) << "type " << ty << " at " << days;
+            prev = r;
+        }
+        EXPECT_LT(q.pageRber(t, 0.0, 4.0), q.pageRber(t, 1000.0, 4.0));
+    }
+}
+
+TEST(QlcVthModel, DenserWindowDegradesFasterThanTlc)
+{
+    const VthModel tlc(CellType::Tlc);
+    const VthModel qlc(CellType::Qlc);
+    // Same wear point: the 16-state window has ~1/2 the per-state
+    // margin, so QLC must be strictly worse, and its capability
+    // crossing must land within days where TLC has weeks.
+    EXPECT_GT(qlc.pageRber(PageType::Lsb, 500.0, 4.0),
+              tlc.pageRber(PageType::Lsb, 500.0, 4.0));
+    EXPECT_GT(qlc.pageRber(PageType::Msb, 500.0, 4.0),
+              tlc.pageRber(PageType::Msb, 500.0, 4.0));
+}
+
+TEST(QlcVthModel, OptimalVrefStillDecodable)
+{
+    // RiF's premise carries to QLC: the near-optimal re-read lands
+    // below the ECC capability through 1K P/E at young-to-mid ages.
+    const VthModel q(CellType::Qlc);
+    for (int ty = 0; ty < pageTypesOf(CellType::Qlc); ++ty)
+        for (const double pe : {0.0, 500.0, 1000.0}) {
+            const double opt =
+                q.pageRberOptimal(PageType(ty), pe, 2.0);
+            EXPECT_LT(opt, 0.0085)
+                << "type " << ty << " pe " << pe;
+            EXPECT_LT(opt, q.pageRber(PageType(ty), pe, 2.0));
+        }
+}
+
+TEST(SlcVthModel, SinglePageTypeNearZeroRber)
+{
+    const VthModel s(CellType::Slc);
+    EXPECT_EQ(s.numStates(), 2);
+    EXPECT_EQ(s.numThresholds(), 1);
+    EXPECT_EQ(pageTypesOf(CellType::Slc), 1);
+    // The whole V_TH window for one threshold: effectively error-free
+    // even deep into wear and retention.
+    EXPECT_LT(s.pageRber(PageType::Lsb, 2000.0, 30.0), 1e-6);
+}
+
+TEST(RberModel, TlcCellParamsAreTheDefaults)
+{
+    const RberParams base;
+    const RberParams tlc = cellRberParams(CellType::Tlc);
+    EXPECT_EQ(tlc.peBase, base.peBase);
+    EXPECT_EQ(tlc.peCoeff, base.peCoeff);
+    EXPECT_EQ(tlc.retCoeff, base.retCoeff);
+    EXPECT_EQ(tlc.retExp, base.retExp);
+    EXPECT_EQ(tlc.blockSigma, base.blockSigma);
+    EXPECT_EQ(tlc.capability, base.capability);
+    for (int t = 0; t < kMaxPageTypes; ++t)
+        EXPECT_EQ(tlc.typeFactor[t], base.typeFactor[t]);
+}
+
+TEST(RberModel, QlcParametricCrossesWithinDays)
+{
+    // The parametric QLC calibration must agree with the V_TH QLC
+    // story: capability crossings within single-digit days across the
+    // wear range (vs ~17 days fresh on TLC), shrinking with P/E.
+    const RberModel qlc(cellRberParams(CellType::Qlc));
+    const double fresh =
+        qlc.retentionUntilCapability(0.0, PageType::Csb);
+    const double worn =
+        qlc.retentionUntilCapability(1000.0, PageType::Csb);
+    EXPECT_LT(fresh, 10.0);
+    EXPECT_GT(fresh, 2.0);
+    EXPECT_LT(worn, fresh);
+    EXPECT_GT(worn, 0.25);
 }
 
 } // namespace

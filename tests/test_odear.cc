@@ -18,6 +18,7 @@
 #include "odear/overhead.h"
 #include "odear/rearrange.h"
 #include "odear/rp_module.h"
+#include "odear/rvs_cost.h"
 #include "odear/rvs_module.h"
 
 namespace rif {
@@ -411,6 +412,116 @@ TEST(OverheadModel, EnergyAccounting)
     EXPECT_NEAR(m.netEnergyNj(1000, 0), 3200.0, 1e-9);
     // Frequent retries: large net savings.
     EXPECT_LT(m.netEnergyNj(1000, 500), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// RvsCostEngine: the priced host-side tracking alternative.
+// ---------------------------------------------------------------------
+
+TEST(RvsCostEngine, CharacterizationWindowMath)
+{
+    const nand::VthModel model;
+    RvsCostParams p;
+    p.recharacterizeDays = 2.0;
+    const RvsCostEngine engine(model, p);
+    EXPECT_DOUBLE_EQ(engine.lastCharacterizationAge(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(engine.lastCharacterizationAge(2.0), 2.0);
+    EXPECT_DOUBLE_EQ(engine.lastCharacterizationAge(4.7), 4.0);
+    EXPECT_DOUBLE_EQ(engine.staleDays(4.7), 0.7);
+    EXPECT_DOUBLE_EQ(engine.staleDays(6.0), 0.0);
+}
+
+TEST(RvsCostEngine, FreshCharacterizationMatchesOptimal)
+{
+    // Right at a characterization age the tracked VREFs are exactly
+    // the optimal ones, so the tracked RBER equals the optimum.
+    const nand::VthModel model;
+    RvsCostParams p;
+    p.recharacterizeDays = 2.0;
+    const RvsCostEngine engine(model, p);
+    for (const double age : {2.0, 4.0, 8.0})
+        EXPECT_DOUBLE_EQ(
+            engine.rberAtTrackedVref(nand::PageType::Msb, 1000.0, age),
+            model.pageRberOptimal(nand::PageType::Msb, 1000.0, age));
+}
+
+TEST(RvsCostEngine, StaleVrefDegradesTowardDefault)
+{
+    const nand::VthModel model;
+    RvsCostParams p;
+    p.recharacterizeDays = 8.0;
+    const RvsCostEngine engine(model, p);
+    const nand::PageType t = nand::PageType::Msb;
+    // Mid-window: strictly between the optimum and the default VREF.
+    const double tracked = engine.rberAtTrackedVref(t, 1000.0, 14.0);
+    EXPECT_GT(tracked, model.pageRberOptimal(t, 1000.0, 14.0));
+    EXPECT_LT(tracked, model.pageRber(t, 1000.0, 14.0));
+    // Staleness is monotone inside one characterization window.
+    EXPECT_LT(engine.rberAtTrackedVref(t, 1000.0, 9.0),
+              engine.rberAtTrackedVref(t, 1000.0, 12.0));
+    EXPECT_LT(engine.rberAtTrackedVref(t, 1000.0, 12.0),
+              engine.rberAtTrackedVref(t, 1000.0, 15.9));
+}
+
+TEST(RvsCostEngine, ReadCostAccounting)
+{
+    const nand::VthModel model;
+    RvsCostParams p;
+    p.recharacterizeDays = 2.0;
+    p.samplesPerThreshold = 5;
+    p.sampleReadUs = 40.0;
+    const RvsCostEngine engine(model, p);
+    // TLC: Lsb reads 2 thresholds, Csb 3, Msb 2.
+    EXPECT_EQ(engine.characterizationReads(nand::PageType::Lsb), 10);
+    EXPECT_EQ(engine.characterizationReads(nand::PageType::Csb), 15);
+    EXPECT_EQ(engine.characterizationReads(nand::PageType::Msb), 10);
+    EXPECT_DOUBLE_EQ(engine.characterizationUs(nand::PageType::Csb),
+                     600.0);
+    // 600 us amortized over 1000 reads/day x 2 days.
+    EXPECT_DOUBLE_EQ(
+        engine.amortizedUsPerRead(nand::PageType::Csb, 1000.0), 0.3);
+}
+
+TEST(RvsCostEngine, QlcCharacterizationCostsMore)
+{
+    const nand::VthModel qlc(nand::CellType::Qlc);
+    const RvsCostEngine engine(qlc);
+    // 15 thresholds spread over 4 page types vs TLC's 7 over 3: the
+    // per-campaign calibration bill grows with the state count.
+    int qlc_reads = 0;
+    for (int ty = 0; ty < nand::pageTypesOf(nand::CellType::Qlc); ++ty)
+        qlc_reads += engine.characterizationReads(nand::PageType(ty));
+    const nand::VthModel tlc;
+    const RvsCostEngine tlc_engine(tlc);
+    int tlc_reads = 0;
+    for (int ty = 0; ty < nand::pageTypesOf(nand::CellType::Tlc); ++ty)
+        tlc_reads +=
+            tlc_engine.characterizationReads(nand::PageType(ty));
+    EXPECT_EQ(qlc_reads, 15 * engine.params().samplesPerThreshold);
+    EXPECT_EQ(tlc_reads, 7 * tlc_engine.params().samplesPerThreshold);
+}
+
+TEST(RvsCostEngine, EvaluationIsDeterministic)
+{
+    // The engine is pure arithmetic over the V_TH model: two engines
+    // walking the same age schedule must produce bit-identical sums
+    // (the rvs_cadence golden depends on this).
+    const nand::VthModel model(nand::CellType::Qlc);
+    const auto walk = [&model]() {
+        const RvsCostEngine engine(model);
+        double acc = 0.0;
+        for (int i = 0; i < 64; ++i) {
+            const double age = 0.37 * i;
+            for (int ty = 0;
+                 ty < nand::pageTypesOf(nand::CellType::Qlc); ++ty) {
+                acc += engine.rberAtTrackedVref(nand::PageType(ty),
+                                                1000.0, age);
+                engine.recordTrackedRead(nand::PageType(ty), age);
+            }
+        }
+        return acc;
+    };
+    EXPECT_EQ(walk(), walk());
 }
 
 } // namespace

@@ -117,15 +117,18 @@ TEST(OptionSet, KnownKeysCoverEverySection)
     const auto keys = core::OptionSet::knownKeys();
     ASSERT_FALSE(keys.empty());
     bool ssd = false, geometry = false, timing = false, run = false;
+    bool nand = false, rvs = false;
     for (const auto &k : keys) {
         const std::string key = k.key;
         ssd = ssd || key.rfind("ssd.", 0) == 0;
         geometry = geometry || key.rfind("geometry.", 0) == 0;
         timing = timing || key.rfind("timing.", 0) == 0;
         run = run || key.rfind("run.", 0) == 0;
+        nand = nand || key.rfind("nand.", 0) == 0;
+        rvs = rvs || key.rfind("rvs.", 0) == 0;
         EXPECT_NE(std::string(k.help), "");
     }
-    EXPECT_TRUE(ssd && geometry && timing && run);
+    EXPECT_TRUE(ssd && geometry && timing && run && nand && rvs);
 }
 
 TEST(OptionSetDeathTest, RejectsMalformedAndUnknownInput)
@@ -167,6 +170,76 @@ TEST(OptionSetDeathTest, CrossFieldNonsenseFailsOnValidate)
     opts.addSet("timing.tEccMax=1");
     ssd::SsdConfig cfg;
     EXPECT_DEATH(opts.applyTo(cfg), "tEccMin");
+}
+
+TEST(OptionSet, CellTypeRebasesTheRberCalibration)
+{
+    core::OptionSet opts;
+    opts.addSet("nand.cellType=qlc");
+    ssd::SsdConfig cfg;
+    opts.applyTo(cfg);
+    EXPECT_EQ(cfg.cellType, nand::CellType::Qlc);
+    const nand::RberParams qlc =
+        nand::cellRberParams(nand::CellType::Qlc);
+    EXPECT_EQ(cfg.rber.peBase, qlc.peBase);
+    EXPECT_EQ(cfg.rber.retCoeff, qlc.retCoeff);
+    EXPECT_NE(cfg.rber.peBase, nand::RberParams{}.peBase);
+}
+
+TEST(OptionSet, RvsKeysReachTheCostParams)
+{
+    core::OptionSet opts;
+    opts.addSet("rvs.recharacterizeDays=4.5");
+    opts.addSet("rvs.samplesPerThreshold=3");
+    opts.addSet("rvs.sampleReadUs=25");
+    ssd::SsdConfig cfg;
+    opts.applyTo(cfg);
+    EXPECT_DOUBLE_EQ(cfg.rvsCost.recharacterizeDays, 4.5);
+    EXPECT_EQ(cfg.rvsCost.samplesPerThreshold, 3);
+    EXPECT_DOUBLE_EQ(cfg.rvsCost.sampleReadUs, 25.0);
+}
+
+TEST(OptionSetDeathTest, RejectsBadCellModelValues)
+{
+    core::OptionSet opts;
+    EXPECT_DEATH(opts.addSet("nand.cellType=mlc"), "invalid value");
+    EXPECT_DEATH(opts.addSet("nand.cellType=QLC"), "invalid value");
+    EXPECT_DEATH(opts.addSet("nand.slcBlockFraction=1.5"),
+                 "invalid value");
+    EXPECT_DEATH(opts.addSet("nand.slcRberFactor=0"), "invalid value");
+    EXPECT_DEATH(opts.addSet("rvs.recharacterizeDays=0"),
+                 "invalid value");
+    EXPECT_DEATH(opts.addSet("rvs.samplesPerThreshold=0"),
+                 "invalid value");
+    EXPECT_DEATH(opts.addSet("rvs.sampleReadUs=-1"), "invalid value");
+}
+
+TEST(OptionSetDeathTest, CellModelCrossFieldNonsense)
+{
+    {
+        // An all-SLC drive cannot also convert blocks to SLC mode.
+        core::OptionSet opts;
+        opts.addSet("nand.cellType=slc");
+        opts.addSet("nand.slcBlockFraction=0.5");
+        ssd::SsdConfig cfg;
+        EXPECT_DEATH(opts.applyTo(cfg), "already SLC");
+    }
+    {
+        // Re-characterizing less often than data is refreshed means
+        // the tracker never updates at all.
+        core::OptionSet opts;
+        opts.addSet("rvs.recharacterizeDays=40");
+        ssd::SsdConfig cfg;
+        EXPECT_DEATH(opts.applyTo(cfg), "refreshDays");
+    }
+    {
+        // A block must hold one full stripe of the cell's page types.
+        core::OptionSet opts;
+        opts.addSet("nand.cellType=qlc");
+        opts.addSet("geometry.pagesPerBlock=2");
+        ssd::SsdConfig cfg;
+        EXPECT_DEATH(opts.applyTo(cfg), "stripe");
+    }
 }
 
 TEST(OptionSet, RecordsKnownWorkloads)

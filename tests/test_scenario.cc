@@ -56,7 +56,7 @@ readGolden(const std::string &name)
 TEST(ScenarioRegistry, HoldsEveryPortedBench)
 {
     const auto all = ScenarioRegistry::instance().all();
-    EXPECT_EQ(all.size(), 25u);
+    EXPECT_EQ(all.size(), 27u);
     for (std::size_t i = 1; i < all.size(); ++i)
         EXPECT_LT(std::string(all[i - 1]->name), all[i]->name);
     for (const Scenario *s : all) {
